@@ -1,0 +1,44 @@
+"""Figures 1-10: regenerate every thesis figure worksheet (experiment ids fig1..fig10).
+
+Each benchmark rebuilds one figure's data graph, recomputes the full measure
+spectrum, asserts the pinned values from the thesis, prints the worksheet,
+and times the spectrum computation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_hypergraph, format_occurrence_table
+from repro.analysis.spectrum import measure_spectrum, spectrum_report
+from repro.datasets.paper_figures import load_figure
+from repro.hypergraph.construction import HypergraphBundle
+from repro.isomorphism.matcher import find_occurrences
+from repro.measures.bounds import chain_values
+
+FIGURE_IDS = [f"fig{i}" for i in range(1, 11)]
+SPECIAL_KEYS = {"super_occurrences", "super_mvc", "transitive_subsets"}
+
+
+@pytest.mark.parametrize("figure_id", FIGURE_IDS)
+def test_figure(figure_id, benchmark, emit):
+    figure = load_figure(figure_id)
+    bundle = HypergraphBundle.build(figure.pattern, figure.data_graph)
+
+    # Assert the thesis-pinned values before timing anything.
+    values = chain_values(figure.pattern, figure.data_graph, bundle=bundle)
+    for key, want in figure.expected.items():
+        if key in SPECIAL_KEYS:
+            continue
+        assert values[key] == pytest.approx(want), (figure_id, key)
+
+    occurrences = find_occurrences(figure.pattern, figure.data_graph)
+    emit(f"{figure_id}: {figure.title}")
+    emit(format_occurrence_table(figure.pattern, occurrences))
+    emit(format_hypergraph(bundle.occurrence_hg))
+    spectrum = measure_spectrum(figure.pattern, figure.data_graph, bundle=bundle)
+    emit(spectrum_report(spectrum))
+
+    benchmark(
+        lambda: measure_spectrum(figure.pattern, figure.data_graph, bundle=bundle)
+    )

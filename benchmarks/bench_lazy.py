@@ -1,0 +1,94 @@
+"""tab8 (ablation) — lazy (GraMi-style) vs eager MNI evaluation.
+
+GraMi's central engineering claim is that deciding "support >= t" with
+anchored searches beats enumerating all occurrences, and the gap widens
+with occurrence count.  This regenerates that comparison on planted
+workloads; correctness (lazy == eager) is asserted on every row.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.datasets.synthetic import graph_with_occurrence_count
+from repro.graph.builders import path_pattern
+from repro.isomorphism.matcher import find_occurrences
+from repro.measures.lazy_mni import lazy_mni_support, mni_at_least
+from repro.measures.mni import mni_support_from_occurrences
+
+PATTERN = path_pattern(["A", "B", "A"])
+THRESHOLD = 5
+
+
+@pytest.fixture(scope="module")
+def workloads(bench_scale):
+    targets = (60, 200) if bench_scale == "small" else (100, 400, 1600)
+    loads = []
+    for target in targets:
+        graph = graph_with_occurrence_count(
+            PATTERN, target, overlap_fraction=0.3, seed=23
+        )
+        loads.append((target, graph))
+    return loads
+
+
+def test_tab8_lazy_vs_eager(workloads, benchmark, emit):
+    rows = []
+    for _target, graph in workloads:
+        start = time.perf_counter()
+        occurrences = find_occurrences(PATTERN, graph)
+        eager_value = mni_support_from_occurrences(PATTERN, occurrences)
+        t_eager = time.perf_counter() - start
+
+        start = time.perf_counter()
+        lazy_decision = mni_at_least(PATTERN, graph, THRESHOLD)
+        t_lazy = time.perf_counter() - start
+
+        assert lazy_decision == (eager_value >= THRESHOLD)
+        rows.append(
+            [
+                len(occurrences),
+                eager_value,
+                f"{t_eager*1e3:.2f}",
+                f"{t_lazy*1e3:.2f}",
+                f"{t_eager/max(t_lazy, 1e-9):.1f}x",
+            ]
+        )
+    emit(
+        format_table(
+            [
+                "#occurrences",
+                "MNI",
+                "eager ms (full enumeration)",
+                f"lazy ms (>= {THRESHOLD}?)",
+                "speedup",
+            ],
+            rows,
+            title="tab8: lazy vs eager MNI evaluation (GraMi strategy)",
+        )
+    )
+
+    _target, graph = workloads[-1]
+    benchmark(lambda: mni_at_least(PATTERN, graph, THRESHOLD))
+
+
+def test_tab8_lazy_exact_value_agrees(workloads, benchmark):
+    _target, graph = workloads[0]
+    occurrences = find_occurrences(PATTERN, graph)
+    assert lazy_mni_support(PATTERN, graph) == mni_support_from_occurrences(
+        PATTERN, occurrences
+    )
+    benchmark(lambda: lazy_mni_support(PATTERN, graph))
+
+
+def test_tab8_benchmark_eager(workloads, benchmark):
+    _target, graph = workloads[0]
+
+    def eager():
+        occurrences = find_occurrences(PATTERN, graph)
+        return mni_support_from_occurrences(PATTERN, occurrences)
+
+    benchmark(eager)

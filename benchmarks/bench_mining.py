@@ -1,0 +1,145 @@
+"""tab4 — mining throughput and result size per measure, threshold sweep.
+
+Regenerates the mining experiment: for each support measure, the number of
+frequent patterns and search effort at several thresholds.  Expected
+shape: pointwise measure ordering (MIS <= MVC <= MI <= MNI) makes the
+frequent sets *nested* at any fixed threshold, and higher thresholds
+shrink every set.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.datasets.synthetic import planted_pattern_graph
+from repro.graph.builders import path_pattern, star_pattern
+from repro.mining.miner import mine_frequent_patterns
+
+MEASURES = ("mis", "mvc", "mi", "mni")
+
+
+@pytest.fixture(scope="module")
+def mining_graph():
+    # Heavy welding makes the measures genuinely diverge: many occurrences
+    # share vertices, so MIS/MVC prune much harder than MI/MNI.
+    pattern = star_pattern("A", ["B", "B"])
+    graph = planted_pattern_graph(
+        pattern,
+        num_copies=14,
+        overlap_fraction=0.75,
+        background_vertices=6,
+        background_edge_probability=0.2,
+        seed=13,
+        name="mining-workload",
+    )
+    chain = path_pattern(["A", "B", "C"])
+    welded = planted_pattern_graph(chain, num_copies=8, overlap_fraction=0.5, seed=29)
+    offset = graph.num_vertices + 100
+    for vertex in welded.vertices():
+        graph.add_vertex(vertex + offset, welded.label_of(vertex))
+    for u, v in welded.edges():
+        graph.add_edge(u + offset, v + offset)
+    return graph
+
+
+def test_tab4_measure_sweep(mining_graph, benchmark, emit):
+    rows = []
+    results = {}
+    for measure in MEASURES:
+        start = time.perf_counter()
+        result = mine_frequent_patterns(
+            mining_graph,
+            measure=measure,
+            min_support=5,
+            max_pattern_nodes=4,
+            max_pattern_edges=4,
+        )
+        elapsed = time.perf_counter() - start
+        results[measure] = result
+        rows.append(
+            [
+                measure,
+                result.num_frequent,
+                result.stats.patterns_evaluated,
+                result.stats.patterns_pruned,
+                f"{elapsed*1e3:.1f}",
+            ]
+        )
+    emit(
+        format_table(
+            ["measure", "frequent", "evaluated", "pruned", "time ms"],
+            rows,
+            title="tab4: mining with each measure (min_support = 5)",
+        )
+    )
+    # Nesting: smaller measures admit fewer frequent patterns.
+    mis_set = set(results["mis"].certificates())
+    mvc_set = set(results["mvc"].certificates())
+    mi_set = set(results["mi"].certificates())
+    mni_set = set(results["mni"].certificates())
+    assert mis_set <= mvc_set <= mi_set <= mni_set
+
+    benchmark(
+        lambda: mine_frequent_patterns(
+            mining_graph, measure="mi", min_support=3,
+            max_pattern_nodes=4, max_pattern_edges=4,
+        )
+    )
+
+
+def test_tab4_threshold_sweep(mining_graph, benchmark, emit):
+    rows = []
+    previous = None
+    for threshold in (2, 3, 5, 8):
+        result = mine_frequent_patterns(
+            mining_graph,
+            measure="mni",
+            min_support=threshold,
+            max_pattern_nodes=4,
+            max_pattern_edges=4,
+        )
+        rows.append([threshold, result.num_frequent, result.max_pattern_edges()])
+        if previous is not None:
+            assert set(result.certificates()) <= previous
+        previous = set(result.certificates())
+    emit(
+        format_table(
+            ["min_support", "frequent patterns", "max pattern edges"],
+            rows,
+            title="tab4b: threshold sweep under MNI",
+        )
+    )
+
+    benchmark(
+        lambda: mine_frequent_patterns(
+            mining_graph, measure="mni", min_support=8,
+            max_pattern_nodes=4, max_pattern_edges=4,
+        )
+    )
+
+
+def test_tab4_benchmark_mni_mining(mining_graph, benchmark):
+    benchmark(
+        lambda: mine_frequent_patterns(
+            mining_graph,
+            measure="mni",
+            min_support=3,
+            max_pattern_nodes=4,
+            max_pattern_edges=4,
+        )
+    )
+
+
+def test_tab4_benchmark_mis_mining(mining_graph, benchmark):
+    benchmark(
+        lambda: mine_frequent_patterns(
+            mining_graph,
+            measure="mis",
+            min_support=3,
+            max_pattern_nodes=4,
+            max_pattern_edges=4,
+        )
+    )

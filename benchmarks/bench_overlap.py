@@ -1,0 +1,121 @@
+"""tab6 — overlap-type statistics and sparsified-overlap MIS (Section 4.5).
+
+For each workload: how many occurrence pairs overlap under simple /
+harmful / structural semantics, and what MIS becomes on each overlap
+graph.  Expected shape: HO-pairs <= simple-pairs and SO-pairs <=
+simple-pairs everywhere (containment theorems), and MIS grows as the
+overlap graph sparsifies (simple <= harmful/structural variants).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.datasets.paper_figures import load_figure
+from repro.datasets.synthetic import planted_pattern_graph
+from repro.graph.builders import path_pattern, star_pattern
+from repro.hypergraph.overlap import occurrence_overlap_graph, overlap_statistics
+from repro.isomorphism.matcher import find_occurrences
+from repro.measures.mis import mis_support_of
+
+WORKLOADS = [
+    ("fig9", lambda: load_figure("fig9"), None),
+    ("fig10", lambda: load_figure("fig10"), None),
+    (
+        "welded-path",
+        lambda: None,
+        (path_pattern(["A", "B", "B"]), 0.5, 10),
+    ),
+    (
+        "welded-star",
+        lambda: None,
+        (star_pattern("A", ["B", "B"]), 0.6, 8),
+    ),
+]
+
+
+def _load(name, fig_builder, synth_spec):
+    if synth_spec is None:
+        figure = fig_builder()
+        return figure.pattern, figure.data_graph
+    pattern, overlap, copies = synth_spec
+    graph = planted_pattern_graph(
+        pattern, num_copies=copies, overlap_fraction=overlap, seed=37
+    )
+    return pattern, graph
+
+
+def test_tab6_overlap_statistics(benchmark, emit):
+    rows = []
+    for name, fig_builder, synth_spec in WORKLOADS:
+        pattern, graph = _load(name, fig_builder, synth_spec)
+        occurrences = find_occurrences(pattern, graph)
+        stats = overlap_statistics(pattern, occurrences)
+        # Containment theorems.
+        assert stats.harmful_pairs <= stats.simple_pairs
+        assert stats.structural_pairs <= stats.simple_pairs
+        rows.append(
+            [
+                name,
+                stats.num_occurrences,
+                stats.total_pairs,
+                stats.simple_pairs,
+                stats.harmful_pairs,
+                stats.structural_pairs,
+            ]
+        )
+    emit(
+        format_table(
+            ["workload", "occ", "pairs", "simple", "harmful", "structural"],
+            rows,
+            title="tab6: overlapping occurrence pairs per semantics",
+        )
+    )
+
+    pattern, graph = _load("fig9", lambda: load_figure("fig9"), None)
+    occurrences = find_occurrences(pattern, graph)
+    benchmark(lambda: overlap_statistics(pattern, occurrences))
+
+
+def test_tab6_sparsified_mis(benchmark, emit):
+    rows = []
+    for name, fig_builder, synth_spec in WORKLOADS:
+        pattern, graph = _load(name, fig_builder, synth_spec)
+        occurrences = find_occurrences(pattern, graph)
+        values = {}
+        for kind in ("simple", "harmful", "structural"):
+            overlap_graph = occurrence_overlap_graph(pattern, occurrences, kind=kind)
+            values[kind] = mis_support_of(overlap_graph)
+        # Sparser conflicts can only admit larger independent sets.
+        assert values["harmful"] >= values["simple"]
+        assert values["structural"] >= values["simple"]
+        rows.append(
+            [name, values["simple"], values["harmful"], values["structural"]]
+        )
+    emit(
+        format_table(
+            ["workload", "MIS simple", "MIS harmful", "MIS structural"],
+            rows,
+            title="tab6b: MIS under sparsified overlap semantics",
+        )
+    )
+
+    pattern, graph = _load("fig10", lambda: load_figure("fig10"), None)
+    occurrences = find_occurrences(pattern, graph)
+    graph_simple = occurrence_overlap_graph(pattern, occurrences, kind="simple")
+    benchmark(lambda: mis_support_of(graph_simple))
+
+
+def test_tab6_benchmark_statistics(benchmark):
+    pattern, graph = _load("welded-path", None, (path_pattern(["A", "B", "B"]), 0.5, 10))
+    occurrences = find_occurrences(pattern, graph)
+    benchmark(lambda: overlap_statistics(pattern, occurrences))
+
+
+def test_tab6_benchmark_structural_graph(benchmark):
+    pattern, graph = _load("welded-path", None, (path_pattern(["A", "B", "B"]), 0.5, 10))
+    occurrences = find_occurrences(pattern, graph)
+    benchmark(
+        lambda: occurrence_overlap_graph(pattern, occurrences, kind="structural")
+    )

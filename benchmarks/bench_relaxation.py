@@ -1,0 +1,100 @@
+"""tab3 — LP relaxation tightness (Section 4.3 / Theorem 4.6).
+
+For hypergraphs of varying overlap density, measures the sandwich
+
+    sigma_MIES <= nu_MIES = nu_MVC <= sigma_MVC
+
+and reports the integrality gaps on both sides.  Expected shape: the
+duality equality holds exactly everywhere; gaps are zero on disjoint
+workloads and grow with overlap, but nu always stays within the k-factor
+of both integral optima (k-uniform LP bound).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.datasets.synthetic import planted_pattern_graph
+from repro.graph.builders import triangle_pattern
+from repro.hypergraph.construction import HypergraphBundle
+from repro.measures.mies import mies_support_of
+from repro.measures.mvc import mvc_support_of
+from repro.measures.relaxations import lp_mies_support_of, lp_mvc_support_of
+
+PATTERN = triangle_pattern("A", "B", "C")
+
+
+def _bundle_for(overlap: float):
+    graph = planted_pattern_graph(
+        PATTERN, num_copies=10, overlap_fraction=overlap, seed=31
+    )
+    return HypergraphBundle.build(PATTERN, graph)
+
+
+def test_tab3_relaxation_tightness(benchmark, emit):
+    rows = []
+    for overlap in (0.0, 0.3, 0.6, 0.9):
+        bundle = _bundle_for(overlap)
+        hypergraph = bundle.occurrence_hg
+        mies = mies_support_of(hypergraph)
+        mvc = mvc_support_of(hypergraph)
+        nu_cover = lp_mvc_support_of(hypergraph)
+        nu_packing = lp_mies_support_of(hypergraph)
+
+        # Theorem 4.6: duality equality + sandwich.
+        assert nu_cover == pytest.approx(nu_packing, abs=1e-5)
+        assert mies <= nu_packing + 1e-6
+        assert nu_cover <= mvc + 1e-6
+        # k-uniform LP bound: nu >= mvc / k.
+        k = hypergraph.uniformity() or 1
+        assert nu_cover >= mvc / k - 1e-6
+
+        rows.append(
+            [
+                f"{overlap:.1f}",
+                hypergraph.num_edges,
+                mies,
+                f"{nu_packing:.3f}",
+                mvc,
+                f"{nu_packing - mies:.3f}",
+                f"{mvc - nu_cover:.3f}",
+            ]
+        )
+    emit(
+        format_table(
+            [
+                "overlap",
+                "edges",
+                "sigma_MIES",
+                "nu",
+                "sigma_MVC",
+                "packing gap",
+                "cover gap",
+            ],
+            rows,
+            title="tab3: LP relaxation tightness across overlap density",
+        )
+    )
+
+    bundle = _bundle_for(0.3)
+    benchmark(lambda: lp_mvc_support_of(bundle.occurrence_hg))
+
+
+def test_tab3_disjoint_gap_is_zero(benchmark):
+    bundle = _bundle_for(0.0)
+    hypergraph = bundle.occurrence_hg
+    nu = lp_mvc_support_of(hypergraph)
+    assert nu == pytest.approx(mies_support_of(hypergraph))
+    assert nu == pytest.approx(mvc_support_of(hypergraph))
+    benchmark(lambda: lp_mvc_support_of(hypergraph))
+
+
+def test_tab3_benchmark_lp(benchmark):
+    bundle = _bundle_for(0.6)
+    benchmark(lambda: lp_mvc_support_of(bundle.occurrence_hg))
+
+
+def test_tab3_benchmark_simplex_backend(benchmark):
+    bundle = _bundle_for(0.6)
+    benchmark(lambda: lp_mvc_support_of(bundle.occurrence_hg, backend="simplex"))

@@ -1,0 +1,106 @@
+"""tab2 — runtime scaling vs. number of occurrences.
+
+The paper's complexity claims: MNI and MI are linear in the occurrence
+count; the LP relaxations are polynomial; exact MVC/MIS are NP-hard (their
+B&B cost explodes with overlap).  This benchmark measures wall time of each
+measure on planted graphs indexed by occurrence count and asserts the
+*shape*: the linear measures' per-occurrence cost stays roughly flat, and
+the exact solvers are never faster than the linear ones by more than noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.datasets.synthetic import graph_with_occurrence_count
+from repro.graph.builders import path_pattern
+from repro.hypergraph.construction import HypergraphBundle
+from repro.hypergraph.overlap import instance_overlap_graph
+from repro.measures.mi import mi_support_from_occurrences
+from repro.measures.mni import mni_support_from_occurrences
+from repro.measures.mvc import mvc_support_of
+from repro.measures.mis import mis_support_of
+from repro.measures.relaxations import lp_mvc_support_of
+
+PATTERN = path_pattern(["A", "B", "A"])
+
+
+def _time(func) -> float:
+    start = time.perf_counter()
+    func()
+    return time.perf_counter() - start
+
+
+@pytest.fixture(scope="module")
+def workloads(bench_scale):
+    targets = (50, 150, 400) if bench_scale == "small" else (100, 400, 1600, 6400)
+    loads = []
+    for target in targets:
+        graph = graph_with_occurrence_count(
+            PATTERN, target, overlap_fraction=0.3, seed=17
+        )
+        bundle = HypergraphBundle.build(PATTERN, graph)
+        loads.append((target, graph, bundle))
+    return loads
+
+
+def test_tab2_runtime_scaling(workloads, benchmark, emit):
+    rows = []
+    linear_per_occurrence = []
+    for target, graph, bundle in workloads:
+        occurrences = bundle.occurrences
+        t_mni = _time(lambda: mni_support_from_occurrences(PATTERN, occurrences))
+        t_mi = _time(lambda: mi_support_from_occurrences(PATTERN, occurrences))
+        t_lp = _time(lambda: lp_mvc_support_of(bundle.occurrence_hg))
+        t_mvc = _time(lambda: mvc_support_of(bundle.occurrence_hg))
+        t_mis = _time(
+            lambda: mis_support_of(instance_overlap_graph(bundle.instances))
+        )
+        m = bundle.num_occurrences
+        linear_per_occurrence.append(t_mni / m)
+        rows.append(
+            [
+                m,
+                f"{t_mni*1e3:.2f}",
+                f"{t_mi*1e3:.2f}",
+                f"{t_lp*1e3:.2f}",
+                f"{t_mvc*1e3:.2f}",
+                f"{t_mis*1e3:.2f}",
+            ]
+        )
+    emit(
+        format_table(
+            ["#occurrences", "MNI ms", "MI ms", "nu_MVC ms", "MVC ms", "MIS ms"],
+            rows,
+            title="tab2: measure runtime vs occurrence count",
+        )
+    )
+    # Linear shape check: per-occurrence MNI cost must not blow up by more
+    # than ~25x across the sweep (generous bound for timer noise on small runs).
+    assert max(linear_per_occurrence) <= 25 * min(linear_per_occurrence) + 1e-4
+
+    _t, _g, bundle = workloads[0]
+    benchmark(lambda: mni_support_from_occurrences(PATTERN, bundle.occurrences))
+
+
+def test_tab2_benchmark_mni(workloads, benchmark):
+    _target, _graph, bundle = workloads[-1]
+    benchmark(lambda: mni_support_from_occurrences(PATTERN, bundle.occurrences))
+
+
+def test_tab2_benchmark_mi(workloads, benchmark):
+    _target, _graph, bundle = workloads[-1]
+    benchmark(lambda: mi_support_from_occurrences(PATTERN, bundle.occurrences))
+
+
+def test_tab2_benchmark_lp(workloads, benchmark):
+    _target, _graph, bundle = workloads[0]
+    benchmark(lambda: lp_mvc_support_of(bundle.occurrence_hg))
+
+
+def test_tab2_benchmark_mvc(workloads, benchmark):
+    _target, _graph, bundle = workloads[0]
+    benchmark(lambda: mvc_support_of(bundle.occurrence_hg))

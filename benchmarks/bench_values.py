@@ -1,0 +1,109 @@
+"""tab1 — measure-value comparison across graphs and patterns.
+
+Regenerates the paper's qualitative value table: for each (graph, pattern)
+cell, every measure in the bounding chain.  The assertions check the
+orderings the theorems pin down; the printed table is the experiment
+record.  Expected shape: MIS <= nu <= MVC <= MI <= MNI in every cell,
+with the MNI/MIS ratio growing with overlap density.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.datasets.synthetic import planted_pattern_graph, random_labeled_graph
+from repro.datasets.zoo import zoo_graph
+from repro.graph.builders import path_pattern, star_pattern, triangle_pattern
+from repro.graph.pattern import Pattern
+from repro.measures.bounds import chain_values
+
+WORKLOADS = [
+    ("fan", lambda: zoo_graph("triangle_fan"), triangle_pattern("a")),
+    ("disjoint", lambda: zoo_graph("disjoint_triangles"), triangle_pattern("a")),
+    ("star", lambda: zoo_graph("star"), Pattern.single_edge("a", "a")),
+    ("bipartite", lambda: zoo_graph("bipartite"), Pattern.single_edge("a", "b")),
+    (
+        "er-sparse",
+        lambda: random_labeled_graph(18, 0.12, alphabet=("A", "B"), seed=5),
+        path_pattern(["A", "B"]),
+    ),
+    (
+        "er-dense",
+        lambda: random_labeled_graph(14, 0.35, alphabet=("A", "B"), seed=5),
+        path_pattern(["A", "B"]),
+    ),
+    (
+        "planted-weld",
+        lambda: planted_pattern_graph(
+            triangle_pattern("A", "B", "C"), num_copies=8, overlap_fraction=0.6, seed=9
+        ),
+        triangle_pattern("A", "B", "C"),
+    ),
+]
+
+
+def test_tab1_value_comparison(benchmark, emit):
+    rows = []
+    for name, build, pattern in WORKLOADS:
+        graph = build()
+        values = chain_values(pattern, graph)
+        rows.append(
+            [
+                name,
+                values["occurrences"],
+                values["instances"],
+                values["mis"],
+                values["lp_mvc"],
+                values["mvc"],
+                values["mi"],
+                values["mni"],
+                values["mcp"],
+            ]
+        )
+        # The chain must hold in every cell.
+        assert values["mis"] <= values["lp_mvc"] + 1e-6
+        assert values["lp_mvc"] <= values["mvc"] + 1e-6
+        assert values["mvc"] <= values["mi"] <= values["mni"]
+        assert values["mis"] <= values["mcp"]
+
+    emit(
+        format_table(
+            ["workload", "occ", "inst", "MIS", "nu", "MVC", "MI", "MNI", "MCP"],
+            rows,
+            title="tab1: support measure values across workloads",
+        )
+    )
+
+    # Benchmark one representative cell end-to-end.
+    graph = zoo_graph("triangle_fan")
+    pattern = triangle_pattern("a")
+    benchmark(lambda: chain_values(pattern, graph))
+
+
+def test_tab1_gap_grows_with_overlap(benchmark, emit):
+    """The MNI/MIS ratio widens as planted copies weld together."""
+    pattern = star_pattern("A", ["B", "B"])
+    rows = []
+    previous_ratio = None
+    ratios = []
+    for overlap in (0.0, 0.5, 0.9):
+        graph = planted_pattern_graph(
+            pattern, num_copies=12, overlap_fraction=overlap, seed=3
+        )
+        values = chain_values(pattern, graph, include_mcp=False)
+        ratio = values["mni"] / max(values["mis"], 1.0)
+        ratios.append(ratio)
+        rows.append([f"{overlap:.1f}", values["mis"], values["mni"], f"{ratio:.2f}x"])
+    emit(
+        format_table(
+            ["overlap fraction", "MIS", "MNI", "MNI/MIS"],
+            rows,
+            title="tab1b: welding instances widens the MNI/MIS gap",
+        )
+    )
+    assert ratios[-1] >= ratios[0]
+
+    pattern = star_pattern("A", ["B", "B"])
+    graph = planted_pattern_graph(pattern, num_copies=12, overlap_fraction=0.9, seed=3)
+    benchmark(lambda: chain_values(pattern, graph, include_mcp=False))

@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures and table-printing helpers.
+
+Every benchmark module regenerates one table/figure of the evaluation (see
+DESIGN.md's per-experiment index) and *prints* the regenerated rows so the
+bench output doubles as the experiment record in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-scale",
+        action="store",
+        default="small",
+        choices=("small", "full"),
+        help="workload scale for value/runtime benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request):
+    return request.config.getoption("--bench-scale")
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a block with a separating newline (keeps bench logs readable)."""
+
+    def _emit(text: str) -> None:
+        print("\n" + text)
+
+    return _emit

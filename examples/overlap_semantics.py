@@ -1,0 +1,73 @@
+"""Exploring simple / harmful / structural overlap (paper Section 4.5).
+
+Rebuilds the paper's Figure 9 and Figure 10 examples, classifies every
+occurrence pair under the three overlap semantics, and shows how MIS
+changes when the overlap graph is built from the sparser semantics —
+the variant measures the paper proposes at the end of Section 4.5.
+
+Run:  python examples/overlap_semantics.py
+"""
+
+from repro.analysis import format_table
+from repro.datasets import load_figure
+from repro.hypergraph import (
+    harmful_overlap,
+    occurrence_overlap_graph,
+    simple_overlap,
+    structural_overlap,
+)
+from repro.isomorphism import find_occurrences
+from repro.measures import mis_support_of
+
+
+def classify_pairs(figure_id: str) -> None:
+    figure = load_figure(figure_id)
+    pattern, graph = figure.pattern, figure.data_graph
+    occurrences = find_occurrences(pattern, graph)
+    print(f"\n{figure_id}: {figure.title}")
+    print(f"  pattern nodes: {pattern.nodes()}  occurrences: {len(occurrences)}")
+
+    rows = []
+    for i, first in enumerate(occurrences):
+        for second in occurrences[i + 1:]:
+            rows.append(
+                [
+                    f"({first.label()}, {second.label()})",
+                    "yes" if simple_overlap(first, second) else "-",
+                    "yes" if harmful_overlap(pattern, first, second) else "-",
+                    "yes" if structural_overlap(pattern, first, second) else "-",
+                ]
+            )
+    print(format_table(["pair", "simple", "harmful", "structural"], rows))
+
+    mis_rows = []
+    for kind in ("simple", "harmful", "structural"):
+        overlap_graph = occurrence_overlap_graph(pattern, occurrences, kind=kind)
+        mis_rows.append(
+            [kind, overlap_graph.num_edges, mis_support_of(overlap_graph)]
+        )
+    print(
+        format_table(
+            ["overlap semantics", "overlap edges", "MIS"],
+            mis_rows,
+        )
+    )
+
+
+def main() -> None:
+    print(
+        "Both harmful (HO) and structural (SO) overlap imply simple overlap,\n"
+        "but neither implies the other.  Figure 9 exhibits SO without HO;\n"
+        "Figure 10 exhibits HO without SO and a simple-only pair."
+    )
+    classify_pairs("fig9")
+    classify_pairs("fig10")
+    print(
+        "\nSparser overlap semantics admit larger independent sets, so the\n"
+        "resulting MIS variants sit above the simple-overlap MIS — exactly\n"
+        "the design space Section 4.5 points at."
+    )
+
+
+if __name__ == "__main__":
+    main()

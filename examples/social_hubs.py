@@ -1,0 +1,88 @@
+"""Hub-induced over-counting in a social-network-like graph.
+
+The paper's Figure 6 shows that image-based measures (MNI, MI) cannot see
+*partial* overlap: a hub vertex welds many occurrences together, yet every
+pattern node still has many distinct images.  Heavy-tailed social graphs
+are exactly this regime at scale.  This example builds a preferential-
+attachment graph, computes the spectrum for the "follows" edge pattern and
+a star pattern, and quantifies the MNI/MIS gap as the hubs grow.
+
+Run:  python examples/social_hubs.py
+"""
+
+from repro import Pattern
+from repro.analysis import format_table, measure_spectrum
+from repro.datasets import preferential_attachment_graph
+from repro.graph import star_pattern
+
+
+def main() -> None:
+    rows = []
+    for size in (30, 60, 90):
+        graph = preferential_attachment_graph(
+            size, 2, alphabet=("user",), seed=42, name=f"social{size}"
+        )
+        edge = Pattern.single_edge("user", "user")
+        spectrum = measure_spectrum(
+            edge, graph, include=["instances", "mis", "mvc", "mi", "mni"]
+        )
+        hub_degree = graph.degree_sequence()[0]
+        rows.append(
+            [
+                size,
+                graph.num_edges,
+                hub_degree,
+                spectrum.value("mis"),
+                spectrum.value("mvc"),
+                spectrum.value("mni"),
+                f"{spectrum.value('mni') / spectrum.value('mis'):.2f}x",
+            ]
+        )
+    print(
+        format_table(
+            ["users", "edges", "hub degree", "MIS", "MVC", "MNI", "MNI/MIS"],
+            rows,
+            title="edge pattern: the hub widens the MNI/MIS gap",
+        )
+    )
+
+    print()
+    # For star patterns the occurrence count explodes around hubs, so the
+    # NP-hard exact MIS is replaced by the polynomial nu_MVC relaxation —
+    # exactly the trade the paper's Section 4.3 is about.
+    graph = preferential_attachment_graph(40, 2, alphabet=("user",), seed=42)
+    star_rows = []
+    for leaves in (2, 3):
+        star = star_pattern("user", ["user"] * leaves)
+        spectrum = measure_spectrum(
+            star,
+            graph,
+            include=["occurrences", "instances", "lp_mvc", "mvc", "mi", "mni"],
+        )
+        star_rows.append(
+            [
+                f"star-{leaves}",
+                spectrum.value("occurrences"),
+                spectrum.value("instances"),
+                round(spectrum.value("lp_mvc"), 2),
+                spectrum.value("mvc"),
+                spectrum.value("mi"),
+                spectrum.value("mni"),
+            ]
+        )
+    print(
+        format_table(
+            ["pattern", "occurrences", "instances", "nu_MVC", "MVC", "MI", "MNI"],
+            star_rows,
+            title="star patterns on the 40-user graph",
+        )
+    )
+    print(
+        "\nMI < MNI on stars because the symmetric leaves form one transitive "
+        "node subset; MVC (and its polynomial relaxation nu_MVC, which lower-"
+        "bounds it) falls much lower because every occurrence shares the hub."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Transaction mining vs single-graph mining (the paper's framing).
+
+The introduction contrasts the easy setting — a database of many small
+graphs, where support = number of containing transactions — with the hard
+single-graph setting this paper is about.  This example builds a small
+transaction database of "molecules", computes the classic transaction
+support, then merges the database into one disjoint-union graph and shows
+where each single-graph measure lands relative to the transaction count.
+
+Run:  python examples/transactions_vs_single_graph.py
+"""
+
+from repro.analysis import format_table, measure_spectrum
+from repro.graph import cycle_graph, path_graph, path_pattern, triangle_pattern
+from repro.mining import disjoint_union, transaction_support
+
+
+def build_database():
+    """Six small 'molecules' over labels C and O."""
+    return [
+        cycle_graph(["C", "C", "O"]),            # ring with one oxygen
+        cycle_graph(["C", "C", "C"]),            # pure carbon ring
+        path_graph(["C", "O", "C"]),             # ether-like chain
+        path_graph(["C", "C", "O", "C"]),        # longer chain
+        cycle_graph(["C", "C", "O"]),            # second oxygen ring
+        path_graph(["O", "C"]),                  # fragment
+    ]
+
+
+def main() -> None:
+    database = build_database()
+    union = disjoint_union(database, name="merged-database")
+    print(
+        f"database: {len(database)} transactions; merged graph: "
+        f"{union.num_vertices} vertices, {union.num_edges} edges\n"
+    )
+
+    patterns = [
+        ("C-O edge", path_pattern(["C", "O"])),
+        ("C-C edge", path_pattern(["C", "C"])),
+        ("C-O-C chain", path_pattern(["C", "O", "C"])),
+        ("C-C-O ring", triangle_pattern("C", "C", "O")),
+    ]
+
+    rows = []
+    for name, pattern in patterns:
+        tx_support = transaction_support(pattern, database)
+        spectrum = measure_spectrum(
+            pattern, union, include=["instances", "mis", "mvc", "mi", "mni"]
+        )
+        rows.append(
+            [
+                name,
+                tx_support,
+                spectrum.value("mis"),
+                spectrum.value("mvc"),
+                spectrum.value("mi"),
+                spectrum.value("mni"),
+                spectrum.value("instances"),
+            ]
+        )
+    print(
+        format_table(
+            ["pattern", "tx support", "MIS", "MVC", "MI", "MNI", "instances"],
+            rows,
+            title="transaction support vs single-graph measures on the union",
+        )
+    )
+    print(
+        "\nOn a disjoint union, every containing transaction contributes at\n"
+        "least one independent instance, so MIS >= transaction support; the\n"
+        "image-based measures (MI, MNI) sit higher because one transaction\n"
+        "can host several instances.  In a genuinely single graph there is\n"
+        "no transaction boundary at all — which is why the paper needs the\n"
+        "hypergraph framework in the first place."
+    )
+
+
+if __name__ == "__main__":
+    main()

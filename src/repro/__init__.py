@@ -1,0 +1,114 @@
+"""repro — support measures for frequent pattern mining in a single large graph.
+
+A full reproduction of *"Flexible and Feasible Support Measures for Mining
+Frequent Patterns in Large Labeled Graphs"* (SIGMOD '17): the
+occurrence/instance hypergraph framework, the MI and MVC support measures,
+the MIS/MIES equivalence, LP relaxations, overlap semantics, and a
+pattern-growth miner that uses any of the measures.
+
+Quickstart
+----------
+>>> from repro import LabeledGraph, Pattern, chain_values
+>>> g = LabeledGraph(vertices=[(1, "a"), (2, "b"), (3, "b"), (4, "a")],
+...                  edges=[(1, 2), (2, 3), (3, 4)])
+>>> p = Pattern.from_edges([("v1", "a"), ("v2", "b"), ("v3", "b")],
+...                        [("v1", "v2"), ("v2", "v3")])
+>>> values = chain_values(p, g)
+>>> int(values["mni"]), int(values["mi"])
+(2, 1)
+"""
+
+from .errors import (
+    BudgetExceededError,
+    DatasetError,
+    GraphError,
+    HypergraphError,
+    InfeasibleLPError,
+    LPError,
+    MeasureError,
+    MiningError,
+    PatternError,
+    ReproError,
+    UnboundedLPError,
+)
+from .graph import (
+    LabeledGraph,
+    Pattern,
+    automorphisms,
+    canonical_certificate,
+    load_graph,
+    load_pattern,
+    path_pattern,
+    save_graph,
+    transitive_node_subsets,
+    triangle_pattern,
+    vertex_orbits,
+)
+from .isomorphism import (
+    Instance,
+    Occurrence,
+    are_isomorphic,
+    find_instances,
+    find_occurrences,
+    summarize_matches,
+)
+from .hypergraph import (
+    Hypergraph,
+    HypergraphBundle,
+    dual_hypergraph,
+    instance_hypergraph,
+    occurrence_hypergraph,
+    occurrence_overlap_graph,
+)
+from .measures import (
+    available_measures,
+    chain_values,
+    compute_support,
+    measure_info,
+    verify_bounding_chain,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BudgetExceededError",
+    "DatasetError",
+    "GraphError",
+    "HypergraphError",
+    "InfeasibleLPError",
+    "LPError",
+    "MeasureError",
+    "MiningError",
+    "PatternError",
+    "ReproError",
+    "UnboundedLPError",
+    "LabeledGraph",
+    "Pattern",
+    "automorphisms",
+    "canonical_certificate",
+    "load_graph",
+    "load_pattern",
+    "path_pattern",
+    "save_graph",
+    "transitive_node_subsets",
+    "triangle_pattern",
+    "vertex_orbits",
+    "Instance",
+    "Occurrence",
+    "are_isomorphic",
+    "find_instances",
+    "find_occurrences",
+    "summarize_matches",
+    "Hypergraph",
+    "HypergraphBundle",
+    "dual_hypergraph",
+    "instance_hypergraph",
+    "occurrence_hypergraph",
+    "occurrence_overlap_graph",
+    "available_measures",
+    "chain_values",
+    "compute_support",
+    "measure_info",
+    "verify_bounding_chain",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Analysis and reporting: measure spectra, overlap stats, ASCII tables."""
+
+from .report import format_hypergraph, format_occurrence_table, format_table
+from .spectrum import (
+    SPECTRUM_ORDER,
+    Spectrum,
+    SpectrumEntry,
+    measure_spectrum,
+    spectrum_report,
+)
+
+__all__ = [
+    "format_hypergraph",
+    "format_occurrence_table",
+    "format_table",
+    "SPECTRUM_ORDER",
+    "Spectrum",
+    "SpectrumEntry",
+    "measure_spectrum",
+    "spectrum_report",
+]

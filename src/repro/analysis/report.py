@@ -1,0 +1,74 @@
+"""Plain-text table rendering for examples and benchmark output.
+
+Small, dependency-free helpers that turn rows of values into the aligned
+ASCII tables printed by the figure/benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are shown with up to 3 decimals (trailing zeros trimmed);
+    everything else via ``str``.
+    """
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell == int(cell):
+                return str(int(cell))
+            return f"{cell:.3f}".rstrip("0").rstrip(".")
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)
+
+
+def format_occurrence_table(pattern, occurrences) -> str:
+    """Render the per-occurrence image table exactly like the paper's figures
+
+    (rows ``f1: 1 2 3`` ... plus the ``# of images`` footer of Fig. 2).
+    """
+    nodes = pattern.nodes()
+    headers = ["occurrence"] + [str(node) for node in nodes]
+    rows = []
+    images = {node: set() for node in nodes}
+    for occurrence in occurrences:
+        mapping = occurrence.mapping
+        rows.append([occurrence.label() + ":"] + [str(mapping[node]) for node in nodes])
+        for node in nodes:
+            images[node].add(mapping[node])
+    rows.append(["# of images:"] + [str(len(images[node])) for node in nodes])
+    return format_table(headers, rows)
+
+
+def format_hypergraph(hypergraph) -> str:
+    """Render a hypergraph as ``label: {v, v, ...}`` lines."""
+    lines = [f"{hypergraph!r}"]
+    for edge in hypergraph.edges():
+        members = ", ".join(sorted(map(str, edge.vertices)))
+        lines.append(f"  {edge.label}: {{{members}}}")
+    return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro`` / ``repro-graph``.
+
+Subcommands
+-----------
+``measure``  compute the support spectrum for a pattern in a graph
+``mine``     mine frequent patterns from a graph
+``figure``   regenerate a paper figure worksheet (fig1 .. fig10)
+``info``     list registered measures with their properties
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.report import format_hypergraph, format_occurrence_table, format_table
+from .analysis.spectrum import measure_spectrum, spectrum_report
+from .graph.io import load_graph, load_pattern
+from .hypergraph.construction import HypergraphBundle
+from .measures.base import available_measures, measure_info
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    data = load_graph(args.graph)
+    pattern = load_pattern(args.pattern)
+    spectrum = measure_spectrum(pattern, data)
+    print(spectrum_report(spectrum, title=f"{pattern.name or 'pattern'} in {data.name}"))
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    from .mining.miner import mine_frequent_patterns
+
+    data = load_graph(args.graph)
+    result = mine_frequent_patterns(
+        data,
+        measure=args.measure,
+        min_support=args.min_support,
+        max_pattern_nodes=args.max_nodes,
+        max_pattern_edges=args.max_edges,
+    )
+    rows = [
+        [i + 1, fp.num_nodes, fp.num_edges, fp.support, fp.num_occurrences]
+        for i, fp in enumerate(result.frequent)
+    ]
+    print(
+        format_table(
+            ["#", "nodes", "edges", "support", "occurrences"],
+            rows,
+            title=(
+                f"{result.num_frequent} frequent patterns "
+                f"(measure={result.measure}, min_support={result.min_support:g})"
+            ),
+        )
+    )
+    stats = result.stats.as_dict()
+    print("\n" + format_table(["counter", "value"], sorted(stats.items())))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from .datasets.paper_figures import load_figure
+    from .isomorphism.matcher import find_occurrences
+
+    example = load_figure(args.figure_id)
+    print(f"{example.figure_id}: {example.title}")
+    print(f"  {example.notes}\n")
+    occurrences = find_occurrences(example.pattern, example.data_graph)
+    print(format_occurrence_table(example.pattern, occurrences))
+    bundle = HypergraphBundle.build(example.pattern, example.data_graph)
+    print("\n" + format_hypergraph(bundle.occurrence_hg))
+    spectrum = measure_spectrum(example.pattern, example.data_graph, bundle=bundle)
+    print("\n" + spectrum_report(spectrum))
+    if example.expected:
+        rows = [[key, value] for key, value in sorted(example.expected.items())]
+        print("\n" + format_table(["pinned quantity", "expected"], rows))
+    return 0
+
+
+def _cmd_chain(args: argparse.Namespace) -> int:
+    from .measures.bounds import CHAIN_TEXT, verify_bounding_chain
+
+    data = load_graph(args.graph)
+    pattern = load_pattern(args.pattern)
+    report = verify_bounding_chain(pattern, data)
+    print(f"bounding chain: {CHAIN_TEXT}\n")
+    print(format_table(["measure", "value"], report.as_rows()))
+    if report.holds:
+        print("\nall chain relations hold.")
+        return 0
+    print("\nVIOLATIONS:")
+    for violation in report.violations:
+        print(f"  - {violation}")
+    return 1
+
+
+def _cmd_overlap(args: argparse.Namespace) -> int:
+    from .hypergraph.overlap import (
+        harmful_overlap,
+        occurrence_overlap_graph,
+        simple_overlap,
+        structural_overlap,
+    )
+    from .isomorphism.matcher import find_occurrences
+    from .measures.mis import mis_support_of
+
+    data = load_graph(args.graph)
+    pattern = load_pattern(args.pattern)
+    occurrences = find_occurrences(pattern, data, limit=args.limit)
+    print(f"{len(occurrences)} occurrences of {pattern.name or 'pattern'} in {data.name}\n")
+    rows = []
+    for i, first in enumerate(occurrences):
+        for second in occurrences[i + 1:]:
+            if not simple_overlap(first, second):
+                continue
+            rows.append(
+                [
+                    f"({first.label()}, {second.label()})",
+                    "yes",
+                    "yes" if harmful_overlap(pattern, first, second) else "-",
+                    "yes" if structural_overlap(pattern, first, second) else "-",
+                ]
+            )
+    print(format_table(["pair", "simple", "harmful", "structural"], rows))
+    mis_rows = []
+    for kind in ("simple", "harmful", "structural"):
+        graph = occurrence_overlap_graph(pattern, occurrences, kind=kind)
+        mis_rows.append([kind, graph.num_edges, mis_support_of(graph)])
+    print("\n" + format_table(["semantics", "overlap edges", "MIS"], mis_rows))
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_measures():
+        info = measure_info(name)
+        rows.append(
+            [
+                name,
+                info.display_name,
+                "yes" if info.anti_monotonic else "no",
+                info.complexity,
+            ]
+        )
+    print(
+        format_table(
+            ["name", "measure", "anti-monotonic", "complexity"],
+            rows,
+            title="registered support measures",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-graph",
+        description="Support measures for frequent pattern mining (SIGMOD '17 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    measure = subparsers.add_parser("measure", help="compute the support spectrum")
+    measure.add_argument("graph", help="data graph (.lg file)")
+    measure.add_argument("pattern", help="pattern (.lg file)")
+    measure.set_defaults(func=_cmd_measure)
+
+    mine = subparsers.add_parser("mine", help="mine frequent patterns")
+    mine.add_argument("graph", help="data graph (.lg file)")
+    mine.add_argument("--measure", default="mni", help="support measure name")
+    mine.add_argument("--min-support", type=float, default=2.0)
+    mine.add_argument("--max-nodes", type=int, default=5)
+    mine.add_argument("--max-edges", type=int, default=6)
+    mine.set_defaults(func=_cmd_mine)
+
+    figure = subparsers.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("figure_id", help="fig1 .. fig10")
+    figure.set_defaults(func=_cmd_figure)
+
+    chain = subparsers.add_parser(
+        "chain", help="verify the bounding chain for a pattern in a graph"
+    )
+    chain.add_argument("graph", help="data graph (.lg file)")
+    chain.add_argument("pattern", help="pattern (.lg file)")
+    chain.set_defaults(func=_cmd_chain)
+
+    overlap = subparsers.add_parser(
+        "overlap", help="classify overlapping occurrence pairs (Section 4.5)"
+    )
+    overlap.add_argument("graph", help="data graph (.lg file)")
+    overlap.add_argument("pattern", help="pattern (.lg file)")
+    overlap.add_argument("--limit", type=int, default=200, help="max occurrences")
+    overlap.set_defaults(func=_cmd_overlap)
+
+    info = subparsers.add_parser("info", help="list registered measures")
+    info.set_defaults(func=_cmd_info)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Datasets: synthetic generators, the small-graph zoo, paper figures, I/O."""
+
+from .synthetic import (
+    community_graph,
+    graph_with_occurrence_count,
+    planted_pattern_graph,
+    preferential_attachment_graph,
+    random_labeled_graph,
+)
+from .paper_figures import (
+    ALL_FIGURES,
+    FIGURE3_EDGE_SETS,
+    FigureExample,
+    load_all_figures,
+    load_figure,
+)
+from .zoo import ZOO, zoo_graph, zoo_names
+
+__all__ = [
+    "community_graph",
+    "graph_with_occurrence_count",
+    "planted_pattern_graph",
+    "preferential_attachment_graph",
+    "random_labeled_graph",
+    "ALL_FIGURES",
+    "FIGURE3_EDGE_SETS",
+    "FigureExample",
+    "load_all_figures",
+    "load_figure",
+    "ZOO",
+    "zoo_graph",
+    "zoo_names",
+]

@@ -1,0 +1,116 @@
+"""A zoo of named small graphs and patterns for tests, examples, and docs.
+
+These complement the paper-figure reconstructions with shapes that stress
+specific code paths: dense overlap, label diversity, automorphism-heavy
+patterns, and disconnected graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..graph.builders import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from ..graph.labeled_graph import LabeledGraph
+from ..graph.pattern import Pattern
+
+
+def uniform_triangle_fan(num_triangles: int = 4, label: str = "a") -> LabeledGraph:
+    """``num_triangles`` triangles all sharing one apex vertex 0.
+
+    A worst case for image-based measures: the apex welds every instance.
+    """
+    graph = LabeledGraph(name=f"fan{num_triangles}")
+    graph.add_vertex(0, label)
+    next_id = 1
+    for _ in range(num_triangles):
+        a, b = next_id, next_id + 1
+        next_id += 2
+        graph.add_vertex(a, label)
+        graph.add_vertex(b, label)
+        graph.add_edge(0, a)
+        graph.add_edge(0, b)
+        graph.add_edge(a, b)
+    return graph
+
+
+def disjoint_triangles(num_triangles: int = 3, label: str = "a") -> LabeledGraph:
+    """``num_triangles`` vertex-disjoint triangles: zero overlap anywhere."""
+    graph = LabeledGraph(name=f"tri{num_triangles}")
+    next_id = 1
+    for _ in range(num_triangles):
+        a, b, c = next_id, next_id + 1, next_id + 2
+        next_id += 3
+        for vertex in (a, b, c):
+            graph.add_vertex(vertex, label)
+        graph.add_edge(a, b)
+        graph.add_edge(b, c)
+        graph.add_edge(a, c)
+    return graph
+
+
+def two_label_bipartite(left: int = 3, right: int = 3) -> LabeledGraph:
+    """Complete bipartite graph, label 'a' on the left and 'b' on the right."""
+    graph = LabeledGraph(name=f"K{left},{right}")
+    for i in range(left):
+        graph.add_vertex(("L", i), "a")
+    for j in range(right):
+        graph.add_vertex(("R", j), "b")
+    for i in range(left):
+        for j in range(right):
+            graph.add_edge(("L", i), ("R", j))
+    return graph
+
+
+def long_chain(length: int = 10, labels: Tuple[str, ...] = ("a", "b")) -> LabeledGraph:
+    """A path of the given length with cyclically repeating labels."""
+    return path_graph([labels[i % len(labels)] for i in range(length)], name=f"chain{length}")
+
+
+def labeled_cycle(length: int = 6, labels: Tuple[str, ...] = ("a", "b", "c")) -> LabeledGraph:
+    """A cycle with cyclically repeating labels."""
+    return cycle_graph([labels[i % len(labels)] for i in range(length)], name=f"ring{length}")
+
+
+def small_clique(size: int = 4, label: str = "a") -> LabeledGraph:
+    """The uniform complete graph ``K_size``: maximal automorphism pressure."""
+    return complete_graph([label] * size, name=f"K{size}")
+
+
+def small_grid(rows: int = 3, cols: int = 3) -> LabeledGraph:
+    """A uniform-label grid used by mining examples."""
+    return grid_graph(rows, cols, ["a"], name=f"grid{rows}x{cols}")
+
+
+def uniform_star(leaves: int = 5, label: str = "a") -> LabeledGraph:
+    """A uniform star: many symmetric occurrences of the one-edge pattern."""
+    return star_graph(label, [label] * leaves, name=f"star{leaves}")
+
+
+ZOO: Dict[str, Callable[[], LabeledGraph]] = {
+    "triangle_fan": uniform_triangle_fan,
+    "disjoint_triangles": disjoint_triangles,
+    "bipartite": two_label_bipartite,
+    "chain": long_chain,
+    "ring": labeled_cycle,
+    "clique": small_clique,
+    "grid": small_grid,
+    "star": uniform_star,
+}
+
+
+def zoo_graph(name: str) -> LabeledGraph:
+    """Build one zoo graph by name."""
+    if name not in ZOO:
+        raise KeyError(f"unknown zoo graph {name!r}; available: {sorted(ZOO)}")
+    return ZOO[name]()
+
+
+def zoo_names() -> List[str]:
+    """All zoo graph names."""
+    return sorted(ZOO)

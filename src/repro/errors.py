@@ -1,0 +1,86 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  Errors are raised eagerly at API boundaries with
+messages that name the offending argument.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Structural problem in a graph (unknown vertex, duplicate edge, ...)."""
+
+
+class VertexNotFoundError(GraphError):
+    """A vertex id was referenced that is not present in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError):
+    """An edge was referenced that is not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class SelfLoopError(GraphError):
+    """Self loops are not part of the paper's graph model (Def. 2.1.1)."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(
+            f"self loop on vertex {vertex!r}: the labeled-graph model "
+            "requires u != v for every edge"
+        )
+        self.vertex = vertex
+
+
+class HypergraphError(ReproError):
+    """Structural problem in a hypergraph."""
+
+
+class PatternError(ReproError):
+    """A pattern is malformed for the requested operation."""
+
+
+class MeasureError(ReproError):
+    """A support-measure computation could not be carried out."""
+
+
+class BudgetExceededError(MeasureError):
+    """An exact NP-hard solver exceeded its configured work budget."""
+
+    def __init__(self, budget: int, what: str = "branch-and-bound nodes") -> None:
+        super().__init__(
+            f"exceeded budget of {budget} {what}; raise the budget or use an "
+            "approximate/relaxed measure"
+        )
+        self.budget = budget
+
+
+class LPError(ReproError):
+    """Linear-programming solver failure."""
+
+
+class InfeasibleLPError(LPError):
+    """The linear program has no feasible point."""
+
+
+class UnboundedLPError(LPError):
+    """The linear program is unbounded in the optimization direction."""
+
+
+class MiningError(ReproError):
+    """Frequent-pattern mining failed or was misconfigured."""
+
+
+class DatasetError(ReproError):
+    """Dataset loading/generation failure."""

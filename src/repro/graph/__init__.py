@@ -1,0 +1,74 @@
+"""Labeled-graph substrate: graphs, patterns, builders, automorphisms, I/O."""
+
+from .labeled_graph import Edge, Label, LabeledGraph, Vertex, normalize_edge
+from .pattern import Pattern
+from .builders import (
+    binary_tree_graph,
+    clique_pattern,
+    complete_graph,
+    cycle_graph,
+    cycle_pattern,
+    grid_graph,
+    path_graph,
+    path_pattern,
+    star_graph,
+    star_pattern,
+    triangle_pattern,
+)
+from .automorphism import (
+    automorphism_group_size,
+    automorphisms,
+    is_transitive_pair,
+    transitive_node_subsets,
+    transitive_pairs,
+    vertex_orbits,
+)
+from .canonical import canonical_certificate, canonical_form
+from .matching import is_matching, maximum_matching, maximum_matching_size
+from .io import (
+    format_lg,
+    load_graph,
+    load_pattern,
+    parse_edge_list,
+    parse_lg,
+    save_graph,
+    save_pattern,
+)
+
+__all__ = [
+    "Edge",
+    "Label",
+    "LabeledGraph",
+    "Pattern",
+    "Vertex",
+    "normalize_edge",
+    "binary_tree_graph",
+    "clique_pattern",
+    "complete_graph",
+    "cycle_graph",
+    "cycle_pattern",
+    "grid_graph",
+    "path_graph",
+    "path_pattern",
+    "star_graph",
+    "star_pattern",
+    "triangle_pattern",
+    "automorphism_group_size",
+    "automorphisms",
+    "is_transitive_pair",
+    "transitive_node_subsets",
+    "transitive_pairs",
+    "vertex_orbits",
+    "canonical_certificate",
+    "canonical_form",
+    "is_matching",
+    "maximum_matching",
+    "maximum_matching_size",
+    "format_lg",
+    "load_graph",
+    "load_pattern",
+    "parse_edge_list",
+    "parse_lg",
+    "save_graph",
+    "save_pattern",
+]

@@ -1,0 +1,161 @@
+"""Constructors for common graph and pattern shapes.
+
+These are the shapes used throughout the paper's examples (paths, triangles,
+stars) and by the benchmark workload generators (cycles, cliques, trees,
+grids).  Every builder is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import GraphError
+from .labeled_graph import Label, LabeledGraph
+from .pattern import Pattern
+
+
+def _cycle_labels(labels: Sequence[Label], count: int) -> List[Label]:
+    """Repeat ``labels`` cyclically to cover ``count`` positions."""
+    if not labels:
+        raise GraphError("at least one label is required")
+    return [labels[i % len(labels)] for i in range(count)]
+
+
+def path_graph(labels: Sequence[Label], name: str = "") -> LabeledGraph:
+    """A path ``1 - 2 - ... - n`` with the given per-vertex labels."""
+    n = len(labels)
+    if n == 0:
+        raise GraphError("a path needs at least one vertex")
+    graph = LabeledGraph(name=name or f"path{n}")
+    for i, label in enumerate(labels, start=1):
+        graph.add_vertex(i, label)
+    for i in range(1, n):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+def cycle_graph(labels: Sequence[Label], name: str = "") -> LabeledGraph:
+    """A cycle on ``len(labels)`` vertices (needs >= 3)."""
+    n = len(labels)
+    if n < 3:
+        raise GraphError("a cycle needs at least three vertices")
+    graph = path_graph(labels, name=name or f"cycle{n}")
+    graph.add_edge(n, 1)
+    return graph
+
+
+def star_graph(
+    center_label: Label, leaf_labels: Sequence[Label], name: str = ""
+) -> LabeledGraph:
+    """A star: vertex ``0`` is the center; leaves are ``1..k``."""
+    graph = LabeledGraph(name=name or f"star{len(leaf_labels)}")
+    graph.add_vertex(0, center_label)
+    for i, label in enumerate(leaf_labels, start=1):
+        graph.add_vertex(i, label)
+        graph.add_edge(0, i)
+    return graph
+
+
+def complete_graph(labels: Sequence[Label], name: str = "") -> LabeledGraph:
+    """The complete graph on ``len(labels)`` vertices."""
+    n = len(labels)
+    if n == 0:
+        raise GraphError("a complete graph needs at least one vertex")
+    graph = LabeledGraph(name=name or f"K{n}")
+    for i, label in enumerate(labels, start=1):
+        graph.add_vertex(i, label)
+    for i in range(1, n + 1):
+        for j in range(i + 1, n + 1):
+            graph.add_edge(i, j)
+    return graph
+
+
+def grid_graph(
+    rows: int, cols: int, labels: Sequence[Label], name: str = ""
+) -> LabeledGraph:
+    """A ``rows x cols`` grid; vertex ``(r, c)`` is id ``r * cols + c``.
+
+    Labels are assigned cyclically in row-major order.
+    """
+    if rows < 1 or cols < 1:
+        raise GraphError("grid dimensions must be positive")
+    all_labels = _cycle_labels(labels, rows * cols)
+    graph = LabeledGraph(name=name or f"grid{rows}x{cols}")
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_vertex(r * cols + c, all_labels[r * cols + c])
+    for r in range(rows):
+        for c in range(cols):
+            vertex = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(vertex, vertex + 1)
+            if r + 1 < rows:
+                graph.add_edge(vertex, vertex + cols)
+    return graph
+
+
+def binary_tree_graph(depth: int, labels: Sequence[Label], name: str = "") -> LabeledGraph:
+    """A complete binary tree of the given depth (root depth 0)."""
+    if depth < 0:
+        raise GraphError("depth must be non-negative")
+    count = 2 ** (depth + 1) - 1
+    all_labels = _cycle_labels(labels, count)
+    graph = LabeledGraph(name=name or f"btree{depth}")
+    for i in range(count):
+        graph.add_vertex(i, all_labels[i])
+    for i in range(count):
+        for child in (2 * i + 1, 2 * i + 2):
+            if child < count:
+                graph.add_edge(i, child)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# pattern builders (nodes named v1, v2, ... like the paper figures)
+# ----------------------------------------------------------------------
+def _node_names(count: int) -> List[str]:
+    return [f"v{i}" for i in range(1, count + 1)]
+
+
+def path_pattern(labels: Sequence[Label], name: str = "") -> Pattern:
+    """The path pattern ``v1 - v2 - ... - vk``."""
+    names = _node_names(len(labels))
+    edges = [(names[i], names[i + 1]) for i in range(len(names) - 1)]
+    return Pattern.from_edges(list(zip(names, labels)), edges, name=name or f"path{len(labels)}")
+
+
+def cycle_pattern(labels: Sequence[Label], name: str = "") -> Pattern:
+    """The cycle pattern on ``len(labels)`` nodes (>= 3)."""
+    if len(labels) < 3:
+        raise GraphError("a cycle pattern needs at least three nodes")
+    names = _node_names(len(labels))
+    edges = [(names[i], names[(i + 1) % len(names)]) for i in range(len(names))]
+    return Pattern.from_edges(list(zip(names, labels)), edges, name=name or f"cycle{len(labels)}")
+
+
+def triangle_pattern(
+    label_a: Label, label_b: Optional[Label] = None, label_c: Optional[Label] = None
+) -> Pattern:
+    """The triangle pattern; defaults to all three nodes sharing one label."""
+    label_b = label_a if label_b is None else label_b
+    label_c = label_a if label_c is None else label_c
+    return cycle_pattern([label_a, label_b, label_c], name="triangle")
+
+
+def star_pattern(center_label: Label, leaf_labels: Sequence[Label], name: str = "") -> Pattern:
+    """A star pattern: ``v1`` is the center, leaves ``v2..``."""
+    names = _node_names(len(leaf_labels) + 1)
+    nodes = [(names[0], center_label)] + list(zip(names[1:], leaf_labels))
+    edges = [(names[0], leaf) for leaf in names[1:]]
+    return Pattern.from_edges(nodes, edges, name=name or f"star{len(leaf_labels)}")
+
+
+def clique_pattern(labels: Sequence[Label], name: str = "") -> Pattern:
+    """The complete pattern on ``len(labels)`` nodes."""
+    names = _node_names(len(labels))
+    edges = [
+        (names[i], names[j])
+        for i in range(len(names))
+        for j in range(i + 1, len(names))
+    ]
+    return Pattern.from_edges(list(zip(names, labels)), edges, name=name or f"clique{len(labels)}")

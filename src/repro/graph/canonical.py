@@ -1,0 +1,144 @@
+"""Canonical forms for small labeled graphs.
+
+The miner needs to recognize when two grown patterns are isomorphic so each
+pattern is counted once.  We compute a **canonical certificate**: a string
+that is identical for two graphs iff they are isomorphic.  The certificate
+is the lexicographically smallest serialization over all vertex orderings,
+with the permutation search pruned by an equitable-partition refinement
+(label + degree + neighborhood classes), which keeps it fast for the
+pattern sizes frequent-subgraph miners actually visit (<= ~10 nodes).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import GraphError
+from .labeled_graph import LabeledGraph, Vertex
+
+
+def _initial_classes(graph: LabeledGraph) -> Dict[Vertex, Tuple]:
+    """Per-vertex invariant: (label, degree)."""
+    return {
+        v: (repr(graph.label_of(v)), graph.degree(v)) for v in graph.vertices()
+    }
+
+
+def _refine_classes(graph: LabeledGraph, classes: Dict[Vertex, Tuple]) -> Dict[Vertex, Tuple]:
+    """Iteratively refine vertex classes by multiset of neighbor classes.
+
+    This is 1-dimensional Weisfeiler-Leman color refinement; it converges in
+    at most ``|V|`` rounds and never merges distinguishable vertices.
+    """
+    current = dict(classes)
+    for _ in range(graph.num_vertices):
+        refined = {}
+        for v in graph.vertices():
+            neighbor_signature = tuple(
+                sorted(repr(current[n]) for n in graph.neighbors(v))
+            )
+            refined[v] = (current[v], neighbor_signature)
+        if len(set(refined.values())) == len(set(current.values())):
+            # No new splits; compress back to stable ranks.
+            ranks = {sig: i for i, sig in enumerate(sorted(set(map(repr, current.values()))))}
+            return {v: (ranks[repr(current[v])],) for v in graph.vertices()}
+        current = refined
+    ranks = {sig: i for i, sig in enumerate(sorted(set(map(repr, current.values()))))}
+    return {v: (ranks[repr(current[v])],) for v in graph.vertices()}
+
+
+def _encode(graph: LabeledGraph, order: Sequence[Vertex]) -> str:
+    """Serialize ``graph`` under a fixed vertex order."""
+    position = {v: i for i, v in enumerate(order)}
+    labels = ",".join(repr(graph.label_of(v)) for v in order)
+    edges = sorted(
+        (min(position[u], position[v]), max(position[u], position[v]))
+        for u, v in graph.edges()
+    )
+    edge_text = ";".join(f"{a}-{b}" for a, b in edges)
+    return f"L[{labels}]E[{edge_text}]"
+
+
+def canonical_certificate(graph: LabeledGraph, max_vertices: int = 12) -> str:
+    """The canonical certificate of ``graph``.
+
+    Two labeled graphs have equal certificates iff they are isomorphic.
+    The search permutes vertices *within* refinement classes only, so the
+    worst case is the product of class-size factorials rather than ``n!``.
+
+    Raises
+    ------
+    GraphError
+        If the graph exceeds ``max_vertices`` (certificates are meant for
+        pattern-sized graphs; raise the cap explicitly if you need more).
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return "L[]E[]"
+    if n > max_vertices:
+        raise GraphError(
+            f"canonical_certificate supports up to {max_vertices} vertices; "
+            f"got {n} (pass a larger max_vertices to override)"
+        )
+    classes = _refine_classes(graph, _initial_classes(graph))
+    # Group vertices by refined class, classes ordered by their rank.
+    by_class: Dict[Tuple, List[Vertex]] = {}
+    for v in graph.vertices():
+        by_class.setdefault(classes[v], []).append(v)
+    class_order = sorted(by_class, key=repr)
+    groups = [sorted(by_class[c], key=repr) for c in class_order]
+
+    best: Optional[str] = None
+
+    def search(prefix: List[Vertex], remaining_groups: List[List[Vertex]]) -> None:
+        nonlocal best
+        if not remaining_groups:
+            encoded = _encode(graph, prefix)
+            if best is None or encoded < best:
+                best = encoded
+            return
+        head, *tail = remaining_groups
+        for perm in permutations(head):
+            search(prefix + list(perm), tail)
+
+    search([], groups)
+    assert best is not None
+    return best
+
+
+def canonical_form(graph: LabeledGraph, max_vertices: int = 12) -> LabeledGraph:
+    """A canonically relabeled copy of ``graph`` (vertices ``0..n-1``).
+
+    Isomorphic inputs produce structurally equal outputs.
+    """
+    certificate = canonical_certificate(graph, max_vertices=max_vertices)
+    # Recover the winning order by re-running the encoding search; since the
+    # certificate is the minimum encoding, re-derive the order that achieves
+    # it.  For simplicity we search again (same cost class as certifying).
+    classes = _refine_classes(graph, _initial_classes(graph))
+    by_class: Dict[Tuple, List[Vertex]] = {}
+    for v in graph.vertices():
+        by_class.setdefault(classes[v], []).append(v)
+    class_order = sorted(by_class, key=repr)
+    groups = [sorted(by_class[c], key=repr) for c in class_order]
+
+    winning: Optional[List[Vertex]] = None
+
+    def search(prefix: List[Vertex], remaining_groups: List[List[Vertex]]) -> None:
+        nonlocal winning
+        if not remaining_groups:
+            if _encode(graph, prefix) == certificate:
+                if winning is None:
+                    winning = list(prefix)
+            return
+        head, *tail = remaining_groups
+        for perm in permutations(head):
+            if winning is not None:
+                return
+            search(prefix + list(perm), tail)
+
+    search([], groups)
+    assert winning is not None
+    mapping = {v: i for i, v in enumerate(winning)}
+    return graph.relabeled(mapping)

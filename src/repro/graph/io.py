@@ -1,0 +1,153 @@
+"""Reading and writing labeled graphs in the ``.lg`` text format.
+
+The ``.lg`` ("labeled graph") format is the de-facto interchange format of
+single-graph miners such as GraMi:
+
+    # t 1                 (optional graph header / comment)
+    v <vertex-id> <label>
+    e <vertex-id> <vertex-id> [edge-label-ignored]
+
+Vertex ids are parsed as ints when possible, otherwise kept as strings.
+Labels are kept as strings.  Blank lines and ``#`` comments are skipped.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, List, TextIO, Union
+
+from ..errors import DatasetError
+from .labeled_graph import LabeledGraph
+from .pattern import Pattern
+
+PathLike = Union[str, Path]
+
+
+def _parse_vertex_id(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def parse_lg(text: str, name: str = "") -> LabeledGraph:
+    """Parse a graph from ``.lg``-formatted text.
+
+    Raises
+    ------
+    DatasetError
+        On malformed lines or edges referencing unknown vertices.
+    """
+    graph = LabeledGraph(name=name)
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#") or line.startswith("t "):
+            continue
+        parts = line.split()
+        kind = parts[0]
+        if kind == "v":
+            if len(parts) < 3:
+                raise DatasetError(f"line {line_number}: vertex line needs 'v id label'")
+            graph.add_vertex(_parse_vertex_id(parts[1]), parts[2])
+        elif kind == "e":
+            if len(parts) < 3:
+                raise DatasetError(f"line {line_number}: edge line needs 'e u v'")
+            u = _parse_vertex_id(parts[1])
+            v = _parse_vertex_id(parts[2])
+            try:
+                graph.add_edge(u, v)
+            except Exception as exc:
+                raise DatasetError(f"line {line_number}: {exc}") from exc
+        else:
+            raise DatasetError(
+                f"line {line_number}: unknown record kind {kind!r} (expected v/e)"
+            )
+    return graph
+
+
+def format_lg(graph: LabeledGraph, header: bool = True) -> str:
+    """Serialize ``graph`` to ``.lg`` text."""
+    out = io.StringIO()
+    if header:
+        name = graph.name or "g"
+        out.write(f"# t {name}\n")
+    for vertex in graph.vertices():
+        out.write(f"v {vertex} {graph.label_of(vertex)}\n")
+    for u, v in graph.edges():
+        out.write(f"e {u} {v}\n")
+    return out.getvalue()
+
+
+def load_graph(path: PathLike) -> LabeledGraph:
+    """Load one graph from an ``.lg`` file."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"graph file not found: {path}")
+    return parse_lg(path.read_text(), name=path.stem)
+
+
+def save_graph(graph: LabeledGraph, path: PathLike) -> None:
+    """Write one graph to an ``.lg`` file."""
+    Path(path).write_text(format_lg(graph))
+
+
+def load_pattern(path: PathLike) -> Pattern:
+    """Load a pattern from an ``.lg`` file."""
+    return Pattern(load_graph(path))
+
+
+def save_pattern(pattern: Pattern, path: PathLike) -> None:
+    """Write a pattern to an ``.lg`` file."""
+    save_graph(pattern.graph, path)
+
+
+def parse_edge_list(
+    lines: Iterable[str], default_label: str = "A", name: str = ""
+) -> LabeledGraph:
+    """Parse a bare ``u v`` edge list, giving every vertex ``default_label``.
+
+    Useful for importing unlabeled benchmark graphs (SNAP-style files).
+    """
+    graph = LabeledGraph(name=name)
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise DatasetError(f"edge-list line needs two tokens: {line!r}")
+        u = _parse_vertex_id(parts[0])
+        v = _parse_vertex_id(parts[1])
+        for vertex in (u, v):
+            if not graph.has_vertex(vertex):
+                graph.add_vertex(vertex, default_label)
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+def write_lg_stream(graphs: Iterable[LabeledGraph], stream: TextIO) -> int:
+    """Write several graphs to one stream (transaction-style); returns count."""
+    count = 0
+    for i, graph in enumerate(graphs):
+        stream.write(f"# t {i}\n")
+        stream.write(format_lg(graph, header=False))
+        count += 1
+    return count
+
+
+def read_lg_stream(text: str) -> List[LabeledGraph]:
+    """Read a multi-graph ``.lg`` stream split on ``# t`` headers."""
+    chunks: List[List[str]] = []
+    current: List[str] = []
+    for raw in text.splitlines():
+        if raw.strip().startswith("# t") or raw.strip().startswith("t "):
+            if current:
+                chunks.append(current)
+            current = []
+        else:
+            current.append(raw)
+    if current:
+        chunks.append(current)
+    return [parse_lg("\n".join(chunk), name=f"g{i}") for i, chunk in enumerate(chunks)]

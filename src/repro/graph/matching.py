@@ -1,0 +1,171 @@
+"""Maximum matching in general graphs — Edmonds' blossom algorithm.
+
+Why this lives here: for **one-edge patterns** the instance hypergraph is
+2-uniform and its edges are just data-graph edges, so
+
+    sigma_MIES = sigma_MIS = maximum matching of the instance edges,
+
+which Edmonds computes in polynomial time (O(V^3) here).  This turns the
+"NP-hard" MIS/MIES measures into exact polynomial computations for the
+single-edge patterns every mining run starts from — without it, the
+branch-and-bound solvers choke on the very first seed patterns of a large
+graph.
+
+The implementation is the classic array-based blossom algorithm: BFS for an
+augmenting path from each free vertex, contracting odd cycles (blossoms)
+found when two even-level vertices meet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+Node = Hashable
+
+
+def _maximum_matching_indexed(n: int, adjacency: List[List[int]]) -> List[int]:
+    """Blossom algorithm on vertices ``0..n-1``; returns match[] with -1 = free."""
+    match = [-1] * n
+    parent = [0] * n
+    base = [0] * n
+    queue: List[int] = []
+    used = [False] * n
+    blossom = [False] * n
+
+    def lowest_common_ancestor(a: int, b: int) -> int:
+        visited = [False] * n
+        while True:
+            a = base[a]
+            visited[a] = True
+            if match[a] == -1:
+                break
+            a = parent[match[a]]
+        while True:
+            b = base[b]
+            if visited[b]:
+                return b
+            b = parent[match[b]]
+
+    def mark_path(v: int, ancestor: int, child: int) -> None:
+        while base[v] != ancestor:
+            blossom[base[v]] = True
+            blossom[base[match[v]]] = True
+            parent[v] = child
+            child = match[v]
+            v = parent[match[v]]
+
+    def find_augmenting_path(root: int) -> int:
+        for i in range(n):
+            used[i] = False
+            parent[i] = -1
+            base[i] = i
+        used[root] = True
+        queue.clear()
+        queue.append(root)
+        head = 0
+        while head < len(queue):
+            v = queue[head]
+            head += 1
+            for to in adjacency[v]:
+                if base[v] == base[to] or match[v] == to:
+                    continue
+                if to == root or (match[to] != -1 and parent[match[to]] != -1):
+                    # Found a blossom: contract it.
+                    current_base = lowest_common_ancestor(v, to)
+                    for i in range(n):
+                        blossom[i] = False
+                    mark_path(v, current_base, to)
+                    mark_path(to, current_base, v)
+                    for i in range(n):
+                        if blossom[base[i]]:
+                            base[i] = current_base
+                            if not used[i]:
+                                used[i] = True
+                                queue.append(i)
+                elif parent[to] == -1:
+                    parent[to] = v
+                    if match[to] == -1:
+                        return to  # augmenting path found
+                    used[match[to]] = True
+                    queue.append(match[to])
+        return -1
+
+    for vertex in range(n):
+        if match[vertex] != -1:
+            continue
+        finish = find_augmenting_path(vertex)
+        if finish == -1:
+            continue
+        # Augment along the found path.
+        while finish != -1:
+            previous = parent[finish]
+            previous_match = match[previous]
+            match[finish] = previous
+            match[previous] = finish
+            finish = previous_match
+    return match
+
+
+def maximum_matching(
+    edges: Iterable[Tuple[Node, Node]]
+) -> Dict[Node, Node]:
+    """Maximum-cardinality matching of an undirected edge list.
+
+    Returns a symmetric dict: ``result[u] == v`` iff ``result[v] == u``.
+    Self loops and duplicate edges are ignored.
+
+    Examples
+    --------
+    >>> m = maximum_matching([(1, 2), (2, 3), (3, 4)])
+    >>> len(m) // 2
+    2
+    """
+    index: Dict[Node, int] = {}
+    nodes: List[Node] = []
+    pair_set: Set[Tuple[int, int]] = set()
+    for u, v in edges:
+        if u == v:
+            continue
+        for node in (u, v):
+            if node not in index:
+                index[node] = len(nodes)
+                nodes.append(node)
+        a, b = index[u], index[v]
+        pair_set.add((min(a, b), max(a, b)))
+
+    n = len(nodes)
+    adjacency: List[List[int]] = [[] for _ in range(n)]
+    for a, b in sorted(pair_set):
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+
+    match = _maximum_matching_indexed(n, adjacency)
+    result: Dict[Node, Node] = {}
+    for i, partner in enumerate(match):
+        if partner != -1:
+            result[nodes[i]] = nodes[partner]
+    return result
+
+
+def maximum_matching_size(edges: Iterable[Tuple[Node, Node]]) -> int:
+    """The size (number of matched pairs) of a maximum matching."""
+    return len(maximum_matching(edges)) // 2
+
+
+def is_matching(
+    edges: Sequence[Tuple[Node, Node]], matched_pairs: Iterable[Tuple[Node, Node]]
+) -> bool:
+    """Check that ``matched_pairs`` are disjoint edges of the graph."""
+    edge_set = set()
+    for u, v in edges:
+        edge_set.add((u, v))
+        edge_set.add((v, u))
+    used: Set[Node] = set()
+    for u, v in matched_pairs:
+        if (u, v) not in edge_set:
+            return False
+        if u in used or v in used:
+            return False
+        used.add(u)
+        used.add(v)
+    return True

@@ -1,0 +1,214 @@
+"""Patterns — labeled graphs used as queries (paper Definition 2.1.3).
+
+A :class:`Pattern` wraps a :class:`~repro.graph.labeled_graph.LabeledGraph`
+and adds the pattern-specific vocabulary of the paper: *nodes* (pattern
+vertices, to distinguish them from data-graph vertices), subpattern /
+superpattern relations (Def. 2.1.4), and the enumeration of connected
+subpatterns needed by the MI measure's transitive node subsets.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..errors import PatternError
+from .labeled_graph import Edge, Label, LabeledGraph, Vertex
+
+
+class Pattern:
+    """A query pattern ``P = (V_P, E_P, lambda_P)``.
+
+    Pattern nodes are ordered deterministically (:meth:`nodes`), and the
+    class exposes the subpattern machinery used by MI / structural overlap.
+
+    Examples
+    --------
+    >>> p = Pattern.from_edges([("v1", "a"), ("v2", "b")], [("v1", "v2")])
+    >>> p.num_nodes
+    2
+    """
+
+    __slots__ = ("graph",)
+
+    def __init__(self, graph: LabeledGraph) -> None:
+        if graph.num_vertices == 0:
+            raise PatternError("a pattern must have at least one node")
+        self.graph = graph
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        nodes: Iterable[Tuple[Vertex, Label]],
+        edges: Iterable[Edge],
+        name: str = "",
+    ) -> "Pattern":
+        """Build a pattern from ``(node, label)`` pairs and an edge list."""
+        return cls(LabeledGraph(vertices=nodes, edges=edges, name=name))
+
+    @classmethod
+    def single_node(cls, label: Label, node: Vertex = "v1") -> "Pattern":
+        """The one-node pattern with the given label."""
+        return cls(LabeledGraph(vertices=[(node, label)]))
+
+    @classmethod
+    def single_edge(
+        cls, label_u: Label, label_v: Label, nodes: Tuple[Vertex, Vertex] = ("v1", "v2")
+    ) -> "Pattern":
+        """The one-edge pattern with endpoint labels ``label_u``, ``label_v``."""
+        u, v = nodes
+        return cls.from_edges([(u, label_u), (v, label_v)], [(u, v)])
+
+    # ------------------------------------------------------------------
+    # basic views
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    @property
+    def name(self) -> str:
+        return self.graph.name
+
+    def nodes(self) -> List[Vertex]:
+        """Pattern nodes in deterministic order."""
+        return self.graph.vertices()
+
+    def edges(self) -> List[Edge]:
+        return self.graph.edges()
+
+    def label_of(self, node: Vertex) -> Label:
+        return self.graph.label_of(node)
+
+    def is_connected(self) -> bool:
+        return self.graph.is_connected()
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self.nodes())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return self.graph == other.graph
+
+    def __hash__(self) -> int:
+        return hash(self.graph.signature())
+
+    def __repr__(self) -> str:
+        name = f" {self.name!r}" if self.name else ""
+        return f"<Pattern{name} nodes={self.num_nodes} edges={self.num_edges}>"
+
+    # ------------------------------------------------------------------
+    # subpattern machinery
+    # ------------------------------------------------------------------
+    def is_subpattern_of(self, other: "Pattern") -> bool:
+        """Literal containment on shared node ids (Def. 2.1.4)."""
+        return self.graph.is_subgraph_of(other.graph)
+
+    def induced_subpattern(self, nodes: Iterable[Vertex]) -> "Pattern":
+        """The subpattern induced by ``nodes``."""
+        return Pattern(self.graph.subgraph(nodes))
+
+    def edge_subpattern(self, edges: Iterable[Edge]) -> "Pattern":
+        """The subpattern consisting of exactly ``edges``."""
+        return Pattern(self.graph.edge_subgraph(edges))
+
+    def connected_node_subsets(
+        self, max_size: Optional[int] = None
+    ) -> List[FrozenSet[Vertex]]:
+        """All node subsets that induce a connected subpattern.
+
+        Enumerated by BFS-style growth from each node so the cost is
+        proportional to the number of connected subsets, not ``2^|V_P|``.
+        Singletons are always included.  Results are deterministic.
+        """
+        limit = self.num_nodes if max_size is None else max_size
+        found: Set[FrozenSet[Vertex]] = set()
+        order = self.nodes()
+        rank = {node: i for i, node in enumerate(order)}
+
+        def grow(current: FrozenSet[Vertex], frontier: Set[Vertex]) -> None:
+            found.add(current)
+            if len(current) >= limit:
+                return
+            # Only extend with neighbors ranked above the minimum member to
+            # avoid enumerating the same subset from several seeds.
+            for candidate in sorted(frontier, key=repr):
+                if rank[candidate] <= min(rank[v] for v in current):
+                    continue
+                nxt = current | {candidate}
+                if nxt in found:
+                    continue
+                new_frontier = (frontier | self.graph.neighbors(candidate)) - nxt
+                grow(nxt, new_frontier)
+
+        for seed in order:
+            grow(frozenset([seed]), set(self.graph.neighbors(seed)))
+        return sorted(found, key=lambda s: (len(s), sorted(map(repr, s))))
+
+    def connected_subpatterns(
+        self, max_size: Optional[int] = None, induced: bool = True
+    ) -> List["Pattern"]:
+        """All connected subpatterns of this pattern.
+
+        With ``induced=True`` (the default, and the semantics used by the MI
+        measure) one subpattern per connected node subset — the induced one.
+        With ``induced=False``, additionally every connected spanning edge
+        subset of each induced subpattern is enumerated; this is exponential
+        in the subpattern edge count and intended only for small patterns.
+        """
+        subsets = self.connected_node_subsets(max_size=max_size)
+        result: List[Pattern] = []
+        seen_signatures = set()
+        for subset in subsets:
+            induced_sub = self.induced_subpattern(subset)
+            signature = induced_sub.graph.signature()
+            if signature not in seen_signatures:
+                seen_signatures.add(signature)
+                result.append(induced_sub)
+            if induced or induced_sub.num_edges <= 1:
+                continue
+            edges = induced_sub.edges()
+            for keep in range(len(subset) - 1, len(edges)):
+                for edge_combo in combinations(edges, keep):
+                    candidate = self.graph.edge_subgraph(edge_combo)
+                    if candidate.num_vertices != len(subset):
+                        continue
+                    if not candidate.is_connected():
+                        continue
+                    signature = candidate.signature()
+                    if signature not in seen_signatures:
+                        seen_signatures.add(signature)
+                        result.append(Pattern(candidate))
+        return result
+
+    def remove_edge_pattern(self, u: Vertex, v: Vertex) -> "Pattern":
+        """A copy of this pattern with one edge removed (nodes kept)."""
+        clone = self.graph.copy()
+        clone.remove_edge(u, v)
+        return Pattern(clone)
+
+    def extend_with_edge(self, u: Vertex, v: Vertex) -> "Pattern":
+        """A copy with an extra edge between existing nodes ``u`` and ``v``."""
+        clone = self.graph.copy()
+        clone.add_edge(u, v)
+        return Pattern(clone)
+
+    def extend_with_node(
+        self, anchor: Vertex, new_node: Vertex, label: Label
+    ) -> "Pattern":
+        """A copy with a new node attached to ``anchor`` by one edge."""
+        clone = self.graph.copy()
+        clone.add_vertex(new_node, label)
+        clone.add_edge(anchor, new_node)
+        return Pattern(clone)

@@ -1,0 +1,110 @@
+"""Building occurrence / instance hypergraphs (Definitions 3.1.3–3.1.4).
+
+Given a pattern ``P`` with occurrences ``f_1..f_m`` in a data graph ``G``:
+
+* the **occurrence hypergraph** has one vertex per distinct pattern-node
+  image and one edge ``e_i = f_i(V_P)`` per occurrence, labeled ``f_i``;
+* the **instance hypergraph** has one edge per *instance* (distinct image
+  subgraph), labeled ``S_i``.
+
+Both are k-uniform with ``k = |V_P|`` (every occurrence is injective).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..graph.labeled_graph import LabeledGraph
+from ..graph.pattern import Pattern
+from ..isomorphism.matcher import (
+    Instance,
+    Occurrence,
+    find_occurrences,
+    group_into_instances,
+)
+from .hypergraph import Hypergraph
+
+
+def occurrence_hypergraph_from(
+    occurrences: Sequence[Occurrence], name: str = "occurrence-hypergraph"
+) -> Hypergraph:
+    """Build the occurrence hypergraph from pre-enumerated occurrences."""
+    hypergraph = Hypergraph(name=name)
+    for occurrence in occurrences:
+        hypergraph.add_edge(occurrence.label(), occurrence.vertex_set)
+    return hypergraph
+
+
+def instance_hypergraph_from(
+    instances: Sequence[Instance], name: str = "instance-hypergraph"
+) -> Hypergraph:
+    """Build the instance hypergraph from pre-grouped instances."""
+    hypergraph = Hypergraph(name=name)
+    for instance in instances:
+        hypergraph.add_edge(instance.label(), instance.vertex_set)
+    return hypergraph
+
+
+def occurrence_hypergraph(
+    pattern: Pattern, data: LabeledGraph, limit: Optional[int] = None
+) -> Hypergraph:
+    """Enumerate occurrences of ``pattern`` in ``data`` and build ``H_O``."""
+    return occurrence_hypergraph_from(find_occurrences(pattern, data, limit=limit))
+
+
+def instance_hypergraph(
+    pattern: Pattern, data: LabeledGraph, limit: Optional[int] = None
+) -> Hypergraph:
+    """Enumerate instances of ``pattern`` in ``data`` and build ``H_I``."""
+    occurrences = find_occurrences(pattern, data, limit=limit)
+    return instance_hypergraph_from(group_into_instances(pattern, occurrences))
+
+
+@dataclass
+class HypergraphBundle:
+    """Everything the framework derives from one (pattern, graph) pair.
+
+    Computing occurrences is the expensive step, so callers that need both
+    views plus the occurrence list itself should build one bundle and share
+    it between measures (this is what :mod:`repro.analysis.spectrum` does).
+    """
+
+    pattern: Pattern
+    data: LabeledGraph
+    occurrences: List[Occurrence]
+    instances: List[Instance]
+    occurrence_hg: Hypergraph
+    instance_hg: Hypergraph
+
+    @classmethod
+    def build(
+        cls, pattern: Pattern, data: LabeledGraph, limit: Optional[int] = None
+    ) -> "HypergraphBundle":
+        """Enumerate once; derive both hypergraphs."""
+        occurrences = find_occurrences(pattern, data, limit=limit)
+        instances = group_into_instances(pattern, occurrences)
+        return cls(
+            pattern=pattern,
+            data=data,
+            occurrences=occurrences,
+            instances=instances,
+            occurrence_hg=occurrence_hypergraph_from(occurrences),
+            instance_hg=instance_hypergraph_from(instances),
+        )
+
+    @property
+    def num_occurrences(self) -> int:
+        return len(self.occurrences)
+
+    @property
+    def num_instances(self) -> int:
+        return len(self.instances)
+
+    def view(self, which: str) -> Hypergraph:
+        """Select ``"occurrence"`` or ``"instance"`` hypergraph by name."""
+        if which == "occurrence":
+            return self.occurrence_hg
+        if which == "instance":
+            return self.instance_hg
+        raise ValueError(f"unknown hypergraph view {which!r}")

@@ -1,0 +1,41 @@
+"""Subgraph-isomorphism engine: occurrences, instances, automorphisms."""
+
+from .vf2 import (
+    are_isomorphic,
+    count_subgraph_isomorphisms,
+    find_isomorphisms,
+    find_subgraph_isomorphisms,
+    has_subgraph_isomorphism,
+)
+from .anchored import (
+    find_anchored_isomorphisms,
+    has_occurrence_with,
+    valid_images,
+)
+from .matcher import (
+    Instance,
+    MatchSummary,
+    Occurrence,
+    find_instances,
+    find_occurrences,
+    group_into_instances,
+    summarize_matches,
+)
+
+__all__ = [
+    "are_isomorphic",
+    "count_subgraph_isomorphisms",
+    "find_isomorphisms",
+    "find_subgraph_isomorphisms",
+    "has_subgraph_isomorphism",
+    "Instance",
+    "MatchSummary",
+    "Occurrence",
+    "find_instances",
+    "find_occurrences",
+    "group_into_instances",
+    "summarize_matches",
+    "find_anchored_isomorphisms",
+    "has_occurrence_with",
+    "valid_images",
+]

@@ -1,0 +1,108 @@
+"""Anchored subgraph-isomorphism queries.
+
+The lazy MNI evaluation strategy (GraMi, Elseidy et al. — the paper's
+reference [4]) never enumerates all occurrences.  Instead it asks, per
+pattern node ``v`` and data vertex ``u``: *does any occurrence map v to
+u?*  Each such question is a subgraph-isomorphism search with one
+assignment pinned in advance, which this module provides.
+
+The search reuses the VF2 engine's feasibility logic but fixes the anchor
+before exploring, and stops at the first witness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..graph.labeled_graph import LabeledGraph, Vertex
+from ..graph.pattern import Pattern
+from .vf2 import Mapping, _candidate_data_vertices, _is_feasible, _matching_order
+
+
+def find_anchored_isomorphisms(
+    pattern: Pattern,
+    data: LabeledGraph,
+    anchors: Mapping,
+    limit: Optional[int] = None,
+) -> Iterator[Mapping]:
+    """Yield occurrences extending the partial assignment ``anchors``.
+
+    ``anchors`` maps pattern nodes to data vertices; assignments must be
+    label-consistent and injective or nothing is yielded.
+    """
+    # Validate the anchors up front (cheap rejections).
+    if len(set(anchors.values())) != len(anchors):
+        return
+    for node, vertex in anchors.items():
+        if not pattern.graph.has_vertex(node) or not data.has_vertex(vertex):
+            return
+        if pattern.label_of(node) != data.label_of(vertex):
+            return
+        if data.degree(vertex) < pattern.graph.degree(node):
+            return
+    # Anchored pattern edges must exist between anchored images.
+    for u, v in pattern.edges():
+        if u in anchors and v in anchors:
+            if not data.has_edge(anchors[u], anchors[v]):
+                return
+
+    order = [node for node in _matching_order(pattern, data) if node not in anchors]
+    mapping: Dict[Vertex, Vertex] = dict(anchors)
+    used: Set[Vertex] = set(anchors.values())
+    yielded = 0
+
+    def backtrack(depth: int) -> Iterator[Mapping]:
+        nonlocal yielded
+        if limit is not None and yielded >= limit:
+            return
+        if depth == len(order):
+            yielded += 1
+            yield dict(mapping)
+            return
+        node = order[depth]
+        for vertex in _candidate_data_vertices(pattern, data, node, mapping):
+            if not _is_feasible(pattern, data, node, vertex, mapping, used, False):
+                continue
+            mapping[node] = vertex
+            used.add(vertex)
+            yield from backtrack(depth + 1)
+            del mapping[node]
+            used.discard(vertex)
+            if limit is not None and yielded >= limit:
+                return
+
+    yield from backtrack(0)
+
+
+def has_occurrence_with(
+    pattern: Pattern, data: LabeledGraph, node: Vertex, vertex: Vertex
+) -> bool:
+    """True when some occurrence maps pattern ``node`` to data ``vertex``."""
+    return (
+        next(
+            find_anchored_isomorphisms(pattern, data, {node: vertex}, limit=1), None
+        )
+        is not None
+    )
+
+
+def valid_images(
+    pattern: Pattern,
+    data: LabeledGraph,
+    node: Vertex,
+    stop_after: Optional[int] = None,
+) -> List[Vertex]:
+    """Data vertices that host ``node`` in at least one occurrence.
+
+    ``stop_after`` truncates the scan once that many images are confirmed —
+    the heart of lazy MNI: deciding "support >= t" needs only t images per
+    node, not the full occurrence set.
+    """
+    label = pattern.label_of(node)
+    images: List[Vertex] = []
+    for vertex in sorted(data.vertices_with_label(label), key=repr):
+        if has_occurrence_with(pattern, data, node, vertex):
+            images.append(vertex)
+            if stop_after is not None and len(images) >= stop_after:
+                break
+    return images

@@ -1,0 +1,177 @@
+"""High-level occurrence / instance enumeration (Definitions 2.1.8–2.1.9).
+
+The matcher turns raw isomorphism maps into the two first-class objects of
+the paper:
+
+* :class:`Occurrence` — an isomorphism ``f`` from the pattern into the data
+  graph, with convenience accessors ``f.image_of(node)`` and ``f.vertex_set``;
+* :class:`Instance` — a subgraph of the data graph isomorphic to the pattern;
+  several occurrences can share one instance when the pattern has
+  non-trivial automorphisms (Fig. 2: six occurrences, one instance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..graph.labeled_graph import LabeledGraph, Vertex, normalize_edge
+from ..graph.pattern import Pattern
+from .vf2 import find_subgraph_isomorphisms
+
+Mapping = Dict[Vertex, Vertex]
+
+
+@dataclass(frozen=True)
+class Occurrence:
+    """One occurrence ``f_i`` of a pattern in a data graph.
+
+    Attributes
+    ----------
+    mapping:
+        The isomorphism as a pattern-node -> data-vertex dict (stored as a
+        sorted tuple of pairs so occurrences are hashable and orderable).
+    index:
+        Position in the deterministic enumeration order (``f_1`` is 0).
+    """
+
+    mapping_items: Tuple[Tuple[Vertex, Vertex], ...]
+    index: int = 0
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping, index: int = 0) -> "Occurrence":
+        items = tuple(sorted(mapping.items(), key=lambda kv: repr(kv[0])))
+        return cls(mapping_items=items, index=index)
+
+    @property
+    def mapping(self) -> Mapping:
+        """The occurrence as a plain dict (fresh copy)."""
+        return dict(self.mapping_items)
+
+    def image_of(self, node: Vertex) -> Vertex:
+        """``f(node)`` — the data vertex hosting a pattern node."""
+        for pattern_node, data_vertex in self.mapping_items:
+            if pattern_node == node:
+                return data_vertex
+        raise KeyError(node)
+
+    def image_of_set(self, nodes: Iterable[Vertex]) -> FrozenSet[Vertex]:
+        """``f(W)`` for a node subset ``W`` — a set, order-insensitive."""
+        wanted = set(nodes)
+        return frozenset(v for k, v in self.mapping_items if k in wanted)
+
+    @property
+    def vertex_set(self) -> FrozenSet[Vertex]:
+        """``f(V_P)`` — all data vertices touched by this occurrence."""
+        return frozenset(v for _, v in self.mapping_items)
+
+    def edge_set(self, pattern: Pattern) -> FrozenSet[Tuple[Vertex, Vertex]]:
+        """``f(E_P)`` — the data edges used by this occurrence."""
+        mapping = self.mapping
+        return frozenset(
+            normalize_edge(mapping[u], mapping[v]) for u, v in pattern.edges()
+        )
+
+    def label(self) -> str:
+        """Human-readable name, matching the paper's ``f_1, f_2, ...``."""
+        return f"f{self.index + 1}"
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{k!r}->{v!r}" for k, v in self.mapping_items)
+        return f"<Occurrence {self.label()} {{{pairs}}}>"
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One instance of a pattern: a concrete subgraph of the data graph.
+
+    Two occurrences that touch the same vertices *and* the same edges map to
+    the same instance.  ``occurrence_indices`` records which occurrences
+    project onto this instance.
+    """
+
+    vertex_set: FrozenSet[Vertex]
+    edge_set: FrozenSet[Tuple[Vertex, Vertex]]
+    index: int = 0
+    occurrence_indices: Tuple[int, ...] = field(default_factory=tuple)
+
+    def label(self) -> str:
+        return f"S{self.index + 1}"
+
+    def subgraph(self, data: LabeledGraph) -> LabeledGraph:
+        """Materialize the instance as a labeled graph."""
+        return data.edge_subgraph(self.edge_set)
+
+    def __repr__(self) -> str:
+        vertices = ", ".join(sorted(map(repr, self.vertex_set)))
+        return f"<Instance {self.label()} {{{vertices}}}>"
+
+
+def find_occurrences(
+    pattern: Pattern, data: LabeledGraph, limit: Optional[int] = None
+) -> List[Occurrence]:
+    """Enumerate all occurrences of ``pattern`` in ``data``, deterministically.
+
+    The result order is stable across runs (sorted candidate exploration in
+    the engine), so occurrence indices are reproducible.
+    """
+    occurrences = []
+    for i, mapping in enumerate(find_subgraph_isomorphisms(pattern, data, limit=limit)):
+        occurrences.append(Occurrence.from_mapping(mapping, index=i))
+    return occurrences
+
+
+def group_into_instances(
+    pattern: Pattern, occurrences: Iterable[Occurrence]
+) -> List[Instance]:
+    """Group occurrences into the distinct instances they project onto.
+
+    Instances are distinguished by (vertex set, edge set): with non-trivial
+    pattern automorphisms many occurrences share an instance.
+    """
+    groups: Dict[
+        Tuple[FrozenSet[Vertex], FrozenSet[Tuple[Vertex, Vertex]]], List[int]
+    ] = {}
+    for occurrence in occurrences:
+        key = (occurrence.vertex_set, occurrence.edge_set(pattern))
+        groups.setdefault(key, []).append(occurrence.index)
+    instances = []
+    ordered = sorted(groups.items(), key=lambda kv: sorted(map(repr, kv[0][0])))
+    for i, ((vertex_set, edge_set), indices) in enumerate(ordered):
+        instances.append(
+            Instance(
+                vertex_set=vertex_set,
+                edge_set=edge_set,
+                index=i,
+                occurrence_indices=tuple(sorted(indices)),
+            )
+        )
+    return instances
+
+
+def find_instances(
+    pattern: Pattern, data: LabeledGraph, limit: Optional[int] = None
+) -> List[Instance]:
+    """Enumerate the distinct instances of ``pattern`` in ``data``."""
+    return group_into_instances(pattern, find_occurrences(pattern, data, limit=limit))
+
+
+@dataclass(frozen=True)
+class MatchSummary:
+    """Occurrence and instance counts for a (pattern, graph) pair."""
+
+    num_occurrences: int
+    num_instances: int
+
+    @property
+    def occurrences_per_instance(self) -> float:
+        if self.num_instances == 0:
+            return 0.0
+        return self.num_occurrences / self.num_instances
+
+
+def summarize_matches(pattern: Pattern, data: LabeledGraph) -> MatchSummary:
+    """Count occurrences and instances in one enumeration pass."""
+    occurrences = find_occurrences(pattern, data)
+    instances = group_into_instances(pattern, occurrences)
+    return MatchSummary(num_occurrences=len(occurrences), num_instances=len(instances))

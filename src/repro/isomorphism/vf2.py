@@ -1,0 +1,198 @@
+"""Backtracking (sub)graph-isomorphism engine.
+
+This is the matcher behind every occurrence enumeration in the library
+(Definitions 2.1.5–2.1.9).  It is a VF2-flavored depth-first search with:
+
+* a static matching order that starts from the rarest-label pattern node and
+  grows along pattern connectivity (so partial maps are always connected when
+  the pattern is connected);
+* label and degree feasibility filters;
+* full adjacency consistency checks against already-mapped nodes.
+
+Two entry points:
+
+* :func:`find_subgraph_isomorphisms` — injective label/edge-preserving maps
+  from a pattern into a data graph (the paper's *occurrences*);
+* :func:`find_isomorphisms` — bijections between two graphs (used for
+  automorphism groups and instance-level isomorphism tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..graph.labeled_graph import LabeledGraph, Vertex
+from ..graph.pattern import Pattern
+
+Mapping = Dict[Vertex, Vertex]
+
+
+def _matching_order(pattern: Pattern, data: Optional[LabeledGraph]) -> List[Vertex]:
+    """A static node order: rarest label first, then connectivity-first growth.
+
+    When the pattern is disconnected the order simply chains components.
+    """
+    graph = pattern.graph
+    if data is not None:
+        histogram = data.label_histogram()
+        rarity = {node: histogram.get(graph.label_of(node), 0) for node in graph.vertices()}
+    else:
+        rarity = {node: 0 for node in graph.vertices()}
+
+    remaining: Set[Vertex] = set(graph.vertices())
+    order: List[Vertex] = []
+    while remaining:
+        # Prefer a node adjacent to the already-ordered prefix; tie-break on
+        # label rarity in the data graph, then high degree, then repr.
+        adjacent = {
+            node
+            for node in remaining
+            if any(nbr in set(order) for nbr in graph.neighbors(node))
+        }
+        pool = adjacent if adjacent else remaining
+        chosen = min(
+            pool,
+            key=lambda node: (rarity[node], -graph.degree(node), repr(node)),
+        )
+        order.append(chosen)
+        remaining.discard(chosen)
+    return order
+
+
+def _candidate_data_vertices(
+    pattern: Pattern,
+    data: LabeledGraph,
+    node: Vertex,
+    mapping: Mapping,
+) -> Iterator[Vertex]:
+    """Data vertices that could host ``node`` given the partial ``mapping``.
+
+    If ``node`` has a mapped pattern neighbor, candidates come from that
+    neighbor's image's adjacency (cheap); otherwise from the label index.
+    """
+    label = pattern.label_of(node)
+    mapped_neighbors = [n for n in pattern.graph.neighbors(node) if n in mapping]
+    if mapped_neighbors:
+        anchor = mapping[mapped_neighbors[0]]
+        candidates: Set[Vertex] = data.neighbors_with_label(anchor, label)
+    else:
+        candidates = data.vertices_with_label(label)
+    return iter(sorted(candidates, key=repr))
+
+
+def _is_feasible(
+    pattern: Pattern,
+    data: LabeledGraph,
+    node: Vertex,
+    vertex: Vertex,
+    mapping: Mapping,
+    used: Set[Vertex],
+    induced: bool,
+) -> bool:
+    """Check injectivity, degree, and adjacency consistency for node→vertex."""
+    if vertex in used:
+        return False
+    if data.degree(vertex) < pattern.graph.degree(node):
+        return False
+    data_neighbors = data.neighbors(vertex)
+    for pattern_neighbor in pattern.graph.neighbors(node):
+        image = mapping.get(pattern_neighbor)
+        if image is not None and image not in data_neighbors:
+            return False
+    if induced:
+        # For induced matching, non-adjacent pattern nodes must map to
+        # non-adjacent data vertices.
+        for other_node, other_vertex in mapping.items():
+            if other_node in pattern.graph.neighbors(node):
+                continue
+            if other_vertex in data_neighbors:
+                return False
+    return True
+
+
+def find_subgraph_isomorphisms(
+    pattern: Pattern,
+    data: LabeledGraph,
+    induced: bool = False,
+    limit: Optional[int] = None,
+) -> Iterator[Mapping]:
+    """Yield every occurrence of ``pattern`` in ``data``.
+
+    An occurrence is an injective map ``f: V_P -> V_G`` that preserves labels
+    and edges (Def. 2.1.8).  With ``induced=True`` non-edges must also be
+    preserved (rarely needed; the paper uses non-induced semantics).
+
+    Parameters
+    ----------
+    limit:
+        Stop after yielding this many occurrences (None = unlimited).
+
+    Yields
+    ------
+    dict mapping pattern node -> data vertex, a fresh dict per occurrence.
+    """
+    if pattern.num_nodes > data.num_vertices:
+        return
+    order = _matching_order(pattern, data)
+    mapping: Mapping = {}
+    used: Set[Vertex] = set()
+    yielded = 0
+
+    def backtrack(depth: int) -> Iterator[Mapping]:
+        nonlocal yielded
+        if limit is not None and yielded >= limit:
+            return
+        if depth == len(order):
+            yielded += 1
+            yield dict(mapping)
+            return
+        node = order[depth]
+        for vertex in _candidate_data_vertices(pattern, data, node, mapping):
+            if not _is_feasible(pattern, data, node, vertex, mapping, used, induced):
+                continue
+            mapping[node] = vertex
+            used.add(vertex)
+            yield from backtrack(depth + 1)
+            del mapping[node]
+            used.discard(vertex)
+            if limit is not None and yielded >= limit:
+                return
+
+    yield from backtrack(0)
+
+
+def count_subgraph_isomorphisms(pattern: Pattern, data: LabeledGraph) -> int:
+    """The number of occurrences of ``pattern`` in ``data``."""
+    return sum(1 for _ in find_subgraph_isomorphisms(pattern, data))
+
+
+def has_subgraph_isomorphism(pattern: Pattern, data: LabeledGraph) -> bool:
+    """True when ``pattern`` occurs at least once in ``data``."""
+    return next(find_subgraph_isomorphisms(pattern, data, limit=1), None) is not None
+
+
+def find_isomorphisms(
+    first: LabeledGraph, second: LabeledGraph, limit: Optional[int] = None
+) -> Iterator[Mapping]:
+    """Yield every isomorphism between two graphs (Def. 2.1.5).
+
+    An isomorphism must be a bijection that preserves labels, edges, and
+    non-edges; this is subgraph isomorphism plus equal sizes plus induced
+    matching.
+    """
+    if first.num_vertices != second.num_vertices:
+        return
+    if first.num_edges != second.num_edges:
+        return
+    if first.label_histogram() != second.label_histogram():
+        return
+    if first.degree_sequence() != second.degree_sequence():
+        return
+    yield from find_subgraph_isomorphisms(
+        Pattern(first), second, induced=True, limit=limit
+    )
+
+
+def are_isomorphic(first: LabeledGraph, second: LabeledGraph) -> bool:
+    """True when the two labeled graphs are isomorphic."""
+    return next(find_isomorphisms(first, second, limit=1), None) is not None

@@ -1,0 +1,12 @@
+"""Linear-programming substrate: model layer + two-phase simplex fallback."""
+
+from .model import LinearProgram, LPSolution, solve
+from .simplex import solve_bounded, solve_standard
+
+__all__ = [
+    "LinearProgram",
+    "LPSolution",
+    "solve",
+    "solve_bounded",
+    "solve_standard",
+]

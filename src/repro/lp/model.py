@@ -1,0 +1,195 @@
+"""A small linear-programming model layer.
+
+The relaxed support measures (Section 4.3) are LPs of the form
+
+    min/max  c . x
+    s.t.     A_ub x <= b_ub
+             lo <= x <= hi
+
+This module provides :class:`LinearProgram` for assembling such problems by
+named variables and :func:`solve` which dispatches to scipy's HiGHS when
+available and to the bundled pure-Python simplex otherwise.  Both backends
+are cross-validated in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import LPError
+
+
+@dataclass
+class LinearProgram:
+    """A named-variable LP: ``optimize c.x  s.t.  A x <= b,  lo <= x <= hi``.
+
+    Rows are "<=" constraints; use :meth:`add_ge_constraint` for ">=" rows
+    (stored negated).  Variables default to bounds ``[0, 1]`` because every
+    LP in the paper is a 0/1 relaxation.
+    """
+
+    sense: str = "min"
+    _variables: Dict[str, int] = field(default_factory=dict)
+    _objective: List[float] = field(default_factory=list)
+    _lower: List[float] = field(default_factory=list)
+    _upper: List[float] = field(default_factory=list)
+    _rows: List[Dict[int, float]] = field(default_factory=list)
+    _rhs: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.sense not in ("min", "max"):
+            raise LPError(f"sense must be 'min' or 'max', got {self.sense!r}")
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    def add_variable(
+        self,
+        name: str,
+        objective: float = 0.0,
+        lower: float = 0.0,
+        upper: float = 1.0,
+    ) -> int:
+        """Register a variable; returns its column index."""
+        if name in self._variables:
+            raise LPError(f"duplicate variable {name!r}")
+        if lower > upper:
+            raise LPError(f"variable {name!r} has lower {lower} > upper {upper}")
+        index = len(self._objective)
+        self._variables[name] = index
+        self._objective.append(float(objective))
+        self._lower.append(float(lower))
+        self._upper.append(float(upper))
+        return index
+
+    def variable_index(self, name: str) -> int:
+        if name not in self._variables:
+            raise LPError(f"unknown variable {name!r}")
+        return self._variables[name]
+
+    def add_le_constraint(self, terms: Dict[str, float], rhs: float) -> None:
+        """Add ``sum coeff * var <= rhs``."""
+        row = {self.variable_index(name): float(coeff) for name, coeff in terms.items()}
+        self._rows.append(row)
+        self._rhs.append(float(rhs))
+
+    def add_ge_constraint(self, terms: Dict[str, float], rhs: float) -> None:
+        """Add ``sum coeff * var >= rhs`` (stored as a negated <= row)."""
+        self.add_le_constraint(
+            {name: -coeff for name, coeff in terms.items()}, -rhs
+        )
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        return len(self._objective)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._rows)
+
+    def variable_names(self) -> List[str]:
+        ordered = sorted(self._variables.items(), key=lambda kv: kv[1])
+        return [name for name, _ in ordered]
+
+    def dense_rows(self) -> Tuple[List[List[float]], List[float]]:
+        """The constraint system as dense ``(A, b)`` for the simplex backend."""
+        n = self.num_variables
+        dense = []
+        for row in self._rows:
+            coefficients = [0.0] * n
+            for index, coeff in row.items():
+                coefficients[index] = coeff
+            dense.append(coefficients)
+        return dense, list(self._rhs)
+
+    def objective_vector(self) -> List[float]:
+        return list(self._objective)
+
+    def bounds(self) -> List[Tuple[float, float]]:
+        return list(zip(self._lower, self._upper))
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """Optimal value + per-variable assignment of a solved LP."""
+
+    value: float
+    assignment: Dict[str, float]
+    backend: str
+
+    def __getitem__(self, name: str) -> float:
+        return self.assignment[name]
+
+
+def _solve_with_scipy(program: LinearProgram) -> Optional[LPSolution]:
+    """Solve via scipy.optimize.linprog (HiGHS); None if scipy is absent."""
+    try:
+        from scipy.optimize import linprog
+    except ImportError:  # pragma: no cover - scipy is present in CI
+        return None
+    dense, rhs = program.dense_rows()
+    objective = program.objective_vector()
+    if program.sense == "max":
+        objective = [-c for c in objective]
+    result = linprog(
+        c=objective,
+        A_ub=dense if dense else None,
+        b_ub=rhs if rhs else None,
+        bounds=program.bounds(),
+        method="highs",
+    )
+    if not result.success:
+        from ..errors import InfeasibleLPError, UnboundedLPError
+
+        if result.status == 2:
+            raise InfeasibleLPError(result.message)
+        if result.status == 3:
+            raise UnboundedLPError(result.message)
+        raise LPError(f"scipy linprog failed: {result.message}")
+    value = float(result.fun)
+    if program.sense == "max":
+        value = -value
+    names = program.variable_names()
+    assignment = {name: float(x) for name, x in zip(names, result.x)}
+    return LPSolution(value=value, assignment=assignment, backend="scipy-highs")
+
+
+def _solve_with_simplex(program: LinearProgram) -> LPSolution:
+    """Solve with the bundled pure-Python two-phase simplex."""
+    from .simplex import solve_bounded
+
+    dense, rhs = program.dense_rows()
+    solution_vector, value = solve_bounded(
+        objective=program.objective_vector(),
+        rows=dense,
+        rhs=rhs,
+        bounds=program.bounds(),
+        sense=program.sense,
+    )
+    names = program.variable_names()
+    assignment = {name: x for name, x in zip(names, solution_vector)}
+    return LPSolution(value=value, assignment=assignment, backend="simplex")
+
+
+def solve(program: LinearProgram, backend: str = "auto") -> LPSolution:
+    """Solve an LP.
+
+    Parameters
+    ----------
+    backend:
+        ``"auto"`` (scipy when importable, else simplex), ``"scipy"``, or
+        ``"simplex"``.
+    """
+    if backend not in ("auto", "scipy", "simplex"):
+        raise LPError(f"unknown backend {backend!r}")
+    if backend in ("auto", "scipy"):
+        solution = _solve_with_scipy(program)
+        if solution is not None:
+            return solution
+        if backend == "scipy":
+            raise LPError("scipy backend requested but scipy is not importable")
+    return _solve_with_simplex(program)

@@ -1,0 +1,241 @@
+"""A self-contained two-phase tableau simplex solver.
+
+This is the pure-Python fallback backend for the LP relaxations of
+Section 4.3.  It handles problems of the form
+
+    min/max  c . x
+    s.t.     A x <= b      (b may be negative)
+             lo <= x <= hi
+
+by shifting variables to ``y = x - lo >= 0``, turning finite upper bounds
+into extra rows, and running the classic two-phase method with **Bland's
+rule** (smallest-index pivoting), which guarantees termination.
+
+It is dense and unoptimized by design: its job is to be obviously correct
+and to cross-validate the scipy backend in tests, not to be fast.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import InfeasibleLPError, LPError, UnboundedLPError
+
+EPS = 1e-9
+
+
+def _pivot(tableau: List[List[float]], basis: List[int], row: int, col: int) -> None:
+    """Pivot the tableau on (row, col), updating the basis."""
+    pivot_value = tableau[row][col]
+    inverse = 1.0 / pivot_value
+    tableau[row] = [value * inverse for value in tableau[row]]
+    for r, current in enumerate(tableau):
+        if r == row:
+            continue
+        factor = current[col]
+        if abs(factor) > EPS:
+            pivot_row = tableau[row]
+            tableau[r] = [
+                value - factor * pivot_row[c] for c, value in enumerate(current)
+            ]
+    basis[row] = col
+
+
+def _choose_entering(objective_row: Sequence[float], num_columns: int) -> Optional[int]:
+    """Bland's rule: the smallest-index column with a negative reduced cost."""
+    for col in range(num_columns):
+        if objective_row[col] < -EPS:
+            return col
+    return None
+
+
+def _choose_leaving(
+    tableau: List[List[float]], col: int, num_rows: int, rhs_col: int
+) -> Optional[int]:
+    """Minimum-ratio test with Bland-style tie-breaking on basis index."""
+    best_row = None
+    best_ratio = None
+    for row in range(num_rows):
+        coefficient = tableau[row][col]
+        if coefficient > EPS:
+            ratio = tableau[row][rhs_col] / coefficient
+            if best_ratio is None or ratio < best_ratio - EPS:
+                best_ratio = ratio
+                best_row = row
+    return best_row
+
+
+def _run_simplex(
+    tableau: List[List[float]],
+    basis: List[int],
+    num_structural_columns: int,
+    max_iterations: int,
+) -> None:
+    """Optimize the tableau in place; the objective row is the last row."""
+    num_rows = len(tableau) - 1
+    rhs_col = len(tableau[0]) - 1
+    for _ in range(max_iterations):
+        entering = _choose_entering(tableau[-1], num_structural_columns)
+        if entering is None:
+            return
+        leaving = _choose_leaving(tableau, entering, num_rows, rhs_col)
+        if leaving is None:
+            raise UnboundedLPError("objective unbounded along an entering column")
+        _pivot(tableau, basis, leaving, entering)
+    raise LPError(f"simplex did not converge within {max_iterations} iterations")
+
+
+def solve_standard(
+    objective: Sequence[float],
+    rows: Sequence[Sequence[float]],
+    rhs: Sequence[float],
+    max_iterations: int = 100_000,
+) -> Tuple[List[float], float]:
+    """Solve ``min c.x  s.t.  A x <= b,  x >= 0`` (``b`` may be negative).
+
+    Returns ``(x, value)``.
+
+    Raises
+    ------
+    InfeasibleLPError, UnboundedLPError, LPError
+    """
+    num_vars = len(objective)
+    num_rows = len(rows)
+    if any(len(row) != num_vars for row in rows):
+        raise LPError("constraint row width does not match objective length")
+    if len(rhs) != num_rows:
+        raise LPError("rhs length does not match row count")
+
+    # Normalize rows so every RHS is non-negative; track slack direction.
+    norm_rows: List[List[float]] = []
+    norm_rhs: List[float] = []
+    slack_sign: List[int] = []
+    for row, b in zip(rows, rhs):
+        if b < 0:
+            norm_rows.append([-a for a in row])
+            norm_rhs.append(-b)
+            slack_sign.append(-1)
+        else:
+            norm_rows.append(list(row))
+            norm_rhs.append(float(b))
+            slack_sign.append(+1)
+
+    # Columns: structural | slacks | artificials | RHS.
+    num_slacks = num_rows
+    artificial_rows = [i for i in range(num_rows) if slack_sign[i] < 0]
+    num_artificials = len(artificial_rows)
+    num_columns = num_vars + num_slacks + num_artificials
+    artificial_col = {
+        row: num_vars + num_slacks + k for k, row in enumerate(artificial_rows)
+    }
+
+    tableau: List[List[float]] = []
+    basis: List[int] = []
+    for i in range(num_rows):
+        line = [0.0] * (num_columns + 1)
+        for j in range(num_vars):
+            line[j] = norm_rows[i][j]
+        line[num_vars + i] = float(slack_sign[i])
+        if i in artificial_col:
+            line[artificial_col[i]] = 1.0
+            basis.append(artificial_col[i])
+        else:
+            basis.append(num_vars + i)
+        line[-1] = norm_rhs[i]
+        tableau.append(line)
+
+    if num_artificials:
+        # Phase 1: minimize the sum of artificial variables.
+        phase1 = [0.0] * (num_columns + 1)
+        for col in artificial_col.values():
+            phase1[col] = 1.0
+        # Express the phase-1 objective in terms of the non-basic variables.
+        for i in artificial_rows:
+            phase1 = [p - t for p, t in zip(phase1, tableau[i])]
+        tableau.append(phase1)
+        _run_simplex(tableau, basis, num_columns, max_iterations)
+        if tableau[-1][-1] < -EPS * max(1.0, max(norm_rhs, default=1.0)) - 1e-7:
+            raise InfeasibleLPError(
+                f"phase-1 optimum {-tableau[-1][-1]:.3e} > 0: no feasible point"
+            )
+        tableau.pop()
+        # Drive any artificial still in the basis out of it (degenerate rows).
+        for row_index, b in enumerate(basis):
+            if b >= num_vars + num_slacks:
+                replaced = False
+                for col in range(num_vars + num_slacks):
+                    if abs(tableau[row_index][col]) > EPS:
+                        _pivot(tableau, basis, row_index, col)
+                        replaced = True
+                        break
+                if not replaced:
+                    # Entire row is zero: the constraint was redundant.
+                    continue
+
+    # Phase 2: original objective, artificial columns forbidden.
+    objective_row = [0.0] * (num_columns + 1)
+    for j in range(num_vars):
+        objective_row[j] = float(objective[j])
+    for col in artificial_col.values():
+        objective_row[col] = 0.0
+    # Express in terms of non-basic variables.
+    for row_index, b in enumerate(basis):
+        coefficient = objective_row[b]
+        if abs(coefficient) > EPS:
+            objective_row = [
+                o - coefficient * t for o, t in zip(objective_row, tableau[row_index])
+            ]
+    tableau.append(objective_row)
+    _run_simplex(tableau, basis, num_vars + num_slacks, max_iterations)
+
+    solution = [0.0] * num_vars
+    for row_index, b in enumerate(basis):
+        if b < num_vars:
+            solution[b] = tableau[row_index][-1]
+    value = sum(c * x for c, x in zip(objective, solution))
+    return solution, value
+
+
+def solve_bounded(
+    objective: Sequence[float],
+    rows: Sequence[Sequence[float]],
+    rhs: Sequence[float],
+    bounds: Sequence[Tuple[float, float]],
+    sense: str = "min",
+    max_iterations: int = 100_000,
+) -> Tuple[List[float], float]:
+    """Solve ``min/max c.x  s.t.  A x <= b,  lo <= x <= hi``.
+
+    Shifts each variable by its lower bound and adds one row per finite
+    upper bound, then delegates to :func:`solve_standard`.
+    """
+    if sense not in ("min", "max"):
+        raise LPError(f"sense must be 'min' or 'max', got {sense!r}")
+    num_vars = len(objective)
+    if len(bounds) != num_vars:
+        raise LPError("bounds length does not match objective length")
+    lower = [lo for lo, _ in bounds]
+    upper = [hi for _, hi in bounds]
+
+    effective_objective = list(objective)
+    if sense == "max":
+        effective_objective = [-c for c in effective_objective]
+
+    # Shift: y = x - lo, so A x <= b  becomes  A y <= b - A lo.
+    shifted_rows = [list(row) for row in rows]
+    shifted_rhs = [
+        b - sum(a * lo for a, lo in zip(row, lower)) for row, b in zip(rows, rhs)
+    ]
+    for j in range(num_vars):
+        if upper[j] != float("inf"):
+            bound_row = [0.0] * num_vars
+            bound_row[j] = 1.0
+            shifted_rows.append(bound_row)
+            shifted_rhs.append(upper[j] - lower[j])
+
+    y, _ = solve_standard(
+        effective_objective, shifted_rows, shifted_rhs, max_iterations=max_iterations
+    )
+    x = [yj + lo for yj, lo in zip(y, lower)]
+    value = sum(c * xi for c, xi in zip(objective, x))
+    return x, value

@@ -1,0 +1,103 @@
+"""Common infrastructure for support measures (Definition 2.2.1).
+
+A support measure maps a (pattern, data graph) pair to a non-negative
+number.  Every measure in this package is exposed two ways:
+
+* a plain function operating on a pre-built
+  :class:`~repro.hypergraph.construction.HypergraphBundle` (cheap to call
+  repeatedly — the expensive occurrence enumeration is shared);
+* through the registry / :func:`compute_support` convenience entry point,
+  which builds the bundle for you.
+
+The registry also records whether each measure is anti-monotonic and its
+computational complexity class, which the analysis and benchmark layers use
+for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..errors import MeasureError
+from ..graph.labeled_graph import LabeledGraph
+from ..graph.pattern import Pattern
+from ..hypergraph.construction import HypergraphBundle
+
+
+@dataclass(frozen=True)
+class MeasureInfo:
+    """Metadata describing a registered support measure."""
+
+    name: str
+    display_name: str
+    anti_monotonic: bool
+    complexity: str
+    description: str
+    compute: Callable[[HypergraphBundle], float]
+
+
+_REGISTRY: Dict[str, MeasureInfo] = {}
+
+
+def register_measure(
+    name: str,
+    display_name: str,
+    anti_monotonic: bool,
+    complexity: str,
+    description: str,
+) -> Callable[[Callable[[HypergraphBundle], float]], Callable[[HypergraphBundle], float]]:
+    """Decorator registering a bundle-based measure function under ``name``."""
+
+    def decorator(func: Callable[[HypergraphBundle], float]):
+        if name in _REGISTRY:
+            raise MeasureError(f"measure {name!r} registered twice")
+        _REGISTRY[name] = MeasureInfo(
+            name=name,
+            display_name=display_name,
+            anti_monotonic=anti_monotonic,
+            complexity=complexity,
+            description=description,
+            compute=func,
+        )
+        return func
+
+    return decorator
+
+
+def available_measures() -> List[str]:
+    """Names of all registered measures, deterministically ordered."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def measure_info(name: str) -> MeasureInfo:
+    """Metadata for one measure."""
+    _ensure_loaded()
+    if name not in _REGISTRY:
+        raise MeasureError(
+            f"unknown measure {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        )
+    return _REGISTRY[name]
+
+
+def compute_support(
+    name: str,
+    pattern: Pattern,
+    data: LabeledGraph,
+    bundle: Optional[HypergraphBundle] = None,
+) -> float:
+    """Compute measure ``name`` for ``pattern`` in ``data``.
+
+    Pass a pre-built ``bundle`` to amortize occurrence enumeration across
+    several measures for the same pair.
+    """
+    info = measure_info(name)
+    if bundle is None:
+        bundle = HypergraphBundle.build(pattern, data)
+    return info.compute(bundle)
+
+
+def _ensure_loaded() -> None:
+    """Import all measure modules so their registrations run."""
+    from . import counts, mni, mi, mvc, mis, mies, mcp, relaxations, extensions  # noqa: F401

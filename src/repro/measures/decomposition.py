@@ -1,0 +1,116 @@
+"""Additive (component-decomposed) computation of the NP-hard measures.
+
+The paper's conclusions list **additiveness** — computing a measure in a
+parallel/divide-and-conquer manner — as a desirable future extension.  The
+occurrence hypergraph makes this concrete: its connected components cannot
+share cover vertices or packing edges, so
+
+    sigma_MVC(H)  = sum over components C of sigma_MVC(C)
+    sigma_MIES(H) = sum over components C of sigma_MIES(C)
+    nu_MVC(H)     = sum over components C of nu_MVC(C)
+
+and each component's subproblem is exponentially smaller than the whole.
+:func:`hypergraph_components` computes the decomposition; the
+``decomposed_*`` functions exploit it.  The test suite verifies equality
+with the monolithic solvers on every example — this is also the ablation
+benchmark ``tab7`` (bench_decomposition.py).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..hypergraph.hypergraph import EdgeLabel, Hypergraph, HVertex
+from .mies import mies_support_of
+from .mvc import mvc_support_of
+from .relaxations import lp_mvc_support_of
+
+
+def hypergraph_components(hypergraph: Hypergraph) -> List[Hypergraph]:
+    """Split a hypergraph into its connected components.
+
+    Two edges are connected when they share a vertex; a component is a
+    maximal connected edge set (with its incident vertices).  Isolated
+    vertices cannot exist in our hypergraphs (every vertex comes from an
+    edge), so the components partition both edges and vertices.
+    """
+    edges = hypergraph.edges()
+    if not edges:
+        return []
+    # Union-find over edge indices, joined through shared vertices.
+    parent = list(range(len(edges)))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    seen_vertex: Dict[HVertex, int] = {}
+    for i, edge in enumerate(edges):
+        for vertex in edge.vertices:
+            if vertex in seen_vertex:
+                union(i, seen_vertex[vertex])
+            else:
+                seen_vertex[vertex] = i
+
+    groups: Dict[int, List[int]] = {}
+    for i in range(len(edges)):
+        groups.setdefault(find(i), []).append(i)
+
+    components: List[Hypergraph] = []
+    for root in sorted(groups):
+        component = Hypergraph(name=f"{hypergraph.name}|c{len(components)}")
+        for i in groups[root]:
+            component.add_edge(edges[i].label, edges[i].vertices)
+        components.append(component)
+    return components
+
+
+def decomposed_mvc_support(hypergraph: Hypergraph, budget: int = 2_000_000) -> int:
+    """``sigma_MVC`` computed additively per connected component."""
+    return sum(
+        mvc_support_of(component, budget=budget)
+        for component in hypergraph_components(hypergraph)
+    )
+
+
+def decomposed_mies_support(hypergraph: Hypergraph, budget: int = 2_000_000) -> int:
+    """``sigma_MIES`` computed additively per connected component."""
+    return sum(
+        mies_support_of(component, budget=budget)
+        for component in hypergraph_components(hypergraph)
+    )
+
+
+def decomposed_lp_mvc_support(hypergraph: Hypergraph, backend: str = "auto") -> float:
+    """``nu_MVC`` computed additively per connected component."""
+    return sum(
+        lp_mvc_support_of(component, backend=backend)
+        for component in hypergraph_components(hypergraph)
+    )
+
+
+def component_statistics(hypergraph: Hypergraph) -> Dict[str, float]:
+    """Decomposition profile: how much smaller do the subproblems get?"""
+    components = hypergraph_components(hypergraph)
+    if not components:
+        return {
+            "components": 0,
+            "largest_edges": 0,
+            "mean_edges": 0.0,
+            "reduction": 1.0,
+        }
+    sizes = sorted((c.num_edges for c in components), reverse=True)
+    return {
+        "components": len(components),
+        "largest_edges": sizes[0],
+        "mean_edges": sum(sizes) / len(sizes),
+        # Fraction of the monolithic problem size the largest piece retains.
+        "reduction": sizes[0] / hypergraph.num_edges,
+    }

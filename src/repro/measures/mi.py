@@ -1,0 +1,103 @@
+"""MI — minimum instance support (Section 3.2, the paper's first new measure).
+
+MI refines MNI with the pattern's topology: instead of single nodes it
+minimizes the distinct-image-set count over all **transitive node subsets**
+of connected subpatterns (automorphism orbits; Definitions 3.2.1–3.2.4).
+
+Properties (Theorems 3.2–3.4, all verified by the test suite):
+
+* anti-monotonic;
+* linear-time in the number of occurrences (the subset family depends only
+  on the pattern);
+* ``sigma_MI <= sigma_MNI`` because singleton subsets are always in the
+  family.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..graph.automorphism import transitive_node_subsets
+from ..graph.labeled_graph import Vertex
+from ..graph.pattern import Pattern
+from ..hypergraph.construction import HypergraphBundle
+from ..isomorphism.matcher import Occurrence
+from .base import register_measure
+
+
+def coarse_grained_image_count(
+    subset: FrozenSet[Vertex], occurrences: Sequence[Occurrence]
+) -> int:
+    """``c(W)`` — distinct image *sets* of node subset ``W`` (Def. 3.2.1).
+
+    Images are compared as sets, so occurrences mapping ``W`` to the same
+    vertices in a different arrangement count once (Fig. 4: images
+    ``{2, 3}`` and ``{3, 2}`` collapse to one).
+    """
+    image_sets: Set[FrozenSet[Vertex]] = {
+        occurrence.image_of_set(subset) for occurrence in occurrences
+    }
+    return len(image_sets)
+
+
+def mi_support_from_occurrences(
+    pattern: Pattern,
+    occurrences: Sequence[Occurrence],
+    max_subpattern_size: Optional[int] = None,
+    induced: bool = True,
+) -> int:
+    """``sigma_MI(P, G)`` computed directly from an occurrence list.
+
+    Parameters
+    ----------
+    max_subpattern_size:
+        Cap on enumerated subpattern sizes (None = full family).  Any cap
+        still yields an anti-monotonic measure between MI and MNI.
+    induced:
+        Restrict the subpattern family to induced connected subpatterns
+        (the default; see ``repro.graph.automorphism`` for the trade-off).
+    """
+    if not occurrences:
+        return 0
+    best = None
+    for subset in transitive_node_subsets(
+        pattern, max_subpattern_size=max_subpattern_size, induced=induced
+    ):
+        count = coarse_grained_image_count(subset, occurrences)
+        if best is None or count < best:
+            best = count
+    assert best is not None
+    return best
+
+
+def mi_support_breakdown(
+    pattern: Pattern,
+    occurrences: Sequence[Occurrence],
+    max_subpattern_size: Optional[int] = None,
+) -> List[Tuple[FrozenSet[Vertex], int]]:
+    """Per-subset image counts ``(T, c(T))`` — the full MI worksheet.
+
+    Useful for explaining *why* MI returned its value (the analysis layer
+    prints this next to the MNI per-node counts).
+    """
+    return [
+        (subset, coarse_grained_image_count(subset, occurrences))
+        for subset in transitive_node_subsets(
+            pattern, max_subpattern_size=max_subpattern_size
+        )
+    ]
+
+
+@register_measure(
+    name="mi",
+    display_name="MI (minimum instance)",
+    anti_monotonic=True,
+    complexity="O(m)",
+    description=(
+        "Minimum distinct image-set count over transitive node subsets of "
+        "connected subpatterns (this paper, Section 3.2)."
+    ),
+)
+def mi_support(bundle: HypergraphBundle) -> float:
+    """``sigma_MI(P, G)`` from a hypergraph bundle."""
+    return float(mi_support_from_occurrences(bundle.pattern, bundle.occurrences))

@@ -1,0 +1,99 @@
+"""Polynomial-time LP relaxations nu_MVC and nu_MIES (Section 4.3).
+
+Relaxing the 0/1 conditions of the vertex-cover ILP (Eq. 4.1) and the
+independent-edge-set ILP (Eq. 4.2) gives two LPs solvable in polynomial
+time.  By LP duality (Theorem 4.6):
+
+    sigma_MIES <= nu_MIES = nu_MVC <= sigma_MVC
+
+Both relaxed measures are anti-monotonic (Theorems 4.3-4.4).  The test
+suite verifies the duality equality on every example with both the scipy
+and pure-simplex backends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..hypergraph.hypergraph import EdgeLabel, Hypergraph, HVertex
+from ..hypergraph.construction import HypergraphBundle
+from ..lp.model import LinearProgram, solve
+from .base import register_measure
+from .mvc import lp_relaxed_cover
+
+
+def lp_mvc_support_of(hypergraph: Hypergraph, backend: str = "auto") -> float:
+    """``nu_MVC`` — the fractional minimum vertex cover (Definition 4.3.1)."""
+    if hypergraph.num_edges == 0:
+        return 0.0
+    value, _ = lp_relaxed_cover(hypergraph, backend=backend)
+    return value
+
+
+def lp_mies_support_of(hypergraph: Hypergraph, backend: str = "auto") -> float:
+    """``nu_MIES`` — the fractional maximum independent edge set
+    (Definition 4.3.2).
+
+    One variable ``y(e)`` per hyperedge; one constraint per hypergraph
+    vertex ``v``: the edges containing ``v`` (the dual edge ``X_v``) carry
+    total weight at most 1.
+    """
+    if hypergraph.num_edges == 0:
+        return 0.0
+    program = LinearProgram(sense="max")
+    names: Dict[EdgeLabel, str] = {}
+    for i, edge in enumerate(hypergraph.edges()):
+        names[edge.label] = f"y{i}"
+        program.add_variable(names[edge.label], objective=1.0, lower=0.0, upper=1.0)
+    for vertex in hypergraph.vertices():
+        incident = hypergraph.edges_containing(vertex)
+        program.add_le_constraint(
+            {names[edge.label]: 1.0 for edge in incident}, 1.0
+        )
+    solution = solve(program, backend=backend)
+    return solution.value
+
+
+def fractional_solutions(
+    hypergraph: Hypergraph, backend: str = "auto"
+) -> Tuple[Dict[HVertex, float], Dict[EdgeLabel, float]]:
+    """Both fractional optima: the cover ``x(v)`` and the packing ``y(e)``.
+
+    Useful for inspecting complementary slackness in examples.
+    """
+    _, cover = lp_relaxed_cover(hypergraph, backend=backend)
+    program = LinearProgram(sense="max")
+    names: Dict[EdgeLabel, str] = {}
+    for i, edge in enumerate(hypergraph.edges()):
+        names[edge.label] = f"y{i}"
+        program.add_variable(names[edge.label], objective=1.0, lower=0.0, upper=1.0)
+    for vertex in hypergraph.vertices():
+        incident = hypergraph.edges_containing(vertex)
+        program.add_le_constraint({names[edge.label]: 1.0 for edge in incident}, 1.0)
+    solution = solve(program, backend=backend)
+    packing = {edge.label: solution[names[edge.label]] for edge in hypergraph.edges()}
+    return cover, packing
+
+
+@register_measure(
+    name="lp_mvc",
+    display_name="nu_MVC (LP-relaxed cover)",
+    anti_monotonic=True,
+    complexity="LP (polynomial)",
+    description="Fractional minimum vertex cover of the occurrence hypergraph (Def. 4.3.1).",
+)
+def lp_mvc_support(bundle: HypergraphBundle) -> float:
+    """``nu_MVC(P, G)`` on the occurrence hypergraph."""
+    return lp_mvc_support_of(bundle.occurrence_hg)
+
+
+@register_measure(
+    name="lp_mies",
+    display_name="nu_MIES (LP-relaxed packing)",
+    anti_monotonic=True,
+    complexity="LP (polynomial)",
+    description="Fractional maximum independent edge set of the occurrence hypergraph (Def. 4.3.2).",
+)
+def lp_mies_support(bundle: HypergraphBundle) -> float:
+    """``nu_MIES(P, G)`` on the occurrence hypergraph (= nu_MVC by duality)."""
+    return lp_mies_support_of(bundle.occurrence_hg)

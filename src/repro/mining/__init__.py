@@ -1,0 +1,30 @@
+"""Frequent-subgraph mining over a single graph with pluggable measures."""
+
+from .extension import (
+    adjacent_label_pairs,
+    all_extensions,
+    backward_extensions,
+    forward_extensions,
+    single_edge_patterns,
+)
+from .incremental import IncrementalMiner, mine_frequent_patterns_incremental
+from .miner import FrequentSubgraphMiner, mine_frequent_patterns
+from .results import FrequentPattern, MiningResult, MiningStats
+from .transaction import disjoint_union, transaction_support
+
+__all__ = [
+    "adjacent_label_pairs",
+    "all_extensions",
+    "backward_extensions",
+    "forward_extensions",
+    "single_edge_patterns",
+    "FrequentSubgraphMiner",
+    "IncrementalMiner",
+    "mine_frequent_patterns_incremental",
+    "mine_frequent_patterns",
+    "FrequentPattern",
+    "MiningResult",
+    "MiningStats",
+    "disjoint_union",
+    "transaction_support",
+]

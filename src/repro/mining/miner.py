@@ -1,0 +1,193 @@
+"""Frequent-subgraph miner for a single large graph.
+
+A pattern-growth (gSpan/GraMi-flavored) search:
+
+1. seed with every distinct one-edge pattern occurring in the data graph;
+2. repeatedly pop a frequent pattern and generate its one-edge extensions
+   (forward = new node, backward = close a cycle), deduplicated by
+   canonical certificate;
+3. evaluate the configured support measure; extensions below the threshold
+   are pruned and — because every measure the paper proposes is
+   **anti-monotonic** — pruning is *safe*: no frequent superpattern can hide
+   behind an infrequent subpattern.
+
+The support measure is pluggable (any name registered in
+:mod:`repro.measures`); using a non-anti-monotonic measure (e.g. raw
+occurrence count) makes pruning heuristic, which the miner flags via
+``MiningError`` unless ``allow_non_anti_monotonic=True``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Set
+
+from ..errors import MiningError
+from ..graph.canonical import canonical_certificate
+from ..graph.labeled_graph import LabeledGraph
+from ..graph.pattern import Pattern
+from ..hypergraph.construction import HypergraphBundle
+from ..measures.base import compute_support, measure_info
+from .extension import adjacent_label_pairs, all_extensions, single_edge_patterns
+from .results import FrequentPattern, MiningResult, MiningStats
+
+
+class FrequentSubgraphMiner:
+    """Mine frequent patterns from one labeled graph.
+
+    Parameters
+    ----------
+    data:
+        The single data graph to mine.
+    measure:
+        Name of a registered support measure (default ``"mni"``, the
+        cheapest anti-monotonic choice; ``"mi"``, ``"mvc"``, ``"mis"`` and
+        the LP relaxations all work).
+    min_support:
+        Frequency threshold; patterns with support >= this are frequent.
+    max_pattern_nodes / max_pattern_edges:
+        Structural caps on the search.
+    max_occurrences:
+        Safety valve: stop enumerating occurrences of a candidate beyond
+        this count and treat the candidate's support optimistically via its
+        truncated occurrence list (exact for every pattern below the cap).
+    allow_non_anti_monotonic:
+        Permit measures whose pruning is not safe (for experimentation).
+    lazy:
+        Only for ``measure="mni"``: decide frequency with the GraMi-style
+        threshold-bounded evaluation (anchored searches, no occurrence
+        enumeration).  Reported supports are capped at ``min_support``.
+    """
+
+    def __init__(
+        self,
+        data: LabeledGraph,
+        measure: str = "mni",
+        min_support: float = 2.0,
+        max_pattern_nodes: int = 5,
+        max_pattern_edges: int = 6,
+        max_occurrences: Optional[int] = None,
+        allow_non_anti_monotonic: bool = False,
+        lazy: bool = False,
+    ) -> None:
+        info = measure_info(measure)
+        if not info.anti_monotonic and not allow_non_anti_monotonic:
+            raise MiningError(
+                f"measure {measure!r} is not anti-monotonic; pruning would be "
+                "unsound (pass allow_non_anti_monotonic=True to experiment)"
+            )
+        if min_support <= 0:
+            raise MiningError("min_support must be positive")
+        if lazy and measure != "mni":
+            raise MiningError("lazy evaluation is only defined for the MNI measure")
+        self.data = data
+        self.measure = measure
+        self.min_support = min_support
+        self.max_pattern_nodes = max_pattern_nodes
+        self.max_pattern_edges = max_pattern_edges
+        self.max_occurrences = max_occurrences
+        self.lazy = lazy
+        self._label_pairs = adjacent_label_pairs(data)
+
+    # ------------------------------------------------------------------
+    def _support_of(self, pattern: Pattern, stats: MiningStats) -> FrequentPattern:
+        """Evaluate the measure for one candidate, recording stats."""
+        stats.support_calls += 1
+        if self.lazy:
+            from ..measures.lazy_mni import lazy_mni_support
+
+            cap = max(1, int(-(-self.min_support // 1)))  # ceil for float thresholds
+            support = float(lazy_mni_support(pattern, self.data, cap=cap))
+            return FrequentPattern(
+                pattern=pattern,
+                support=support,
+                certificate=canonical_certificate(pattern.graph),
+                num_occurrences=-1,  # occurrences never enumerated
+            )
+        stats.occurrence_enumerations += 1
+        bundle = HypergraphBundle.build(pattern, self.data, limit=self.max_occurrences)
+        support = compute_support(self.measure, pattern, self.data, bundle=bundle)
+        return FrequentPattern(
+            pattern=pattern,
+            support=support,
+            certificate=canonical_certificate(pattern.graph),
+            num_occurrences=bundle.num_occurrences,
+        )
+
+    def mine(self) -> MiningResult:
+        """Run the search; returns every frequent pattern found."""
+        stats = MiningStats()
+        frequent: List[FrequentPattern] = []
+        seen: Set[str] = set()
+        queue: Deque[Pattern] = deque()
+
+        for seed in single_edge_patterns(self.data):
+            stats.patterns_generated += 1
+            certificate = canonical_certificate(seed.graph)
+            if certificate in seen:
+                stats.duplicates_skipped += 1
+                continue
+            seen.add(certificate)
+            stats.patterns_evaluated += 1
+            evaluated = self._support_of(seed, stats)
+            if evaluated.support >= self.min_support:
+                stats.patterns_frequent += 1
+                frequent.append(evaluated)
+                queue.append(seed)
+            else:
+                stats.patterns_pruned += 1
+
+        while queue:
+            pattern = queue.popleft()
+            for extension in all_extensions(
+                pattern,
+                self._label_pairs,
+                max_nodes=self.max_pattern_nodes,
+                max_edges=self.max_pattern_edges,
+            ):
+                stats.patterns_generated += 1
+                certificate = canonical_certificate(extension.graph)
+                if certificate in seen:
+                    stats.duplicates_skipped += 1
+                    continue
+                seen.add(certificate)
+                stats.patterns_evaluated += 1
+                evaluated = self._support_of(extension, stats)
+                if evaluated.support >= self.min_support:
+                    stats.patterns_frequent += 1
+                    frequent.append(evaluated)
+                    queue.append(extension)
+                else:
+                    stats.patterns_pruned += 1
+
+        frequent.sort(key=lambda fp: (fp.num_edges, -fp.support, fp.certificate))
+        return MiningResult(
+            frequent=frequent,
+            stats=stats,
+            measure=self.measure,
+            min_support=self.min_support,
+        )
+
+
+def mine_frequent_patterns(
+    data: LabeledGraph,
+    measure: str = "mni",
+    min_support: float = 2.0,
+    max_pattern_nodes: int = 5,
+    max_pattern_edges: int = 6,
+    max_occurrences: Optional[int] = None,
+    allow_non_anti_monotonic: bool = False,
+    lazy: bool = False,
+) -> MiningResult:
+    """Convenience one-call mining entry point (see :class:`FrequentSubgraphMiner`)."""
+    miner = FrequentSubgraphMiner(
+        data,
+        measure=measure,
+        min_support=min_support,
+        max_pattern_nodes=max_pattern_nodes,
+        max_pattern_edges=max_pattern_edges,
+        max_occurrences=max_occurrences,
+        allow_non_anti_monotonic=allow_non_anti_monotonic,
+        lazy=lazy,
+    )
+    return miner.mine()

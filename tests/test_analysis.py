@@ -1,0 +1,86 @@
+"""Unit tests for the analysis layer (spectrum + report rendering)."""
+
+import pytest
+
+from repro.analysis.report import format_hypergraph, format_occurrence_table, format_table
+from repro.analysis.spectrum import measure_spectrum, spectrum_report
+from repro.hypergraph.construction import HypergraphBundle
+from repro.isomorphism.matcher import find_occurrences
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[3]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "=" * len("My Table")
+
+    def test_float_rendering(self):
+        text = format_table(["v"], [[1.0], [1.5], [0.333333]])
+        assert "1" in text and "1.5" in text and "0.333" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestOccurrenceTable:
+    def test_matches_fig2_layout(self, fig2):
+        occurrences = find_occurrences(fig2.pattern, fig2.data_graph)
+        text = format_occurrence_table(fig2.pattern, occurrences)
+        assert "f1:" in text
+        assert "f6:" in text
+        assert "# of images:" in text
+        # All three image counts are 3 (the figure's footer row).
+        footer = text.splitlines()[-1]
+        assert footer.count("3") == 3
+
+
+class TestFormatHypergraph:
+    def test_lists_edges(self, fig2):
+        bundle = HypergraphBundle.build(fig2.pattern, fig2.data_graph)
+        text = format_hypergraph(bundle.occurrence_hg)
+        assert "f1" in text and "{1, 2, 3}" in text
+
+
+class TestSpectrum:
+    def test_values_match_expected(self, fig6):
+        spectrum = measure_spectrum(fig6.pattern, fig6.data_graph)
+        assert spectrum.value("mis") == 2
+        assert spectrum.value("mni") == 4
+        assert spectrum.num_occurrences == 7
+
+    def test_unknown_key(self, fig6):
+        spectrum = measure_spectrum(fig6.pattern, fig6.data_graph)
+        with pytest.raises(KeyError):
+            spectrum.value("bogus")
+
+    def test_include_filter(self, fig6):
+        spectrum = measure_spectrum(fig6.pattern, fig6.data_graph, include=["mni", "mi"])
+        assert set(spectrum.as_dict()) == {"mni", "mi"}
+
+    def test_entries_in_chain_order(self, fig6):
+        spectrum = measure_spectrum(fig6.pattern, fig6.data_graph)
+        keys = [entry.key for entry in spectrum.entries]
+        assert keys.index("mis") < keys.index("mvc") < keys.index("mni")
+
+    def test_report_renders(self, fig6):
+        spectrum = measure_spectrum(fig6.pattern, fig6.data_graph)
+        text = spectrum_report(spectrum, title="fig6")
+        assert "sigma_MNI" in text
+        assert "occurrences" in text
+
+    def test_timings_nonnegative(self, fig6):
+        spectrum = measure_spectrum(fig6.pattern, fig6.data_graph)
+        assert all(entry.seconds >= 0 for entry in spectrum.entries)
+        assert spectrum.enumeration_seconds >= 0
+
+    def test_shared_bundle_reused(self, fig6):
+        bundle = HypergraphBundle.build(fig6.pattern, fig6.data_graph)
+        spectrum = measure_spectrum(fig6.pattern, fig6.data_graph, bundle=bundle)
+        assert spectrum.num_occurrences == bundle.num_occurrences

@@ -1,0 +1,147 @@
+"""Unit tests for automorphisms, orbits, and transitive node subsets."""
+
+import pytest
+
+from repro.graph.automorphism import (
+    automorphism_group_size,
+    automorphisms,
+    is_transitive_pair,
+    transitive_node_subsets,
+    transitive_pairs,
+    vertex_orbits,
+)
+from repro.graph.builders import (
+    complete_graph,
+    cycle_graph,
+    cycle_pattern,
+    path_graph,
+    path_pattern,
+    star_pattern,
+    triangle_pattern,
+)
+
+
+class TestAutomorphisms:
+    def test_uniform_triangle_has_six(self):
+        assert automorphism_group_size(cycle_graph(["a"] * 3)) == 6
+
+    def test_distinct_labels_kill_symmetry(self):
+        assert automorphism_group_size(cycle_graph(["a", "b", "c"])) == 1
+
+    def test_uniform_path_has_reversal(self):
+        assert automorphism_group_size(path_graph(["a", "a", "a"])) == 2
+
+    def test_k4_has_24(self):
+        assert automorphism_group_size(complete_graph(["a"] * 4)) == 24
+
+    def test_identity_always_present(self):
+        autos = automorphisms(path_graph(["a", "b"]))
+        identity = {1: 1, 2: 2}
+        assert identity in autos
+
+
+class TestTransitivePairs:
+    def test_diagonal_is_transitive(self):
+        g = path_graph(["a", "b"])
+        assert is_transitive_pair(g, 1, 1)
+
+    def test_path_ends_transitive(self):
+        g = path_graph(["a", "a", "a"])
+        assert is_transitive_pair(g, 1, 3)
+        assert not is_transitive_pair(g, 1, 2)
+
+    def test_label_mismatch_never_transitive(self):
+        g = path_graph(["a", "b"])
+        assert not is_transitive_pair(g, 1, 2)
+
+    def test_degree_mismatch_never_transitive(self):
+        g = path_graph(["a", "a", "a"])
+        assert not is_transitive_pair(g, 2, 1)
+
+
+class TestOrbits:
+    def test_uniform_triangle_single_orbit(self):
+        orbits = vertex_orbits(cycle_graph(["a"] * 3))
+        assert orbits == [frozenset({1, 2, 3})]
+
+    def test_uniform_path_orbits(self):
+        orbits = vertex_orbits(path_graph(["a", "a", "a"]))
+        assert sorted(sorted(o) for o in orbits) == [[1, 3], [2]]
+
+    def test_labeled_triangle_all_singletons(self):
+        orbits = vertex_orbits(cycle_graph(["a", "b", "c"]))
+        assert all(len(o) == 1 for o in orbits)
+
+    def test_orbits_partition_vertices(self):
+        g = complete_graph(["a", "a", "b", "b"])
+        orbits = vertex_orbits(g)
+        combined = sorted(v for orbit in orbits for v in orbit)
+        assert combined == g.vertices()
+        assert sum(len(o) for o in orbits) == g.num_vertices
+
+
+class TestTransitiveNodeSubsets:
+    def test_fig4_pattern_family(self):
+        # a-b-b path: singletons + {v2, v3} via the edge subpattern.
+        p = path_pattern(["a", "b", "b"])
+        subsets = transitive_node_subsets(p)
+        as_sets = {tuple(sorted(s)) for s in subsets}
+        assert as_sets == {("v1",), ("v2",), ("v3",), ("v2", "v3")}
+
+    def test_uniform_path_family(self):
+        # a-a-a path (Fig. 7): singletons + both edges + the end pair.
+        p = path_pattern(["a", "a", "a"])
+        subsets = {tuple(sorted(s)) for s in transitive_node_subsets(p)}
+        assert subsets == {
+            ("v1",), ("v2",), ("v3",),
+            ("v1", "v2"), ("v2", "v3"), ("v1", "v3"),
+        }
+
+    def test_uniform_triangle_includes_full_orbit(self):
+        p = triangle_pattern("a")
+        subsets = transitive_node_subsets(p)
+        assert frozenset({"v1", "v2", "v3"}) in subsets
+
+    def test_star_leaves_form_orbit(self):
+        p = star_pattern("c", ["l", "l", "l"])
+        subsets = transitive_node_subsets(p)
+        assert frozenset({"v2", "v3", "v4"}) in subsets
+
+    def test_no_edgeless_pair_from_disconnected_subpattern(self):
+        # Path b-a-c-b (Fig. 10): ends share a label but are not transitive
+        # in any connected subpattern.
+        p = path_pattern(["b", "a", "c", "b"])
+        subsets = transitive_node_subsets(p)
+        assert frozenset({"v1", "v4"}) not in subsets
+        assert all(len(s) == 1 for s in subsets)
+
+    def test_max_subpattern_size_still_includes_singletons(self):
+        p = triangle_pattern("a")
+        subsets = transitive_node_subsets(p, max_subpattern_size=1)
+        assert {tuple(sorted(s)) for s in subsets} == {("v1",), ("v2",), ("v3",)}
+
+    def test_include_partial_adds_pairs(self):
+        p = triangle_pattern("a")
+        full = transitive_node_subsets(p, include_partial=True)
+        assert frozenset({"v1", "v2"}) in full
+        assert frozenset({"v1", "v2", "v3"}) in full
+
+    def test_cycle4_uniform_orbits(self):
+        p = cycle_pattern(["a"] * 4)
+        subsets = transitive_node_subsets(p)
+        # The whole cycle is one orbit.
+        assert frozenset({"v1", "v2", "v3", "v4"}) in subsets
+
+
+class TestTransitivePairsFunction:
+    def test_pairs_symmetric_with_diagonal(self):
+        p = path_pattern(["a", "a", "a"])
+        pairs = transitive_pairs(p)
+        assert ("v1", "v1") in pairs
+        assert ("v1", "v3") in pairs and ("v3", "v1") in pairs
+
+    def test_fig10_pattern_only_diagonal(self):
+        p = path_pattern(["b", "a", "c", "b"])
+        pairs = transitive_pairs(p)
+        off_diagonal = {(u, w) for u, w in pairs if u != w}
+        assert off_diagonal == set()

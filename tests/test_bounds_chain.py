@@ -1,0 +1,121 @@
+"""The bounding chain (Section 4.4) on figures, zoo graphs, and random graphs.
+
+These are the paper's headline theorems, checked with hypothesis on random
+labeled graphs: for *every* pattern/graph pair,
+
+    sigma_MIS = sigma_MIES <= nu_MIES = nu_MVC <= sigma_MVC <= sigma_MI <= sigma_MNI.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.paper_figures import load_all_figures
+from repro.datasets.synthetic import random_labeled_graph
+from repro.datasets.zoo import zoo_graph, zoo_names
+from repro.graph.builders import path_pattern, triangle_pattern
+from repro.graph.pattern import Pattern
+from repro.measures.bounds import chain_values, verify_bounding_chain
+
+
+class TestChainOnFigures:
+    @pytest.mark.parametrize("figure_id", range(10))
+    def test_chain_holds(self, all_figures, figure_id):
+        fig = all_figures[figure_id]
+        report = verify_bounding_chain(fig.pattern, fig.data_graph)
+        assert report.holds, report.violations
+
+    def test_report_rows_in_chain_order(self, all_figures):
+        report = verify_bounding_chain(
+            all_figures[5].pattern, all_figures[5].data_graph
+        )
+        keys = [key for key, _ in report.as_rows()]
+        assert keys.index("mis") < keys.index("mvc") < keys.index("mni")
+
+
+class TestChainOnZoo:
+    @pytest.mark.parametrize("name", zoo_names())
+    def test_chain_with_edge_pattern(self, name):
+        graph = zoo_graph(name)
+        label = graph.label_of(graph.vertices()[0])
+        pattern = Pattern.single_edge(label, label)
+        report = verify_bounding_chain(pattern, graph)
+        assert report.holds, (name, report.violations)
+
+    @pytest.mark.parametrize("name", ["triangle_fan", "disjoint_triangles", "clique"])
+    def test_chain_with_triangle_pattern(self, name):
+        graph = zoo_graph(name)
+        report = verify_bounding_chain(triangle_pattern("a"), graph)
+        assert report.holds, (name, report.violations)
+
+
+PATTERNS = [
+    Pattern.single_edge("A", "A"),
+    Pattern.single_edge("A", "B"),
+    path_pattern(["A", "A", "A"]),
+    path_pattern(["A", "B", "A"]),
+    triangle_pattern("A"),
+]
+
+
+class TestChainOnRandomGraphs:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=4, max_value=12),
+        p=st.floats(min_value=0.1, max_value=0.5),
+        pattern_index=st.integers(min_value=0, max_value=len(PATTERNS) - 1),
+    )
+    def test_chain_property(self, seed, n, p, pattern_index):
+        graph = random_labeled_graph(
+            n, p, alphabet=("A", "B"), seed=seed, label_skew=0.5
+        )
+        pattern = PATTERNS[pattern_index]
+        report = verify_bounding_chain(pattern, graph, include_mcp=False)
+        assert report.holds, report.violations
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1_000))
+    def test_mis_mies_equal_on_random(self, seed):
+        graph = random_labeled_graph(10, 0.3, alphabet=("A",), seed=seed)
+        values = chain_values(
+            triangle_pattern("A"), graph, include_mcp=False
+        )
+        assert values["mis"] == values["mies"]
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1_000))
+    def test_duality_on_random(self, seed):
+        graph = random_labeled_graph(9, 0.35, alphabet=("A", "B"), seed=seed)
+        values = chain_values(
+            path_pattern(["A", "B"]), graph, include_mcp=False
+        )
+        assert values["lp_mvc"] == pytest.approx(values["lp_mies"], abs=1e-5)
+
+
+class TestChainValuesContents:
+    def test_all_keys_present(self, fig6):
+        values = chain_values(fig6.pattern, fig6.data_graph)
+        for key in (
+            "occurrences",
+            "instances",
+            "mni",
+            "mi",
+            "mvc",
+            "mies",
+            "mis",
+            "mcp",
+            "lp_mvc",
+            "lp_mies",
+        ):
+            assert key in values
+
+    def test_mcp_can_be_excluded(self, fig6):
+        values = chain_values(fig6.pattern, fig6.data_graph, include_mcp=False)
+        assert "mcp" not in values
+
+    def test_zero_occurrence_chain(self):
+        graph = random_labeled_graph(4, 0.0, alphabet=("A",), seed=1)
+        report = verify_bounding_chain(triangle_pattern("A"), graph)
+        assert report.holds
+        assert report.values["mni"] == 0
+        assert report.values["mis"] == 0

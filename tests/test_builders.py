@@ -1,0 +1,111 @@
+"""Unit tests for graph/pattern builders."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builders import (
+    binary_tree_graph,
+    clique_pattern,
+    complete_graph,
+    cycle_graph,
+    cycle_pattern,
+    grid_graph,
+    path_graph,
+    path_pattern,
+    star_graph,
+    star_pattern,
+    triangle_pattern,
+)
+
+
+class TestGraphBuilders:
+    def test_path_graph(self):
+        g = path_graph(["a", "b", "c"])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.has_edge(1, 2) and g.has_edge(2, 3)
+        assert g.label_of(2) == "b"
+
+    def test_path_graph_single_vertex(self):
+        g = path_graph(["a"])
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+    def test_path_graph_empty_fails(self):
+        with pytest.raises(GraphError):
+            path_graph([])
+
+    def test_cycle_graph(self):
+        g = cycle_graph(["a"] * 4)
+        assert g.num_edges == 4
+        assert g.has_edge(4, 1)
+
+    def test_cycle_too_small_fails(self):
+        with pytest.raises(GraphError):
+            cycle_graph(["a", "b"])
+
+    def test_star_graph(self):
+        g = star_graph("c", ["l"] * 5)
+        assert g.num_vertices == 6
+        assert g.degree(0) == 5
+        assert all(g.degree(i) == 1 for i in range(1, 6))
+
+    def test_complete_graph(self):
+        g = complete_graph(["a"] * 5)
+        assert g.num_edges == 10
+        assert g.degree_sequence() == [4] * 5
+
+    def test_grid_graph(self):
+        g = grid_graph(3, 4, ["a", "b"])
+        assert g.num_vertices == 12
+        # 3*3 horizontal + 2*4 vertical = 9 + 8
+        assert g.num_edges == 17
+        assert g.has_edge(0, 1) and g.has_edge(0, 4)
+
+    def test_grid_invalid_dimensions(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 3, ["a"])
+
+    def test_binary_tree(self):
+        g = binary_tree_graph(2, ["a"])
+        assert g.num_vertices == 7
+        assert g.num_edges == 6
+        assert g.degree(0) == 2
+
+    def test_binary_tree_depth_zero(self):
+        g = binary_tree_graph(0, ["a"])
+        assert g.num_vertices == 1
+
+    def test_binary_tree_negative_depth_fails(self):
+        with pytest.raises(GraphError):
+            binary_tree_graph(-1, ["a"])
+
+
+class TestPatternBuilders:
+    def test_path_pattern_nodes_named_like_paper(self):
+        p = path_pattern(["a", "b", "c"])
+        assert p.nodes() == ["v1", "v2", "v3"]
+        assert p.label_of("v2") == "b"
+
+    def test_cycle_pattern(self):
+        p = cycle_pattern(["a", "b", "c", "d"])
+        assert p.num_edges == 4
+        assert p.graph.has_edge("v4", "v1")
+
+    def test_triangle_defaults_to_uniform(self):
+        p = triangle_pattern("x")
+        assert {p.label_of(n) for n in p.nodes()} == {"x"}
+        assert p.num_edges == 3
+
+    def test_triangle_with_distinct_labels(self):
+        p = triangle_pattern("x", "y", "z")
+        assert [p.label_of(n) for n in p.nodes()] == ["x", "y", "z"]
+
+    def test_star_pattern(self):
+        p = star_pattern("c", ["l", "l", "l"])
+        assert p.num_nodes == 4
+        assert p.graph.degree("v1") == 3
+
+    def test_clique_pattern(self):
+        p = clique_pattern(["a"] * 4)
+        assert p.num_edges == 6

@@ -1,0 +1,87 @@
+"""Unit tests for canonical certificates and forms."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builders import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.canonical import canonical_certificate, canonical_form
+from repro.graph.labeled_graph import LabeledGraph
+from repro.isomorphism.vf2 import are_isomorphic
+
+
+class TestCertificates:
+    def test_equal_for_relabeled_graph(self):
+        g = cycle_graph(["a", "b", "a", "b"])
+        h = g.relabeled({1: "p", 2: "q", 3: "r", 4: "s"})
+        assert canonical_certificate(g) == canonical_certificate(h)
+
+    def test_equal_for_permuted_construction(self):
+        g1 = LabeledGraph(
+            vertices=[(1, "a"), (2, "b"), (3, "a")], edges=[(1, 2), (2, 3)]
+        )
+        g2 = LabeledGraph(
+            vertices=[(3, "a"), (1, "b"), (2, "a")], edges=[(2, 1), (1, 3)]
+        )
+        assert canonical_certificate(g1) == canonical_certificate(g2)
+
+    def test_different_for_non_isomorphic(self):
+        path = path_graph(["a", "a", "a"])
+        triangle = cycle_graph(["a", "a", "a"])
+        assert canonical_certificate(path) != canonical_certificate(triangle)
+
+    def test_different_for_different_labels(self):
+        g1 = path_graph(["a", "a"])
+        g2 = path_graph(["a", "b"])
+        assert canonical_certificate(g1) != canonical_certificate(g2)
+
+    def test_highly_symmetric_graph(self):
+        g = complete_graph(["a"] * 6)
+        h = g.relabeled({i: 10 - i for i in range(1, 7)})
+        assert canonical_certificate(g) == canonical_certificate(h)
+
+    def test_star_vs_path_same_size(self):
+        star = star_graph("a", ["a"] * 3)
+        path = path_graph(["a"] * 4)
+        assert canonical_certificate(star) != canonical_certificate(path)
+
+    def test_empty_graph(self):
+        assert canonical_certificate(LabeledGraph()) == "L[]E[]"
+
+    def test_size_cap_enforced(self):
+        g = complete_graph(["a"] * 13)
+        with pytest.raises(GraphError):
+            canonical_certificate(g)
+
+    def test_size_cap_can_be_raised(self):
+        g = path_graph(["a"] * 13)
+        assert canonical_certificate(g, max_vertices=13)
+
+    def test_certificate_distinguishes_c6_from_two_c3(self):
+        c6 = cycle_graph(["a"] * 6)
+        two_c3 = LabeledGraph(
+            vertices=[(i, "a") for i in range(1, 7)],
+            edges=[(1, 2), (2, 3), (1, 3), (4, 5), (5, 6), (4, 6)],
+        )
+        assert canonical_certificate(c6) != canonical_certificate(two_c3)
+
+
+class TestCanonicalForm:
+    def test_form_is_isomorphic_to_input(self):
+        g = cycle_graph(["a", "b", "a", "b"])
+        form = canonical_form(g)
+        assert are_isomorphic(g, form)
+
+    def test_isomorphic_inputs_give_equal_forms(self):
+        g = star_graph("c", ["l", "l"])
+        h = g.relabeled({0: "center", 1: "leafA", 2: "leafB"})
+        assert canonical_form(g) == canonical_form(h)
+
+    def test_form_vertices_are_consecutive_ints(self):
+        g = path_graph(["a", "b", "c"])
+        form = canonical_form(g)
+        assert sorted(form.vertices()) == [0, 1, 2]

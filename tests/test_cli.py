@@ -1,0 +1,60 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.builders import path_graph
+from repro.graph.io import save_graph
+
+
+@pytest.fixture()
+def lg_files(tmp_path):
+    graph_path = tmp_path / "graph.lg"
+    pattern_path = tmp_path / "pattern.lg"
+    save_graph(path_graph(["a", "b", "a", "b", "a"]), graph_path)
+    save_graph(path_graph(["a", "b"]), pattern_path)
+    return str(graph_path), str(pattern_path)
+
+
+class TestMeasureCommand:
+    def test_prints_spectrum(self, lg_files, capsys):
+        graph_path, pattern_path = lg_files
+        assert main(["measure", graph_path, pattern_path]) == 0
+        out = capsys.readouterr().out
+        assert "sigma_MNI" in out
+        assert "sigma_MIS" in out
+
+
+class TestMineCommand:
+    def test_mines_patterns(self, lg_files, capsys):
+        graph_path, _ = lg_files
+        assert main(["mine", graph_path, "--min-support", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "frequent patterns" in out
+        assert "patterns_generated" in out
+
+    def test_measure_flag(self, lg_files, capsys):
+        graph_path, _ = lg_files
+        assert main(["mine", graph_path, "--measure", "mis", "--min-support", "1"]) == 0
+        assert "measure=mis" in capsys.readouterr().out
+
+
+class TestFigureCommand:
+    @pytest.mark.parametrize("figure_id", ["fig2", "fig4", "fig6"])
+    def test_regenerates_figures(self, figure_id, capsys):
+        assert main(["figure", figure_id]) == 0
+        out = capsys.readouterr().out
+        assert figure_id in out
+        assert "# of images:" in out
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(KeyError):
+            main(["figure", "fig42"])
+
+
+class TestInfoCommand:
+    def test_lists_measures(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mni", "mi", "mvc", "mis", "mies", "lp_mvc"):
+            assert name in out

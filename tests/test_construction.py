@@ -1,0 +1,72 @@
+"""Unit tests for occurrence/instance hypergraph construction."""
+
+import pytest
+
+from repro.graph.builders import complete_graph, path_graph, triangle_pattern
+from repro.graph.pattern import Pattern
+from repro.hypergraph.construction import (
+    HypergraphBundle,
+    instance_hypergraph,
+    occurrence_hypergraph,
+)
+
+
+class TestOccurrenceHypergraph:
+    def test_fig2_six_edges_one_vertex_set(self, fig2):
+        hg = occurrence_hypergraph(fig2.pattern, fig2.data_graph)
+        assert hg.num_edges == 6
+        assert hg.num_vertices == 3
+        assert all(edge.vertices == frozenset({1, 2, 3}) for edge in hg.edges())
+        labels = [edge.label for edge in hg.edges()]
+        assert labels == [f"f{i}" for i in range(1, 7)]
+
+    def test_uniformity(self, fig2):
+        hg = occurrence_hypergraph(fig2.pattern, fig2.data_graph)
+        assert hg.is_uniform()
+        assert hg.uniformity() == fig2.pattern.num_nodes
+
+    def test_empty_when_pattern_absent(self):
+        hg = occurrence_hypergraph(triangle_pattern("a"), path_graph(["a", "a"]))
+        assert hg.num_edges == 0
+
+    def test_limit_respected(self):
+        g = complete_graph(["a"] * 5)
+        hg = occurrence_hypergraph(triangle_pattern("a"), g, limit=10)
+        assert hg.num_edges == 10
+
+
+class TestInstanceHypergraph:
+    def test_fig2_single_instance_edge(self, fig2):
+        hg = instance_hypergraph(fig2.pattern, fig2.data_graph)
+        assert hg.num_edges == 1
+        assert hg.edge("S1").vertices == frozenset({1, 2, 3})
+
+    def test_instances_vs_occurrences_on_symmetric_pattern(self):
+        g = complete_graph(["a"] * 4)
+        p = triangle_pattern("a")
+        occ_hg = occurrence_hypergraph(p, g)
+        inst_hg = instance_hypergraph(p, g)
+        assert occ_hg.num_edges == 24
+        assert inst_hg.num_edges == 4
+
+
+class TestBundle:
+    def test_bundle_consistency(self, fig2):
+        bundle = HypergraphBundle.build(fig2.pattern, fig2.data_graph)
+        assert bundle.num_occurrences == 6
+        assert bundle.num_instances == 1
+        assert bundle.occurrence_hg.num_edges == 6
+        assert bundle.instance_hg.num_edges == 1
+
+    def test_view_selector(self, fig2):
+        bundle = HypergraphBundle.build(fig2.pattern, fig2.data_graph)
+        assert bundle.view("occurrence") is bundle.occurrence_hg
+        assert bundle.view("instance") is bundle.instance_hg
+        with pytest.raises(ValueError):
+            bundle.view("nonsense")
+
+    def test_vertex_sets_match_between_views(self, fig6):
+        bundle = HypergraphBundle.build(fig6.pattern, fig6.data_graph)
+        occ_sets = {edge.vertices for edge in bundle.occurrence_hg.edges()}
+        inst_sets = {edge.vertices for edge in bundle.instance_hg.edges()}
+        assert occ_sets == inst_sets

@@ -1,0 +1,145 @@
+"""Unit tests for synthetic generators and the zoo."""
+
+import pytest
+
+from repro.datasets.synthetic import (
+    community_graph,
+    graph_with_occurrence_count,
+    planted_pattern_graph,
+    preferential_attachment_graph,
+    random_labeled_graph,
+)
+from repro.datasets.zoo import zoo_graph, zoo_names
+from repro.errors import DatasetError
+from repro.graph.builders import triangle_pattern
+from repro.graph.pattern import Pattern
+from repro.isomorphism.vf2 import count_subgraph_isomorphisms
+
+
+class TestRandomLabeledGraph:
+    def test_deterministic_by_seed(self):
+        g1 = random_labeled_graph(20, 0.2, seed=7)
+        g2 = random_labeled_graph(20, 0.2, seed=7)
+        assert g1 == g2
+
+    def test_different_seeds_differ(self):
+        g1 = random_labeled_graph(20, 0.3, seed=1)
+        g2 = random_labeled_graph(20, 0.3, seed=2)
+        assert g1 != g2
+
+    def test_extreme_probabilities(self):
+        empty = random_labeled_graph(10, 0.0, seed=0)
+        full = random_labeled_graph(10, 1.0, seed=0)
+        assert empty.num_edges == 0
+        assert full.num_edges == 45
+
+    def test_labels_from_alphabet(self):
+        g = random_labeled_graph(30, 0.1, alphabet=("X", "Y"), seed=3)
+        assert set(g.label_alphabet()) <= {"X", "Y"}
+
+    def test_label_skew_concentrates_mass(self):
+        g = random_labeled_graph(300, 0.0, alphabet=("X", "Y"), seed=5, label_skew=3.0)
+        histogram = g.label_histogram()
+        assert histogram.get("X", 0) > histogram.get("Y", 0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(DatasetError):
+            random_labeled_graph(-1, 0.5)
+        with pytest.raises(DatasetError):
+            random_labeled_graph(5, 1.5)
+
+
+class TestPreferentialAttachment:
+    def test_vertex_and_edge_counts(self):
+        g = preferential_attachment_graph(30, 2, seed=0)
+        assert g.num_vertices == 30
+        # Seed K3 (3 edges) + 2 per newcomer.
+        assert g.num_edges == 3 + 2 * 27
+
+    def test_heavy_tail(self):
+        g = preferential_attachment_graph(80, 1, seed=1)
+        degrees = g.degree_sequence()
+        assert degrees[0] >= 4  # a hub emerges
+
+    def test_invalid_arguments(self):
+        with pytest.raises(DatasetError):
+            preferential_attachment_graph(3, 0)
+        with pytest.raises(DatasetError):
+            preferential_attachment_graph(2, 2)
+
+
+class TestPlantedPattern:
+    def test_disjoint_copies_give_exact_counts(self):
+        pattern = triangle_pattern("A", "B", "C")
+        g = planted_pattern_graph(pattern, num_copies=5, overlap_fraction=0.0, seed=0)
+        assert g.num_vertices == 15
+        assert count_subgraph_isomorphisms(pattern, g) == 5
+
+    def test_welded_copies_share_vertices(self):
+        pattern = triangle_pattern("A", "B", "C")
+        g = planted_pattern_graph(pattern, num_copies=10, overlap_fraction=1.0, seed=3)
+        assert g.num_vertices < 30
+
+    def test_background_noise_does_not_disturb_counts(self):
+        pattern = triangle_pattern("A", "B", "C")
+        g = planted_pattern_graph(
+            pattern,
+            num_copies=4,
+            background_vertices=20,
+            background_edge_probability=0.3,
+            seed=2,
+        )
+        assert count_subgraph_isomorphisms(pattern, g) == 4
+
+    def test_invalid_arguments(self):
+        pattern = triangle_pattern("A")
+        with pytest.raises(DatasetError):
+            planted_pattern_graph(pattern, num_copies=-1)
+        with pytest.raises(DatasetError):
+            planted_pattern_graph(pattern, num_copies=1, overlap_fraction=2.0)
+
+
+class TestCommunityGraph:
+    def test_shape(self):
+        g = community_graph(3, 5, seed=0)
+        assert g.num_vertices == 15
+
+    def test_intra_denser_than_inter(self):
+        g = community_graph(2, 10, intra_probability=0.8, inter_probability=0.02, seed=1)
+        intra = sum(
+            1 for u, v in g.edges() if (u // 10) == (v // 10)
+        )
+        inter = g.num_edges - intra
+        assert intra > inter
+
+    def test_invalid(self):
+        with pytest.raises(DatasetError):
+            community_graph(0, 5)
+
+
+class TestOccurrenceTargeting:
+    def test_reaches_target(self):
+        pattern = Pattern.single_edge("A", "B")
+        g = graph_with_occurrence_count(pattern, target_occurrences=30, seed=0)
+        assert count_subgraph_isomorphisms(pattern, g) >= 30
+
+
+class TestZoo:
+    def test_all_names_buildable(self):
+        for name in zoo_names():
+            graph = zoo_graph(name)
+            assert graph.num_vertices > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            zoo_graph("unicorn")
+
+    def test_fan_structure(self):
+        fan = zoo_graph("triangle_fan")
+        assert fan.degree(0) == 8  # 4 triangles x 2 rim vertices
+
+    def test_disjoint_triangles_structure(self):
+        g = zoo_graph("disjoint_triangles")
+        assert g.num_vertices == 9
+        assert g.num_edges == 9
+        assert len(g.connected_components()) == 3

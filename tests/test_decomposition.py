@@ -1,0 +1,88 @@
+"""Unit and property tests for additive (component-wise) measure computation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.paper_figures import load_figure
+from repro.datasets.synthetic import planted_pattern_graph, random_labeled_graph
+from repro.graph.builders import path_pattern, triangle_pattern
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.construction import HypergraphBundle
+from repro.measures.decomposition import (
+    component_statistics,
+    decomposed_lp_mvc_support,
+    decomposed_mies_support,
+    decomposed_mvc_support,
+    hypergraph_components,
+)
+from repro.measures.mies import mies_support_of
+from repro.measures.mvc import mvc_support_of
+from repro.measures.relaxations import lp_mvc_support_of
+
+
+class TestComponents:
+    def test_disjoint_edges_are_singleton_components(self):
+        h = Hypergraph.from_edge_sets([[1, 2], [3, 4], [5, 6]])
+        components = hypergraph_components(h)
+        assert len(components) == 3
+        assert all(c.num_edges == 1 for c in components)
+
+    def test_chain_is_one_component(self):
+        h = Hypergraph.from_edge_sets([[1, 2], [2, 3], [3, 4]])
+        assert len(hypergraph_components(h)) == 1
+
+    def test_empty_hypergraph(self):
+        assert hypergraph_components(Hypergraph()) == []
+
+    def test_components_partition_edges(self):
+        h = Hypergraph.from_edge_sets([[1, 2], [2, 3], [7, 8], [9, 10], [10, 11]])
+        components = hypergraph_components(h)
+        labels = sorted(
+            edge.label for component in components for edge in component.edges()
+        )
+        assert labels == sorted(e.label for e in h.edges())
+
+    def test_fig3_has_three_components(self):
+        fig = load_figure("fig3")
+        bundle = HypergraphBundle.build(fig.pattern, fig.data_graph)
+        # {e1}, {e2, e3, e4}, {e5, e6}.
+        components = hypergraph_components(bundle.occurrence_hg)
+        sizes = sorted(c.num_edges for c in components)
+        assert sizes == [1, 2, 3]
+
+
+class TestAdditivity:
+    @pytest.mark.parametrize("figure_id", [f"fig{i}" for i in range(1, 11)])
+    def test_decomposed_equals_monolithic_on_figures(self, figure_id):
+        fig = load_figure(figure_id)
+        bundle = HypergraphBundle.build(fig.pattern, fig.data_graph)
+        h = bundle.occurrence_hg
+        assert decomposed_mvc_support(h) == mvc_support_of(h)
+        assert decomposed_mies_support(h) == mies_support_of(h)
+        assert decomposed_lp_mvc_support(h) == pytest.approx(
+            lp_mvc_support_of(h), abs=1e-6
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=3_000))
+    def test_decomposed_equals_monolithic_on_random(self, seed):
+        graph = random_labeled_graph(10, 0.25, alphabet=("A", "B"), seed=seed)
+        pattern = path_pattern(["A", "B"])
+        bundle = HypergraphBundle.build(pattern, graph)
+        h = bundle.occurrence_hg
+        assert decomposed_mvc_support(h) == mvc_support_of(h)
+        assert decomposed_mies_support(h) == mies_support_of(h)
+
+    def test_decomposition_shrinks_planted_workload(self):
+        pattern = triangle_pattern("A", "B", "C")
+        graph = planted_pattern_graph(
+            pattern, num_copies=12, overlap_fraction=0.3, seed=5
+        )
+        bundle = HypergraphBundle.build(pattern, graph)
+        stats = component_statistics(bundle.occurrence_hg)
+        assert stats["components"] > 1
+        assert stats["reduction"] < 1.0
+
+    def test_statistics_empty(self):
+        stats = component_statistics(Hypergraph())
+        assert stats["components"] == 0

@@ -1,0 +1,97 @@
+"""Tests for the error hierarchy and the CLI chain command."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import (
+    BudgetExceededError,
+    DatasetError,
+    EdgeNotFoundError,
+    GraphError,
+    HypergraphError,
+    InfeasibleLPError,
+    LPError,
+    MeasureError,
+    MiningError,
+    PatternError,
+    ReproError,
+    SelfLoopError,
+    UnboundedLPError,
+    VertexNotFoundError,
+)
+from repro.graph.builders import path_graph
+from repro.graph.io import save_graph
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_class",
+        [
+            GraphError,
+            HypergraphError,
+            PatternError,
+            MeasureError,
+            LPError,
+            MiningError,
+            DatasetError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_class):
+        assert issubclass(error_class, ReproError)
+
+    def test_specialized_graph_errors(self):
+        assert issubclass(VertexNotFoundError, GraphError)
+        assert issubclass(EdgeNotFoundError, GraphError)
+        assert issubclass(SelfLoopError, GraphError)
+
+    def test_specialized_lp_errors(self):
+        assert issubclass(InfeasibleLPError, LPError)
+        assert issubclass(UnboundedLPError, LPError)
+
+    def test_budget_error_carries_budget(self):
+        error = BudgetExceededError(123)
+        assert error.budget == 123
+        assert "123" in str(error)
+
+    def test_vertex_error_carries_vertex(self):
+        error = VertexNotFoundError("ghost")
+        assert error.vertex == "ghost"
+
+    def test_edge_error_carries_edge(self):
+        error = EdgeNotFoundError(1, 2)
+        assert error.edge == (1, 2)
+
+    def test_catching_base_class(self):
+        from repro.graph.labeled_graph import LabeledGraph
+
+        g = LabeledGraph(vertices=[(1, "a")])
+        with pytest.raises(ReproError):
+            g.add_edge(1, 1)
+
+
+class TestChainCommand:
+    def test_chain_holds_and_prints(self, tmp_path, capsys):
+        graph_path = tmp_path / "g.lg"
+        pattern_path = tmp_path / "p.lg"
+        save_graph(path_graph(["a", "b", "a", "b"]), graph_path)
+        save_graph(path_graph(["a", "b"]), pattern_path)
+        assert main(["chain", str(graph_path), str(pattern_path)]) == 0
+        out = capsys.readouterr().out
+        assert "all chain relations hold" in out
+        assert "mis" in out and "mni" in out
+
+
+class TestOverlapCommand:
+    def test_overlap_classification_prints(self, tmp_path, capsys):
+        from repro.datasets.paper_figures import load_figure
+        from repro.graph.io import save_graph, save_pattern
+
+        fig = load_figure("fig9")
+        graph_path = tmp_path / "g.lg"
+        pattern_path = tmp_path / "p.lg"
+        save_graph(fig.data_graph, graph_path)
+        save_pattern(fig.pattern, pattern_path)
+        assert main(["overlap", str(graph_path), str(pattern_path)]) == 0
+        out = capsys.readouterr().out
+        assert "harmful" in out and "structural" in out
+        assert "MIS" in out

@@ -1,0 +1,142 @@
+"""Tests for the PMVC framework extension and the edge-overlap kind."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.paper_figures import load_figure
+from repro.datasets.synthetic import random_labeled_graph
+from repro.graph.builders import path_pattern, star_pattern, triangle_pattern
+from repro.hypergraph.construction import HypergraphBundle
+from repro.hypergraph.overlap import occurrence_overlap_graph
+from repro.isomorphism.matcher import find_occurrences
+from repro.measures.base import compute_support, measure_info
+from repro.measures.extensions import (
+    projected_hypergraph,
+    projected_mvc_breakdown,
+    projected_mvc_support_from_occurrences,
+)
+from repro.measures.mi import mi_support_from_occurrences
+from repro.measures.mvc import mvc_support_of
+
+
+class TestProjectedHypergraph:
+    def test_deduplicates_image_sets(self, fig2):
+        occurrences = find_occurrences(fig2.pattern, fig2.data_graph)
+        full_orbit = frozenset({"v1", "v2", "v3"})
+        projected = projected_hypergraph(full_orbit, occurrences)
+        # All six occurrences share the image set {1, 2, 3}.
+        assert projected.num_edges == 1
+
+    def test_singleton_projection_edges_are_vertices(self, fig4):
+        occurrences = find_occurrences(fig4.pattern, fig4.data_graph)
+        projected = projected_hypergraph(frozenset({"v1"}), occurrences)
+        assert projected.num_edges == 2  # images 1 and 4
+        assert projected.uniformity() == 1
+
+
+class TestPMVCSandwich:
+    @pytest.mark.parametrize("figure_id", [f"fig{i}" for i in range(1, 11)])
+    def test_between_mvc_and_mi_on_figures(self, figure_id):
+        fig = load_figure(figure_id)
+        bundle = HypergraphBundle.build(fig.pattern, fig.data_graph)
+        pmvc = projected_mvc_support_from_occurrences(
+            fig.pattern, bundle.occurrences
+        )
+        mvc = mvc_support_of(bundle.occurrence_hg)
+        mi = mi_support_from_occurrences(fig.pattern, bundle.occurrences)
+        assert mvc <= pmvc <= mi, figure_id
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    def test_sandwich_on_random_graphs(self, seed):
+        graph = random_labeled_graph(10, 0.3, alphabet=("A", "B"), seed=seed)
+        pattern = path_pattern(["A", "A"])
+        bundle = HypergraphBundle.build(pattern, graph)
+        if not bundle.occurrences:
+            return
+        pmvc = projected_mvc_support_from_occurrences(pattern, bundle.occurrences)
+        mvc = mvc_support_of(bundle.occurrence_hg)
+        mi = mi_support_from_occurrences(pattern, bundle.occurrences)
+        assert mvc <= pmvc <= mi
+
+    def test_strictly_below_mi_on_chained_stars(self):
+        # Three stars whose leaf pairs chain ({2,3}, {3,5}, {5,6}): the
+        # leaf-orbit image sets are distinct (so MI counts 3) but overlap
+        # pairwise, so a 2-vertex cover {3, 5} exists and PMVC = 2.
+        from repro.graph.labeled_graph import LabeledGraph
+
+        graph = LabeledGraph(
+            vertices=[
+                (1, "A"), (4, "A"), (7, "A"),
+                (2, "B"), (3, "B"), (5, "B"), (6, "B"),
+            ],
+            edges=[(1, 2), (1, 3), (4, 3), (4, 5), (7, 5), (7, 6)],
+        )
+        pattern = star_pattern("A", ["B", "B"])
+        occurrences = find_occurrences(pattern, graph)
+        mi = mi_support_from_occurrences(pattern, occurrences)
+        pmvc = projected_mvc_support_from_occurrences(pattern, occurrences)
+        assert mi == 3
+        assert pmvc == 2
+
+
+class TestPMVCAntiMonotonicity:
+    def test_fig5_extension(self):
+        fig = load_figure("fig5")
+        sub_occ = find_occurrences(fig.pattern, fig.data_graph)
+        sup_occ = find_occurrences(fig.superpattern, fig.data_graph)
+        assert projected_mvc_support_from_occurrences(
+            fig.pattern, sub_occ
+        ) >= projected_mvc_support_from_occurrences(fig.superpattern, sup_occ)
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2_000))
+    def test_triangle_vs_path_on_random(self, seed):
+        graph = random_labeled_graph(9, 0.4, alphabet=("A",), seed=seed)
+        triangle = triangle_pattern("A")
+        path = triangle.remove_edge_pattern("v1", "v3")
+        tri_occ = find_occurrences(triangle, graph)
+        path_occ = find_occurrences(path, graph)
+        assert projected_mvc_support_from_occurrences(
+            path, path_occ
+        ) >= projected_mvc_support_from_occurrences(triangle, tri_occ)
+
+
+class TestPMVCRegistry:
+    def test_registered_and_anti_monotonic(self):
+        info = measure_info("pmvc")
+        assert info.anti_monotonic
+
+    def test_zero_when_absent(self):
+        graph = random_labeled_graph(4, 0.0, alphabet=("A",), seed=1)
+        assert compute_support("pmvc", triangle_pattern("A"), graph) == 0.0
+
+    def test_breakdown_rows_respect_mi_bound(self, fig6):
+        occurrences = find_occurrences(fig6.pattern, fig6.data_graph)
+        for _subset, c_t, projected in projected_mvc_breakdown(
+            fig6.pattern, occurrences
+        ):
+            assert projected <= c_t
+
+
+class TestEdgeOverlapKind:
+    def test_edge_overlap_graph_is_sparser_than_simple(self, fig6):
+        occurrences = find_occurrences(fig6.pattern, fig6.data_graph)
+        simple = occurrence_overlap_graph(fig6.pattern, occurrences, kind="simple")
+        edge = occurrence_overlap_graph(fig6.pattern, occurrences, kind="edge")
+        assert edge.num_edges <= simple.num_edges
+
+    def test_edge_overlap_on_fig2_triangle(self, fig2):
+        # All six occurrences use the same three data edges: complete graph.
+        occurrences = find_occurrences(fig2.pattern, fig2.data_graph)
+        graph = occurrence_overlap_graph(fig2.pattern, occurrences, kind="edge")
+        assert graph.num_edges == 15  # C(6, 2)
+
+    def test_vertex_share_without_edge_share(self):
+        fig = load_figure("fig10")
+        occurrences = find_occurrences(fig.pattern, fig.data_graph)
+        simple = occurrence_overlap_graph(fig.pattern, occurrences, kind="simple")
+        edge = occurrence_overlap_graph(fig.pattern, occurrences, kind="edge")
+        # f1/f2/f3 share vertices but never a data edge.
+        assert simple.num_edges == 3
+        assert edge.num_edges == 0

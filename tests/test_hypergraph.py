@@ -1,0 +1,130 @@
+"""Unit tests for Hypergraph and DualHypergraph."""
+
+import pytest
+
+from repro.errors import HypergraphError
+from repro.hypergraph.hypergraph import DualHypergraph, Hyperedge, Hypergraph, dual_hypergraph
+
+
+def build_sample() -> Hypergraph:
+    h = Hypergraph(name="sample")
+    h.add_edge("e1", [1, 2, 3])
+    h.add_edge("e2", [3, 4])
+    h.add_edge("e3", [4, 5])
+    return h
+
+
+class TestHyperedge:
+    def test_basics(self):
+        e = Hyperedge("e1", [1, 2, 2, 3])
+        assert len(e) == 3
+        assert 2 in e
+        assert 9 not in e
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(HypergraphError):
+            Hyperedge("e", [])
+
+    def test_equality(self):
+        assert Hyperedge("e", [1, 2]) == Hyperedge("e", [2, 1])
+        assert Hyperedge("e", [1, 2]) != Hyperedge("f", [1, 2])
+
+
+class TestHypergraph:
+    def test_counts(self):
+        h = build_sample()
+        assert h.num_vertices == 5
+        assert h.num_edges == 3
+
+    def test_duplicate_label_rejected(self):
+        h = build_sample()
+        with pytest.raises(HypergraphError):
+            h.add_edge("e1", [9])
+
+    def test_duplicate_vertex_sets_allowed_with_distinct_labels(self):
+        # Fig. 2: six occurrence edges over one vertex set.
+        h = Hypergraph()
+        for i in range(6):
+            h.add_edge(f"f{i+1}", [1, 2, 3])
+        assert h.num_edges == 6
+        assert h.num_vertices == 3
+
+    def test_edge_lookup(self):
+        h = build_sample()
+        assert h.edge("e2").vertices == frozenset({3, 4})
+        with pytest.raises(HypergraphError):
+            h.edge("nope")
+
+    def test_edges_containing(self):
+        h = build_sample()
+        labels = [e.label for e in h.edges_containing(3)]
+        assert labels == ["e1", "e2"]
+        with pytest.raises(HypergraphError):
+            h.edges_containing(42)
+
+    def test_vertex_degree(self):
+        h = build_sample()
+        assert h.vertex_degree(3) == 2
+        assert h.vertex_degree(1) == 1
+        assert h.max_vertex_degree() == 2
+
+    def test_from_edge_sets(self):
+        h = Hypergraph.from_edge_sets([[1, 2], [2, 3]])
+        assert h.edge_labels() == ["e1", "e2"]
+
+    def test_uniformity(self):
+        assert Hypergraph.from_edge_sets([[1, 2], [3, 4]]).uniformity() == 2
+        assert build_sample().uniformity() is None
+        assert not build_sample().is_uniform()
+        assert Hypergraph().is_uniform()
+
+    def test_is_simple(self):
+        h = Hypergraph.from_edge_sets([[1, 2], [3, 4]])
+        assert h.is_simple()
+        nested = Hypergraph.from_edge_sets([[1, 2, 3], [1, 2]])
+        assert not nested.is_simple()
+        duplicated = Hypergraph.from_edge_sets([[1, 2], [1, 2]])
+        assert not duplicated.is_simple()
+
+    def test_overlapping_edge_pairs(self):
+        h = build_sample()
+        assert h.overlapping_edge_pairs() == [("e1", "e2"), ("e2", "e3")]
+
+    def test_restrict_vertices(self):
+        h = build_sample()
+        restricted = h.restrict_vertices([1, 2, 3])
+        assert restricted.num_edges == 2  # e3 emptied and dropped
+        assert restricted.edge("e2").vertices == frozenset({3})
+
+    def test_empty_hypergraph_properties(self):
+        h = Hypergraph()
+        assert h.num_vertices == 0
+        assert h.max_vertex_degree() == 0
+        assert h.overlapping_edge_pairs() == []
+
+
+class TestDual:
+    def test_dual_structure(self):
+        h = build_sample()
+        dual = dual_hypergraph(h)
+        assert isinstance(dual, DualHypergraph)
+        # One dual edge per primal vertex.
+        assert dual.hypergraph.num_edges == h.num_vertices
+        # Dual vertices are the primal edge labels.
+        assert set(dual.vertices()) == {"e1", "e2", "e3"}
+
+    def test_dual_edge_contents(self):
+        h = build_sample()
+        dual = dual_hypergraph(h)
+        assert dual.dual_edge(3).vertices == frozenset({"e1", "e2"})
+        assert dual.dual_edge(1).vertices == frozenset({"e1"})
+
+    def test_double_dual_recovers_incidence(self):
+        h = build_sample()
+        dual = dual_hypergraph(h)
+        # Vertex v is in edge e  <=>  e is in dual edge X_v.
+        for vertex in h.vertices():
+            for edge in h.edges():
+                assert (vertex in edge.vertices) == (
+                    edge.label in dual.dual_edge(vertex).vertices
+                )

@@ -1,0 +1,118 @@
+"""Unit tests for .lg graph I/O."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.builders import cycle_graph, path_graph
+from repro.graph.io import (
+    format_lg,
+    load_graph,
+    load_pattern,
+    parse_edge_list,
+    parse_lg,
+    read_lg_stream,
+    save_graph,
+    write_lg_stream,
+)
+from repro.isomorphism.vf2 import are_isomorphic
+
+
+SAMPLE = """\
+# t sample
+v 1 A
+v 2 B
+v 3 A
+e 1 2
+e 2 3
+"""
+
+
+class TestParseLG:
+    def test_parse_basic(self):
+        g = parse_lg(SAMPLE)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.label_of(1) == "A"
+
+    def test_comments_and_blanks_skipped(self):
+        g = parse_lg("# comment\n\nv 1 A\n\n# another\nv 2 B\ne 1 2\n")
+        assert g.num_vertices == 2
+
+    def test_string_vertex_ids(self):
+        g = parse_lg("v alpha A\nv beta B\ne alpha beta\n")
+        assert g.has_vertex("alpha")
+        assert g.has_edge("alpha", "beta")
+
+    def test_malformed_vertex_line(self):
+        with pytest.raises(DatasetError):
+            parse_lg("v 1\n")
+
+    def test_malformed_edge_line(self):
+        with pytest.raises(DatasetError):
+            parse_lg("v 1 A\ne 1\n")
+
+    def test_unknown_record_kind(self):
+        with pytest.raises(DatasetError):
+            parse_lg("x 1 2\n")
+
+    def test_edge_referencing_unknown_vertex(self):
+        with pytest.raises(DatasetError):
+            parse_lg("v 1 A\ne 1 2\n")
+
+
+class TestRoundTrip:
+    def test_format_parse_roundtrip(self):
+        g = cycle_graph(["a", "b", "c", "d"])
+        text = format_lg(g)
+        back = parse_lg(text)
+        assert back.num_vertices == g.num_vertices
+        assert back.num_edges == g.num_edges
+        assert are_isomorphic(g, back)
+
+    def test_file_roundtrip(self, tmp_path):
+        g = path_graph(["x", "y", "z"])
+        path = tmp_path / "g.lg"
+        save_graph(g, path)
+        back = load_graph(path)
+        assert are_isomorphic(g, back)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_graph(tmp_path / "nope.lg")
+
+    def test_load_pattern(self, tmp_path):
+        g = path_graph(["x", "y"])
+        path = tmp_path / "p.lg"
+        save_graph(g, path)
+        pattern = load_pattern(path)
+        assert pattern.num_nodes == 2
+
+
+class TestEdgeList:
+    def test_parse_edge_list(self):
+        g = parse_edge_list(["1 2", "2 3", "# comment", "", "3 1"])
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+        assert g.label_of(1) == "A"
+
+    def test_parse_edge_list_ignores_self_loops(self):
+        g = parse_edge_list(["1 1", "1 2"])
+        assert g.num_edges == 1
+
+    def test_malformed_line(self):
+        with pytest.raises(DatasetError):
+            parse_edge_list(["justone"])
+
+
+class TestStreams:
+    def test_multi_graph_stream_roundtrip(self, tmp_path):
+        import io
+
+        graphs = [path_graph(["a", "b"]), cycle_graph(["x"] * 3)]
+        buffer = io.StringIO()
+        count = write_lg_stream(graphs, buffer)
+        assert count == 2
+        back = read_lg_stream(buffer.getvalue())
+        assert len(back) == 2
+        assert are_isomorphic(back[0], graphs[0])
+        assert are_isomorphic(back[1], graphs[1])

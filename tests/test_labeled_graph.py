@@ -1,0 +1,223 @@
+"""Unit tests for the LabeledGraph substrate."""
+
+import pytest
+
+from repro.errors import (
+    EdgeNotFoundError,
+    GraphError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+from repro.graph.labeled_graph import LabeledGraph, normalize_edge
+
+
+def build_square():
+    return LabeledGraph(
+        vertices=[(1, "a"), (2, "b"), (3, "a"), (4, "b")],
+        edges=[(1, 2), (2, 3), (3, 4), (4, 1)],
+    )
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = LabeledGraph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.vertices() == []
+        assert g.edges() == []
+
+    def test_add_vertices_and_edges(self):
+        g = build_square()
+        assert g.num_vertices == 4
+        assert g.num_edges == 4
+        assert g.has_edge(1, 2) and g.has_edge(2, 1)
+        assert not g.has_edge(1, 3)
+
+    def test_readding_vertex_same_label_is_noop(self):
+        g = LabeledGraph()
+        g.add_vertex(1, "a")
+        g.add_vertex(1, "a")
+        assert g.num_vertices == 1
+
+    def test_readding_vertex_with_new_label_fails(self):
+        g = LabeledGraph()
+        g.add_vertex(1, "a")
+        with pytest.raises(GraphError):
+            g.add_vertex(1, "b")
+
+    def test_self_loop_rejected(self):
+        g = LabeledGraph(vertices=[(1, "a")])
+        with pytest.raises(SelfLoopError):
+            g.add_edge(1, 1)
+
+    def test_edge_to_missing_vertex_fails(self):
+        g = LabeledGraph(vertices=[(1, "a")])
+        with pytest.raises(VertexNotFoundError):
+            g.add_edge(1, 2)
+
+    def test_duplicate_edge_is_idempotent(self):
+        g = LabeledGraph(vertices=[(1, "a"), (2, "b")])
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert g.num_edges == 1
+
+
+class TestRemoval:
+    def test_remove_edge(self):
+        g = build_square()
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 3
+
+    def test_remove_missing_edge_fails(self):
+        g = build_square()
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(1, 3)
+
+    def test_remove_vertex_drops_incident_edges(self):
+        g = build_square()
+        g.remove_vertex(1)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert not g.has_vertex(1)
+
+    def test_remove_missing_vertex_fails(self):
+        g = build_square()
+        with pytest.raises(VertexNotFoundError):
+            g.remove_vertex(99)
+
+    def test_remove_vertex_cleans_label_index(self):
+        g = LabeledGraph(vertices=[(1, "only")])
+        g.remove_vertex(1)
+        assert g.vertices_with_label("only") == set()
+        assert "only" not in g.label_alphabet()
+
+
+class TestQueries:
+    def test_labels(self):
+        g = build_square()
+        assert g.label_of(1) == "a"
+        assert g.label_histogram() == {"a": 2, "b": 2}
+        assert g.label_alphabet() == ["a", "b"]
+        assert g.vertices_with_label("a") == {1, 3}
+
+    def test_label_of_missing_vertex(self):
+        g = build_square()
+        with pytest.raises(VertexNotFoundError):
+            g.label_of(42)
+
+    def test_neighbors_and_degree(self):
+        g = build_square()
+        assert g.neighbors(1) == {2, 4}
+        assert g.degree(1) == 2
+        assert g.neighbors_with_label(1, "b") == {2, 4}
+        assert g.neighbors_with_label(1, "a") == set()
+
+    def test_degree_sequence(self):
+        g = build_square()
+        assert g.degree_sequence() == [2, 2, 2, 2]
+
+    def test_contains_len_iter(self):
+        g = build_square()
+        assert 1 in g
+        assert 9 not in g
+        assert len(g) == 4
+        assert list(g) == [1, 2, 3, 4]
+
+    def test_edges_are_canonical_and_unique(self):
+        g = build_square()
+        edges = g.edges()
+        assert len(edges) == 4
+        assert all(u <= v for u, v in edges)
+
+
+class TestStructure:
+    def test_induced_subgraph(self):
+        g = build_square()
+        sub = g.subgraph([1, 2, 3])
+        assert sub.num_vertices == 3
+        assert sub.has_edge(1, 2) and sub.has_edge(2, 3)
+        assert not sub.has_edge(1, 3)
+
+    def test_subgraph_with_unknown_vertex_fails(self):
+        g = build_square()
+        with pytest.raises(VertexNotFoundError):
+            g.subgraph([1, 42])
+
+    def test_edge_subgraph(self):
+        g = build_square()
+        sub = g.edge_subgraph([(1, 2), (3, 4)])
+        assert sub.num_vertices == 4
+        assert sub.num_edges == 2
+
+    def test_edge_subgraph_missing_edge_fails(self):
+        g = build_square()
+        with pytest.raises(EdgeNotFoundError):
+            g.edge_subgraph([(1, 3)])
+
+    def test_copy_is_independent(self):
+        g = build_square()
+        clone = g.copy()
+        clone.remove_edge(1, 2)
+        assert g.has_edge(1, 2)
+        assert not clone.has_edge(1, 2)
+
+    def test_relabeled(self):
+        g = build_square()
+        renamed = g.relabeled({1: "x"})
+        assert renamed.has_vertex("x")
+        assert renamed.has_edge("x", 2)
+        assert not renamed.has_vertex(1)
+
+    def test_relabeled_non_injective_fails(self):
+        g = build_square()
+        with pytest.raises(GraphError):
+            g.relabeled({1: 2, 2: 2})
+
+    def test_connected_components(self):
+        g = LabeledGraph(
+            vertices=[(i, "a") for i in range(1, 6)],
+            edges=[(1, 2), (3, 4)],
+        )
+        components = g.connected_components()
+        assert sorted(sorted(c) for c in components) == [[1, 2], [3, 4], [5]]
+        assert not g.is_connected()
+        assert build_square().is_connected()
+
+    def test_empty_graph_is_not_connected(self):
+        assert not LabeledGraph().is_connected()
+
+    def test_is_subgraph_of(self):
+        g = build_square()
+        sub = g.subgraph([1, 2])
+        assert sub.is_subgraph_of(g)
+        assert not g.is_subgraph_of(sub)
+
+    def test_is_subgraph_of_respects_labels(self):
+        g = build_square()
+        other = LabeledGraph(vertices=[(1, "DIFFERENT")])
+        assert not other.is_subgraph_of(g)
+
+    def test_signature_equality(self):
+        assert build_square().signature() == build_square().signature()
+
+    def test_structural_equality(self):
+        assert build_square() == build_square()
+        other = build_square()
+        other.remove_edge(1, 2)
+        assert build_square() != other
+
+    def test_graphs_are_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(build_square())
+
+
+class TestNormalizeEdge:
+    def test_orders_comparable_ids(self):
+        assert normalize_edge(2, 1) == (1, 2)
+        assert normalize_edge(1, 2) == (1, 2)
+
+    def test_orders_mixed_types_by_repr(self):
+        e1 = normalize_edge("x", 1)
+        e2 = normalize_edge(1, "x")
+        assert e1 == e2

@@ -1,0 +1,92 @@
+"""Unit tests for the LinearProgram model layer and backend dispatch."""
+
+import pytest
+
+from repro.errors import LPError
+from repro.lp.model import LinearProgram, solve
+
+
+def cover_lp_for_triangle() -> LinearProgram:
+    lp = LinearProgram(sense="min")
+    for name in ("x1", "x2", "x3"):
+        lp.add_variable(name, objective=1.0)
+    lp.add_ge_constraint({"x1": 1.0, "x2": 1.0}, 1.0)
+    lp.add_ge_constraint({"x2": 1.0, "x3": 1.0}, 1.0)
+    lp.add_ge_constraint({"x1": 1.0, "x3": 1.0}, 1.0)
+    return lp
+
+
+class TestModel:
+    def test_variable_registration(self):
+        lp = LinearProgram()
+        index = lp.add_variable("x", objective=2.0)
+        assert index == 0
+        assert lp.num_variables == 1
+        assert lp.variable_names() == ["x"]
+
+    def test_duplicate_variable_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(LPError):
+            lp.add_variable("x")
+
+    def test_unknown_variable_in_constraint(self):
+        lp = LinearProgram()
+        with pytest.raises(LPError):
+            lp.add_le_constraint({"ghost": 1.0}, 1.0)
+
+    def test_invalid_bounds(self):
+        lp = LinearProgram()
+        with pytest.raises(LPError):
+            lp.add_variable("x", lower=2.0, upper=1.0)
+
+    def test_invalid_sense(self):
+        with pytest.raises(LPError):
+            LinearProgram(sense="diagonal")
+
+    def test_dense_rows(self):
+        lp = cover_lp_for_triangle()
+        rows, rhs = lp.dense_rows()
+        assert len(rows) == 3
+        assert rhs == [-1.0, -1.0, -1.0]  # ge stored negated
+        assert rows[0] == [-1.0, -1.0, 0.0]
+
+
+class TestSolveBackends:
+    def test_auto_backend(self):
+        solution = solve(cover_lp_for_triangle())
+        assert solution.value == pytest.approx(1.5)
+
+    def test_simplex_backend(self):
+        solution = solve(cover_lp_for_triangle(), backend="simplex")
+        assert solution.value == pytest.approx(1.5)
+        assert solution.backend == "simplex"
+
+    def test_scipy_backend(self):
+        pytest.importorskip("scipy")
+        solution = solve(cover_lp_for_triangle(), backend="scipy")
+        assert solution.value == pytest.approx(1.5)
+        assert solution.backend == "scipy-highs"
+
+    def test_backends_agree_on_assignment_value(self):
+        lp1 = cover_lp_for_triangle()
+        lp2 = cover_lp_for_triangle()
+        simplex = solve(lp1, backend="simplex")
+        auto = solve(lp2, backend="auto")
+        assert simplex.value == pytest.approx(auto.value, abs=1e-7)
+
+    def test_solution_getitem(self):
+        solution = solve(cover_lp_for_triangle(), backend="simplex")
+        assert 0.0 <= solution["x1"] <= 1.0
+
+    def test_unknown_backend(self):
+        with pytest.raises(LPError):
+            solve(cover_lp_for_triangle(), backend="abacus")
+
+    def test_maximization_problem(self):
+        lp = LinearProgram(sense="max")
+        lp.add_variable("y1", objective=1.0)
+        lp.add_variable("y2", objective=1.0)
+        lp.add_le_constraint({"y1": 1.0, "y2": 1.0}, 1.0)
+        solution = solve(lp, backend="simplex")
+        assert solution.value == pytest.approx(1.0)

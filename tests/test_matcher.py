@@ -1,0 +1,108 @@
+"""Unit tests for occurrence/instance enumeration (Definitions 2.1.8-2.1.9)."""
+
+import pytest
+
+from repro.graph.builders import complete_graph, path_graph, triangle_pattern
+from repro.graph.pattern import Pattern
+from repro.isomorphism.matcher import (
+    Occurrence,
+    find_instances,
+    find_occurrences,
+    group_into_instances,
+    summarize_matches,
+)
+
+
+class TestOccurrence:
+    def test_from_mapping_roundtrip(self):
+        occ = Occurrence.from_mapping({"v1": 3, "v2": 1}, index=0)
+        assert occ.mapping == {"v1": 3, "v2": 1}
+        assert occ.image_of("v1") == 3
+        assert occ.vertex_set == frozenset({1, 3})
+
+    def test_image_of_missing_node(self):
+        occ = Occurrence.from_mapping({"v1": 3})
+        with pytest.raises(KeyError):
+            occ.image_of("nope")
+
+    def test_image_of_set(self):
+        occ = Occurrence.from_mapping({"v1": 3, "v2": 1, "v3": 2})
+        assert occ.image_of_set(["v1", "v3"]) == frozenset({2, 3})
+
+    def test_labels_follow_paper_convention(self):
+        assert Occurrence.from_mapping({"v1": 1}, index=0).label() == "f1"
+        assert Occurrence.from_mapping({"v1": 1}, index=4).label() == "f5"
+
+    def test_edge_set(self):
+        p = triangle_pattern("a")
+        occ = Occurrence.from_mapping({"v1": 1, "v2": 2, "v3": 3})
+        assert occ.edge_set(p) == frozenset({(1, 2), (2, 3), (1, 3)})
+
+    def test_occurrences_hashable(self):
+        a = Occurrence.from_mapping({"v1": 1}, index=0)
+        b = Occurrence.from_mapping({"v1": 1}, index=0)
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestInstanceGrouping:
+    def test_triangle_six_occurrences_one_instance(self, fig2):
+        occurrences = find_occurrences(fig2.pattern, fig2.data_graph)
+        assert len(occurrences) == 6
+        instances = group_into_instances(fig2.pattern, occurrences)
+        assert len(instances) == 1
+        assert instances[0].vertex_set == frozenset({1, 2, 3})
+        assert instances[0].occurrence_indices == (0, 1, 2, 3, 4, 5)
+
+    def test_instance_labels(self, fig2):
+        instances = find_instances(fig2.pattern, fig2.data_graph)
+        assert instances[0].label() == "S1"
+
+    def test_instance_subgraph_materialization(self, fig2):
+        instance = find_instances(fig2.pattern, fig2.data_graph)[0]
+        sub = instance.subgraph(fig2.data_graph)
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+
+    def test_asymmetric_pattern_instances_equal_occurrences(self, fig4):
+        occurrences = find_occurrences(fig4.pattern, fig4.data_graph)
+        instances = find_instances(fig4.pattern, fig4.data_graph)
+        # a-b-b path admits no automorphism, so 1:1.
+        assert len(occurrences) == len(instances) == 2
+
+    def test_instances_distinguished_by_edge_set(self):
+        # Two triangles sharing all three vertices is impossible in simple
+        # graphs, but two paths can share vertex sets with different edges:
+        # data: square 1-2-3-4-1; pattern path of 3 uniform.
+        from repro.graph.builders import cycle_graph, path_pattern
+
+        g = cycle_graph(["a"] * 4)
+        p = path_pattern(["a"] * 3)
+        instances = find_instances(p, g)
+        # Paths 1-2-3 / 2-3-4 / 3-4-1 / 4-1-2: four distinct edge sets.
+        assert len(instances) == 4
+
+    def test_summarize_matches(self, fig2):
+        summary = summarize_matches(fig2.pattern, fig2.data_graph)
+        assert summary.num_occurrences == 6
+        assert summary.num_instances == 1
+        assert summary.occurrences_per_instance == 6.0
+
+    def test_summary_of_absent_pattern(self):
+        g = path_graph(["a", "a"])
+        p = triangle_pattern("a")
+        summary = summarize_matches(p, g)
+        assert summary.num_occurrences == 0
+        assert summary.occurrences_per_instance == 0.0
+
+    def test_occurrences_per_instance_equals_automorphism_count(self):
+        from repro.graph.automorphism import automorphism_group_size
+
+        g = complete_graph(["a"] * 4)
+        p = triangle_pattern("a")
+        summary = summarize_matches(p, g)
+        assert (
+            summary.occurrences_per_instance
+            == automorphism_group_size(p.graph)
+            == 6
+        )

@@ -1,0 +1,119 @@
+"""Unit tests for the MI measure (Section 3.2)."""
+
+import pytest
+
+from repro.datasets.paper_figures import load_figure
+from repro.graph.builders import path_pattern, star_graph, star_pattern, triangle_pattern
+from repro.graph.labeled_graph import LabeledGraph
+from repro.isomorphism.matcher import Occurrence, find_occurrences
+from repro.measures.base import compute_support
+from repro.measures.mi import (
+    coarse_grained_image_count,
+    mi_support_breakdown,
+    mi_support_from_occurrences,
+)
+from repro.measures.mni import mni_support_from_occurrences
+
+
+class TestCoarseGrainedImageCount:
+    def test_image_sets_collapse_orderings(self):
+        # Fig. 4's point: {2,3} and {3,2} are one image set.
+        occurrences = [
+            Occurrence.from_mapping({"v2": 2, "v3": 3}, 0),
+            Occurrence.from_mapping({"v2": 3, "v3": 2}, 1),
+        ]
+        assert coarse_grained_image_count(frozenset({"v2", "v3"}), occurrences) == 1
+
+    def test_singleton_counts_distinct_vertices(self):
+        occurrences = [
+            Occurrence.from_mapping({"v2": 2, "v3": 3}, 0),
+            Occurrence.from_mapping({"v2": 3, "v3": 2}, 1),
+        ]
+        assert coarse_grained_image_count(frozenset({"v2"}), occurrences) == 2
+
+
+class TestMI:
+    def test_fig4_value(self, fig4):
+        occurrences = find_occurrences(fig4.pattern, fig4.data_graph)
+        assert mi_support_from_occurrences(fig4.pattern, occurrences) == 1
+        assert mni_support_from_occurrences(fig4.pattern, occurrences) == 2
+
+    def test_fig2_value(self, fig2):
+        occurrences = find_occurrences(fig2.pattern, fig2.data_graph)
+        # All six occurrences map the full orbit {v1,v2,v3} to {1,2,3}.
+        assert mi_support_from_occurrences(fig2.pattern, occurrences) == 1
+
+    def test_fig6_mi_equals_mni(self, fig6):
+        # Distinct labels: no non-trivial transitive subsets.
+        occurrences = find_occurrences(fig6.pattern, fig6.data_graph)
+        assert mi_support_from_occurrences(fig6.pattern, occurrences) == 4
+        assert mni_support_from_occurrences(fig6.pattern, occurrences) == 4
+
+    def test_fig9_value(self):
+        fig = load_figure("fig9")
+        occurrences = find_occurrences(fig.pattern, fig.data_graph)
+        assert mi_support_from_occurrences(fig.pattern, occurrences) == 2
+
+    def test_zero_without_occurrences(self):
+        p = triangle_pattern("a")
+        assert mi_support_from_occurrences(p, []) == 0
+
+    def test_mi_bounded_by_mni_on_star(self):
+        g = star_graph("c", ["l"] * 5)
+        p = star_pattern("c", ["l", "l"])
+        occurrences = find_occurrences(p, g)
+        mi = mi_support_from_occurrences(p, occurrences)
+        mni = mni_support_from_occurrences(p, occurrences)
+        assert mi <= mni
+
+    def test_max_subpattern_size_interpolates(self, fig4):
+        occurrences = find_occurrences(fig4.pattern, fig4.data_graph)
+        # Cap 1: singletons only => MNI.
+        capped = mi_support_from_occurrences(
+            fig4.pattern, occurrences, max_subpattern_size=1
+        )
+        assert capped == mni_support_from_occurrences(fig4.pattern, occurrences)
+        full = mi_support_from_occurrences(fig4.pattern, occurrences)
+        assert full <= capped
+
+    def test_non_induced_family_never_larger(self):
+        # Extra (edge-subset) subpatterns can only lower the minimum.
+        fig = load_figure("fig8")
+        occurrences = find_occurrences(fig.pattern, fig.data_graph)
+        induced = mi_support_from_occurrences(fig.pattern, occurrences, induced=True)
+        all_subs = mi_support_from_occurrences(fig.pattern, occurrences, induced=False)
+        assert all_subs <= induced
+
+    def test_breakdown_contains_all_subsets(self, fig4):
+        occurrences = find_occurrences(fig4.pattern, fig4.data_graph)
+        breakdown = dict(mi_support_breakdown(fig4.pattern, occurrences))
+        assert breakdown[frozenset({"v2", "v3"})] == 1
+        assert breakdown[frozenset({"v1"})] == 2
+        assert min(breakdown.values()) == 1
+
+    def test_registry_entry(self, fig4):
+        assert compute_support("mi", fig4.pattern, fig4.data_graph) == 1.0
+
+
+class TestAntiMonotonicity:
+    def test_mi_anti_monotone_fig5(self):
+        fig5 = load_figure("fig5")
+        sub_occ = find_occurrences(fig5.pattern, fig5.data_graph)
+        super_occ = find_occurrences(fig5.superpattern, fig5.data_graph)
+        assert mi_support_from_occurrences(
+            fig5.pattern, sub_occ
+        ) >= mi_support_from_occurrences(fig5.superpattern, super_occ)
+
+    def test_mi_anti_monotone_on_path_chain(self):
+        # Growing path patterns against a fixed chain graph.
+        g = LabeledGraph(
+            vertices=[(i, "a") for i in range(1, 9)],
+            edges=[(i, i + 1) for i in range(1, 8)],
+        )
+        previous = None
+        for length in (2, 3, 4, 5):
+            p = path_pattern(["a"] * length)
+            value = mi_support_from_occurrences(p, find_occurrences(p, g))
+            if previous is not None:
+                assert value <= previous
+            previous = value

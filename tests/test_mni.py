@@ -1,0 +1,103 @@
+"""Unit tests for the MNI measure (Definitions 2.2.8-2.2.9)."""
+
+import pytest
+
+from repro.errors import MeasureError
+from repro.graph.builders import complete_graph, path_graph, path_pattern, triangle_pattern
+from repro.hypergraph.construction import HypergraphBundle
+from repro.isomorphism.matcher import find_occurrences
+from repro.measures.base import compute_support
+from repro.measures.mni import (
+    mni_k_support_from_occurrences,
+    mni_support_from_occurrences,
+    node_image_counts,
+)
+
+
+class TestMNI:
+    def test_fig2_value(self, fig2):
+        occurrences = find_occurrences(fig2.pattern, fig2.data_graph)
+        assert mni_support_from_occurrences(fig2.pattern, occurrences) == 3
+
+    def test_fig2_per_node_images(self, fig2):
+        occurrences = find_occurrences(fig2.pattern, fig2.data_graph)
+        counts = node_image_counts(fig2.pattern, occurrences)
+        assert counts == {"v1": 3, "v2": 3, "v3": 3}
+
+    def test_fig4_value(self, fig4):
+        occurrences = find_occurrences(fig4.pattern, fig4.data_graph)
+        assert mni_support_from_occurrences(fig4.pattern, occurrences) == 2
+
+    def test_zero_when_no_occurrence(self):
+        p = triangle_pattern("a")
+        g = path_graph(["a", "a"])
+        assert mni_support_from_occurrences(p, find_occurrences(p, g)) == 0
+
+    def test_minimum_over_nodes(self):
+        # Star center has 1 image, leaves have many: MNI = 1.
+        from repro.graph.builders import star_graph, star_pattern
+
+        g = star_graph("c", ["l"] * 4)
+        p = star_pattern("c", ["l", "l"])
+        occurrences = find_occurrences(p, g)
+        counts = node_image_counts(p, occurrences)
+        assert counts["v1"] == 1
+        assert counts["v2"] == 4
+        assert mni_support_from_occurrences(p, occurrences) == 1
+
+    def test_registry_entry(self, fig2):
+        value = compute_support("mni", fig2.pattern, fig2.data_graph)
+        assert value == 3.0
+
+
+class TestMNIk:
+    def test_k1_equals_plain_mni(self, fig2):
+        occurrences = find_occurrences(fig2.pattern, fig2.data_graph)
+        assert mni_k_support_from_occurrences(
+            fig2.pattern, occurrences, k=1
+        ) == mni_support_from_occurrences(fig2.pattern, occurrences)
+
+    def test_k_equals_pattern_size_counts_image_sets(self, fig2):
+        occurrences = find_occurrences(fig2.pattern, fig2.data_graph)
+        # All six occurrences share the single image set {1,2,3}.
+        assert mni_k_support_from_occurrences(fig2.pattern, occurrences, k=3) == 1
+
+    def test_k2_on_fig4(self, fig4):
+        occurrences = find_occurrences(fig4.pattern, fig4.data_graph)
+        # Connected pairs: {v1,v2} images {1,2},{4,3}; {v2,v3} images {2,3},{3,2}->1.
+        assert mni_k_support_from_occurrences(fig4.pattern, occurrences, k=2) == 1
+
+    def test_values_on_complete_graph(self):
+        # K5, uniform 3-path: k=1 counts vertices (5); k=2 counts vertex
+        # pairs (C(5,2) = 10); k=3 counts vertex triples (C(5,3) = 10).
+        # Note MNI-k is *not* monotone in k — image sets of larger subsets
+        # can be more numerous than single-vertex images.
+        g = complete_graph(["a"] * 5)
+        p = path_pattern(["a", "a", "a"])
+        occurrences = find_occurrences(p, g)
+        values = [
+            mni_k_support_from_occurrences(p, occurrences, k=k) for k in (1, 2, 3)
+        ]
+        assert values == [5, 10, 10]
+
+    def test_invalid_k(self, fig2):
+        occurrences = find_occurrences(fig2.pattern, fig2.data_graph)
+        with pytest.raises(MeasureError):
+            mni_k_support_from_occurrences(fig2.pattern, occurrences, k=0)
+        with pytest.raises(MeasureError):
+            mni_k_support_from_occurrences(fig2.pattern, occurrences, k=99)
+
+    def test_empty_occurrences(self, fig2):
+        assert mni_k_support_from_occurrences(fig2.pattern, [], k=2) == 0
+
+
+class TestAntiMonotonicity:
+    def test_mni_anti_monotone_under_extension(self, fig2):
+        from repro.datasets.paper_figures import load_figure
+
+        fig5 = load_figure("fig5")
+        sub_occ = find_occurrences(fig5.pattern, fig5.data_graph)
+        super_occ = find_occurrences(fig5.superpattern, fig5.data_graph)
+        assert mni_support_from_occurrences(
+            fig5.pattern, sub_occ
+        ) >= mni_support_from_occurrences(fig5.superpattern, super_occ)

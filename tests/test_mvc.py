@@ -1,0 +1,173 @@
+"""Unit tests for the MVC measure and its approximations (Section 3.3)."""
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.construction import HypergraphBundle
+from repro.measures.base import compute_support
+from repro.measures.mvc import (
+    greedy_vertex_cover,
+    is_vertex_cover,
+    lp_relaxed_cover,
+    lp_rounded_vertex_cover,
+    matching_lower_bound,
+    minimum_vertex_cover,
+    mvc_support_of,
+)
+
+
+def fig6_hypergraph() -> Hypergraph:
+    """The hyperedges of Fig. 6 as listed in the thesis."""
+    return Hypergraph.from_edge_sets(
+        [[1, 5], [1, 6], [1, 7], [1, 8], [2, 8], [3, 8], [4, 8]]
+    )
+
+
+class TestExactMVC:
+    def test_fig6_cover_is_1_and_8(self):
+        cover = minimum_vertex_cover(fig6_hypergraph())
+        assert cover == {1, 8}
+
+    def test_fig2_single_vertex_covers(self, fig2):
+        bundle = HypergraphBundle.build(fig2.pattern, fig2.data_graph)
+        assert mvc_support_of(bundle.occurrence_hg) == 1
+
+    def test_empty_hypergraph(self):
+        assert minimum_vertex_cover(Hypergraph()) == set()
+        assert mvc_support_of(Hypergraph()) == 0
+
+    def test_disjoint_edges_need_one_each(self):
+        h = Hypergraph.from_edge_sets([[1, 2], [3, 4], [5, 6]])
+        assert mvc_support_of(h) == 3
+
+    def test_sunflower_covered_by_core(self):
+        h = Hypergraph.from_edge_sets([[0, 1, 2], [0, 3, 4], [0, 5, 6]])
+        assert minimum_vertex_cover(h) == {0}
+
+    def test_result_is_a_cover(self, fig6):
+        bundle = HypergraphBundle.build(fig6.pattern, fig6.data_graph)
+        cover = minimum_vertex_cover(bundle.occurrence_hg)
+        assert is_vertex_cover(bundle.occurrence_hg, cover)
+
+    def test_budget_guard_general_solver(self):
+        # 3-uniform input goes through edge branching; budget of 1 node.
+        h = Hypergraph.from_edge_sets(
+            [[1, 2, 3], [3, 4, 5], [5, 6, 1], [2, 4, 6], [1, 4, 7]]
+        )
+        with pytest.raises(BudgetExceededError):
+            minimum_vertex_cover(h, budget=1)
+
+    def test_budget_guard_graph_solver(self):
+        # C5's vertex-cover LP is all-half, so Nemhauser-Trotter fixes
+        # nothing and the graph branch-and-bound must actually branch.
+        h = Hypergraph.from_edge_sets([[i, (i + 1) % 5] for i in range(5)])
+        with pytest.raises(BudgetExceededError):
+            minimum_vertex_cover(h, budget=1)
+
+    def test_nt_core_solved_correctly_on_odd_cycles(self):
+        # C5 cover = 3, C7 cover = 4: all-half LPs, pure core search.
+        for n, want in ((5, 3), (7, 4)):
+            h = Hypergraph.from_edge_sets([[i, (i + 1) % n] for i in range(n)])
+            assert mvc_support_of(h) == want
+
+    def test_graph_solver_matches_bruteforce(self):
+        import random
+        from itertools import combinations
+
+        rng = random.Random(3)
+        for _trial in range(12):
+            n = rng.randint(3, 8)
+            edges = set()
+            for _ in range(rng.randint(2, 12)):
+                u, v = rng.sample(range(n), 2)
+                edges.add((min(u, v), max(u, v)))
+            h = Hypergraph.from_edge_sets([list(e) for e in sorted(edges)])
+            brute = None
+            vertices = sorted({x for e in edges for x in e})
+            for size in range(len(vertices) + 1):
+                for combo in combinations(vertices, size):
+                    chosen = set(combo)
+                    if all(set(e) & chosen for e in edges):
+                        brute = size
+                        break
+                if brute is not None:
+                    break
+            assert mvc_support_of(h) == brute, sorted(edges)
+
+    def test_3_uniform_cover(self):
+        # Two triangles sharing a vertex.
+        h = Hypergraph.from_edge_sets([[1, 2, 3], [3, 4, 5]])
+        assert mvc_support_of(h) == 1
+
+
+class TestGreedyCover:
+    def test_greedy_is_a_cover(self):
+        h = fig6_hypergraph()
+        cover = greedy_vertex_cover(h)
+        assert is_vertex_cover(h, cover)
+
+    def test_greedy_within_k_factor(self):
+        h = fig6_hypergraph()
+        k = h.uniformity()
+        greedy = len(greedy_vertex_cover(h))
+        optimal = mvc_support_of(h)
+        assert greedy <= k * optimal
+
+    def test_greedy_on_disjoint_edges(self):
+        h = Hypergraph.from_edge_sets([[1, 2], [3, 4]])
+        assert len(greedy_vertex_cover(h)) == 4  # takes both endpoints
+
+
+class TestMatchingLowerBound:
+    def test_bound_below_optimum(self):
+        h = fig6_hypergraph()
+        bound = matching_lower_bound([e.vertices for e in h.edges()])
+        assert bound <= mvc_support_of(h)
+        assert bound >= 1
+
+    def test_bound_on_disjoint_edges_is_exact(self):
+        sets = [frozenset({1, 2}), frozenset({3, 4}), frozenset({5, 6})]
+        assert matching_lower_bound(sets) == 3
+
+
+class TestLPRounding:
+    def test_lp_value_below_integral(self):
+        h = fig6_hypergraph()
+        value, assignment = lp_relaxed_cover(h)
+        assert value <= mvc_support_of(h) + 1e-9
+        assert all(-1e-9 <= x <= 1 + 1e-9 for x in assignment.values())
+
+    def test_rounded_set_is_cover(self):
+        h = fig6_hypergraph()
+        rounded = lp_rounded_vertex_cover(h)
+        assert is_vertex_cover(h, rounded)
+
+    def test_rounded_within_k_factor(self):
+        h = Hypergraph.from_edge_sets([[1, 2, 3], [3, 4, 5], [5, 6, 1], [2, 4, 6]])
+        k = h.uniformity()
+        assert len(lp_rounded_vertex_cover(h)) <= k * mvc_support_of(h)
+
+    def test_rounding_empty_hypergraph(self):
+        assert lp_rounded_vertex_cover(Hypergraph()) == set()
+
+
+class TestRegistry:
+    def test_mvc_measure(self, fig6):
+        assert compute_support("mvc", fig6.pattern, fig6.data_graph) == 2.0
+
+    def test_mvc_greedy_measure_upper_bounds_exact(self, fig6):
+        exact = compute_support("mvc", fig6.pattern, fig6.data_graph)
+        greedy = compute_support("mvc_greedy", fig6.pattern, fig6.data_graph)
+        assert greedy >= exact
+
+
+class TestAntiMonotonicity:
+    def test_fig5_extension_keeps_mvc_1(self):
+        from repro.datasets.paper_figures import load_figure
+
+        fig5 = load_figure("fig5")
+        sub = HypergraphBundle.build(fig5.pattern, fig5.data_graph)
+        sup = HypergraphBundle.build(fig5.superpattern, fig5.data_graph)
+        assert mvc_support_of(sub.occurrence_hg) == 1
+        assert mvc_support_of(sup.occurrence_hg) == 1

@@ -1,0 +1,188 @@
+"""Unit tests for simple/harmful/structural overlap and overlap graphs.
+
+The Figure 9 / Figure 10 relations are the paper's own test vectors for the
+overlap semantics; they are asserted pairwise here.
+"""
+
+import pytest
+
+from repro.datasets.paper_figures import load_figure
+from repro.graph.builders import path_pattern
+from repro.hypergraph.overlap import (
+    OverlapGraph,
+    edge_overlap,
+    harmful_overlap,
+    instance_overlap_graph,
+    occurrence_overlap_graph,
+    overlap_statistics,
+    overlaps,
+    simple_overlap,
+    structural_overlap,
+)
+from repro.isomorphism.matcher import Occurrence, find_instances, find_occurrences
+
+
+def occurrences_by_vertex_tuple(pattern, data):
+    """Map (image of v1, image of v2, ...) -> occurrence, for assertions."""
+    order = pattern.nodes()
+    found = {}
+    for occ in find_occurrences(pattern, data):
+        mapping = occ.mapping
+        found[tuple(mapping[node] for node in order)] = occ
+    return found
+
+
+class TestSimpleOverlap:
+    def test_sharing_one_vertex(self):
+        a = Occurrence.from_mapping({"v1": 1, "v2": 2}, 0)
+        b = Occurrence.from_mapping({"v1": 2, "v2": 3}, 1)
+        assert simple_overlap(a, b)
+
+    def test_disjoint(self):
+        a = Occurrence.from_mapping({"v1": 1, "v2": 2}, 0)
+        b = Occurrence.from_mapping({"v1": 3, "v2": 4}, 1)
+        assert not simple_overlap(a, b)
+
+
+class TestEdgeOverlap:
+    def test_shared_data_edge(self):
+        p = path_pattern(["a", "a"])
+        a = Occurrence.from_mapping({"v1": 1, "v2": 2}, 0)
+        b = Occurrence.from_mapping({"v1": 2, "v2": 1}, 1)
+        assert edge_overlap(p, a, b)
+
+    def test_shared_vertex_but_no_shared_edge(self):
+        p = path_pattern(["a", "a"])
+        a = Occurrence.from_mapping({"v1": 1, "v2": 2}, 0)
+        b = Occurrence.from_mapping({"v1": 2, "v2": 3}, 1)
+        assert not edge_overlap(p, a, b)
+
+
+class TestFigure9Relations:
+    """g1=(1,2,3), g2=(5,3,4), g3=(5,3,2): SO without HO, and SO+HO."""
+
+    @pytest.fixture()
+    def setup(self):
+        fig = load_figure("fig9")
+        occs = occurrences_by_vertex_tuple(fig.pattern, fig.data_graph)
+        return fig.pattern, occs[(1, 2, 3)], occs[(5, 3, 4)], occs[(5, 3, 2)]
+
+    def test_exactly_three_occurrences(self):
+        fig = load_figure("fig9")
+        assert len(find_occurrences(fig.pattern, fig.data_graph)) == 3
+
+    def test_g1_g2_structural_not_harmful(self, setup):
+        pattern, g1, g2, _g3 = setup
+        assert structural_overlap(pattern, g1, g2)
+        assert not harmful_overlap(pattern, g1, g2)
+        assert simple_overlap(g1, g2)
+
+    def test_g1_g3_both(self, setup):
+        pattern, g1, _g2, g3 = setup
+        assert structural_overlap(pattern, g1, g3)
+        assert harmful_overlap(pattern, g1, g3)
+
+    def test_g2_g3_share_two_vertices(self, setup):
+        pattern, _g1, g2, g3 = setup
+        assert simple_overlap(g2, g3)
+        # v1 -> 5 and v2 -> 3 are fixed shared images: harmful and structural.
+        assert harmful_overlap(pattern, g2, g3)
+        assert structural_overlap(pattern, g2, g3)
+
+
+class TestFigure10Relations:
+    """f1=(1,2,3,4), f2=(4,5,6,1), f3=(1,7,8,9): HO without SO; simple-only."""
+
+    @pytest.fixture()
+    def setup(self):
+        fig = load_figure("fig10")
+        occs = occurrences_by_vertex_tuple(fig.pattern, fig.data_graph)
+        return (
+            fig.pattern,
+            occs[(1, 2, 3, 4)],
+            occs[(4, 5, 6, 1)],
+            occs[(1, 7, 8, 9)],
+        )
+
+    def test_exactly_three_occurrences(self):
+        fig = load_figure("fig10")
+        assert len(find_occurrences(fig.pattern, fig.data_graph)) == 3
+
+    def test_f1_f2_harmful_not_structural(self, setup):
+        pattern, f1, f2, _f3 = setup
+        assert harmful_overlap(pattern, f1, f2)
+        assert not structural_overlap(pattern, f1, f2)
+        assert simple_overlap(f1, f2)
+
+    def test_f2_f3_simple_only(self, setup):
+        pattern, _f1, f2, f3 = setup
+        assert simple_overlap(f2, f3)
+        assert not harmful_overlap(pattern, f2, f3)
+        assert not structural_overlap(pattern, f2, f3)
+
+    def test_f1_f3_share_vertex_1_at_same_node(self, setup):
+        pattern, f1, _f2, f3 = setup
+        # f1(v1) = f3(v1) = 1: harmful, and structural via the identity pair.
+        assert harmful_overlap(pattern, f1, f3)
+        assert structural_overlap(pattern, f1, f3)
+
+
+class TestContainmentTheorems:
+    """HO => simple and SO => simple, on every figure example."""
+
+    @pytest.mark.parametrize("figure_id", [f"fig{i}" for i in range(1, 11)])
+    def test_containment(self, figure_id):
+        fig = load_figure(figure_id)
+        occurrences = find_occurrences(fig.pattern, fig.data_graph)
+        stats = overlap_statistics(fig.pattern, occurrences)
+        assert stats.harmful_pairs <= stats.simple_pairs
+        assert stats.structural_pairs <= stats.simple_pairs
+        assert stats.total_pairs >= stats.simple_pairs
+
+
+class TestOverlapGraphs:
+    def test_fig6_occurrence_overlap_graph(self, fig6):
+        occurrences = find_occurrences(fig6.pattern, fig6.data_graph)
+        graph = occurrence_overlap_graph(fig6.pattern, occurrences, kind="simple")
+        assert graph.num_nodes == 7
+        # Occurrences through vertex 1 form a K4, through vertex 8 a K4,
+        # sharing the single occurrence (1, 8): 6 + 6 - counted shared edges.
+        assert graph.num_edges == 12
+
+    def test_instance_overlap_graph_matches_occurrence_semantics(self, fig6):
+        occurrences = find_occurrences(fig6.pattern, fig6.data_graph)
+        instances = find_instances(fig6.pattern, fig6.data_graph)
+        occ_graph = occurrence_overlap_graph(fig6.pattern, occurrences)
+        inst_graph = instance_overlap_graph(instances)
+        assert occ_graph.num_nodes == inst_graph.num_nodes
+        assert occ_graph.num_edges == inst_graph.num_edges
+
+    def test_structural_graph_is_sparser(self):
+        fig = load_figure("fig10")
+        occurrences = find_occurrences(fig.pattern, fig.data_graph)
+        simple_graph = occurrence_overlap_graph(fig.pattern, occurrences, "simple")
+        structural_graph = occurrence_overlap_graph(
+            fig.pattern, occurrences, "structural"
+        )
+        assert structural_graph.num_edges <= simple_graph.num_edges
+
+    def test_unknown_kind_rejected(self, fig6):
+        occurrences = find_occurrences(fig6.pattern, fig6.data_graph)
+        with pytest.raises(ValueError):
+            occurrence_overlap_graph(fig6.pattern, occurrences, kind="bogus")
+        with pytest.raises(ValueError):
+            overlaps("bogus", fig6.pattern, occurrences[0], occurrences[1])
+
+    def test_density_and_complement(self, fig6):
+        occurrences = find_occurrences(fig6.pattern, fig6.data_graph)
+        graph = occurrence_overlap_graph(fig6.pattern, occurrences)
+        assert 0.0 < graph.density() < 1.0
+        complement = graph.complement_adjacency()
+        for node in graph.nodes:
+            assert complement[node] == (
+                set(graph.nodes) - graph.adjacency[node] - {node}
+            )
+
+    def test_single_node_density_zero(self):
+        graph = OverlapGraph(nodes=[0], adjacency={0: set()})
+        assert graph.density() == 0.0

@@ -1,0 +1,138 @@
+"""Unit tests for Pattern and its subpattern machinery."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.graph.builders import path_pattern, triangle_pattern
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.pattern import Pattern
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        p = Pattern.from_edges([("v1", "a"), ("v2", "b")], [("v1", "v2")])
+        assert p.num_nodes == 2
+        assert p.num_edges == 1
+        assert p.label_of("v1") == "a"
+
+    def test_single_node(self):
+        p = Pattern.single_node("x")
+        assert p.num_nodes == 1
+        assert p.num_edges == 0
+
+    def test_single_edge(self):
+        p = Pattern.single_edge("a", "b")
+        assert p.num_nodes == 2
+        assert p.edges() == [("v1", "v2")]
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern(LabeledGraph())
+
+    def test_equality_and_hash(self):
+        p1 = Pattern.single_edge("a", "b")
+        p2 = Pattern.single_edge("a", "b")
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+
+    def test_iteration(self):
+        p = path_pattern(["a", "b", "c"])
+        assert list(p) == ["v1", "v2", "v3"]
+        assert len(p) == 3
+
+
+class TestSubpatternRelation:
+    def test_subpattern_of_itself(self):
+        p = triangle_pattern("a")
+        assert p.is_subpattern_of(p)
+
+    def test_edge_removed_is_subpattern(self):
+        p = triangle_pattern("a")
+        sub = p.remove_edge_pattern("v1", "v2")
+        assert sub.is_subpattern_of(p)
+        assert not p.is_subpattern_of(sub)
+
+    def test_induced_subpattern(self):
+        p = triangle_pattern("a")
+        sub = p.induced_subpattern(["v1", "v2"])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 1
+        assert sub.is_subpattern_of(p)
+
+    def test_edge_subpattern(self):
+        p = triangle_pattern("a")
+        sub = p.edge_subpattern([("v1", "v2")])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 1
+
+
+class TestConnectedSubsets:
+    def test_path3_connected_subsets(self):
+        p = path_pattern(["a", "a", "a"])
+        subsets = {tuple(sorted(s)) for s in p.connected_node_subsets()}
+        # v1-v2-v3 path: all subsets except the disconnected {v1, v3}.
+        assert subsets == {
+            ("v1",), ("v2",), ("v3",),
+            ("v1", "v2"), ("v2", "v3"),
+            ("v1", "v2", "v3"),
+        }
+
+    def test_triangle_all_subsets_connected(self):
+        p = triangle_pattern("a")
+        subsets = p.connected_node_subsets()
+        assert len(subsets) == 7  # 3 singletons + 3 pairs + 1 triple
+
+    def test_max_size_limits(self):
+        p = path_pattern(["a"] * 5)
+        subsets = p.connected_node_subsets(max_size=2)
+        assert all(len(s) <= 2 for s in subsets)
+        # 5 singletons + 4 adjacent pairs
+        assert len(subsets) == 9
+
+    def test_singletons_always_present(self):
+        p = path_pattern(["a", "b"])
+        subsets = p.connected_node_subsets()
+        assert frozenset(["v1"]) in subsets
+        assert frozenset(["v2"]) in subsets
+
+
+class TestConnectedSubpatterns:
+    def test_induced_subpatterns_of_triangle(self):
+        p = triangle_pattern("a")
+        subs = p.connected_subpatterns()
+        sizes = sorted((s.num_nodes, s.num_edges) for s in subs)
+        assert sizes == [(1, 0), (1, 0), (1, 0), (2, 1), (2, 1), (2, 1), (3, 3)]
+
+    def test_non_induced_includes_spanning_subgraphs(self):
+        p = triangle_pattern("a")
+        subs = p.connected_subpatterns(induced=False)
+        # The three 2-edge spanning paths of the triangle appear as well.
+        shapes = [(s.num_nodes, s.num_edges) for s in subs]
+        assert shapes.count((3, 2)) == 3
+
+    def test_deduplication_by_signature(self):
+        p = path_pattern(["a", "a", "a"])
+        subs = p.connected_subpatterns()
+        signatures = [s.graph.signature() for s in subs]
+        assert len(signatures) == len(set(signatures))
+
+
+class TestExtensions:
+    def test_extend_with_node(self):
+        p = Pattern.single_edge("a", "b")
+        bigger = p.extend_with_node("v1", "v3", "c")
+        assert bigger.num_nodes == 3
+        assert bigger.graph.has_edge("v1", "v3")
+        # Original untouched.
+        assert p.num_nodes == 2
+
+    def test_extend_with_edge(self):
+        p = path_pattern(["a", "a", "a"])
+        cycle = p.extend_with_edge("v1", "v3")
+        assert cycle.num_edges == 3
+
+    def test_remove_edge_pattern_keeps_nodes(self):
+        p = triangle_pattern("a")
+        sub = p.remove_edge_pattern("v1", "v2")
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2

@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These go beyond the bounding chain (tests/test_bounds_chain.py) and check
+the structural invariants every component must satisfy on arbitrary inputs:
+isomorphism-invariance of measures, anti-monotonicity under random edge
+deletion, canonical-certificate soundness, and occurrence/automorphism
+counting identities.
+"""
+
+import random
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.datasets.synthetic import random_labeled_graph
+from repro.graph.automorphism import automorphism_group_size, vertex_orbits
+from repro.graph.builders import path_pattern, triangle_pattern
+from repro.graph.canonical import canonical_certificate
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.pattern import Pattern
+from repro.hypergraph.construction import HypergraphBundle
+from repro.isomorphism.matcher import find_instances, find_occurrences
+from repro.isomorphism.vf2 import are_isomorphic
+from repro.measures.mi import mi_support_from_occurrences
+from repro.measures.mni import mni_support_from_occurrences
+from repro.measures.mvc import is_vertex_cover, minimum_vertex_cover
+from repro.measures.mies import mies_support_of
+
+
+def random_graph(seed: int, n: int = 8, p: float = 0.35) -> LabeledGraph:
+    return random_labeled_graph(n, p, alphabet=("A", "B"), seed=seed)
+
+
+def random_permutation_copy(graph: LabeledGraph, seed: int) -> LabeledGraph:
+    rng = random.Random(seed)
+    vertices = graph.vertices()
+    shuffled = list(vertices)
+    rng.shuffle(shuffled)
+    return graph.relabeled({v: ("x", s) for v, s in zip(vertices, shuffled)})
+
+
+class TestIsomorphismInvariance:
+    """Support values are invariant under relabeling the data graph."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    def test_mni_mi_invariant(self, seed):
+        graph = random_graph(seed)
+        shuffled = random_permutation_copy(graph, seed + 1)
+        pattern = path_pattern(["A", "B"])
+        occ1 = find_occurrences(pattern, graph)
+        occ2 = find_occurrences(pattern, shuffled)
+        assert len(occ1) == len(occ2)
+        assert mni_support_from_occurrences(pattern, occ1) == (
+            mni_support_from_occurrences(pattern, occ2)
+        )
+        assert mi_support_from_occurrences(pattern, occ1) == (
+            mi_support_from_occurrences(pattern, occ2)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    def test_certificate_invariant(self, seed):
+        graph = random_graph(seed, n=7)
+        shuffled = random_permutation_copy(graph, seed + 1)
+        assert canonical_certificate(graph) == canonical_certificate(shuffled)
+
+
+class TestCertificateSoundness:
+    """Equal certificates <=> isomorphic, on random pairs."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed1=st.integers(min_value=0, max_value=300),
+        seed2=st.integers(min_value=0, max_value=300),
+    )
+    def test_certificate_decides_isomorphism(self, seed1, seed2):
+        g1 = random_graph(seed1, n=6, p=0.4)
+        g2 = random_graph(seed2, n=6, p=0.4)
+        same_certificate = canonical_certificate(g1) == canonical_certificate(g2)
+        assert same_certificate == are_isomorphic(g1, g2)
+
+
+class TestAntiMonotonicityUnderEdgeDeletion:
+    """Removing a pattern edge (keeping it connected) never lowers support."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2_000))
+    def test_triangle_vs_path(self, seed):
+        graph = random_graph(seed, n=9, p=0.4)
+        triangle = triangle_pattern("A")
+        path = triangle.remove_edge_pattern("v1", "v3")  # still connected
+        tri_occ = find_occurrences(triangle, graph)
+        path_occ = find_occurrences(path, graph)
+        assert mni_support_from_occurrences(path, path_occ) >= (
+            mni_support_from_occurrences(triangle, tri_occ)
+        )
+        assert mi_support_from_occurrences(path, path_occ) >= (
+            mi_support_from_occurrences(triangle, tri_occ)
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2_000))
+    def test_mvc_and_mies_anti_monotone(self, seed):
+        graph = random_graph(seed, n=8, p=0.45)
+        triangle = triangle_pattern("A")
+        path = triangle.remove_edge_pattern("v1", "v3")
+        from repro.measures.mvc import mvc_support_of
+
+        tri_bundle = HypergraphBundle.build(triangle, graph)
+        path_bundle = HypergraphBundle.build(path, graph)
+        assert mvc_support_of(path_bundle.occurrence_hg) >= (
+            mvc_support_of(tri_bundle.occurrence_hg)
+        )
+        assert mies_support_of(path_bundle.instance_hg) >= (
+            mies_support_of(tri_bundle.instance_hg)
+        )
+
+
+class TestCountingIdentities:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2_000))
+    def test_occurrences_equal_instances_times_automorphisms(self, seed):
+        graph = random_graph(seed, n=8, p=0.4)
+        pattern = triangle_pattern("A")
+        occurrences = find_occurrences(pattern, graph)
+        instances = find_instances(pattern, graph)
+        assert len(occurrences) == len(instances) * automorphism_group_size(
+            pattern.graph
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2_000))
+    def test_orbits_partition(self, seed):
+        graph = random_graph(seed, n=7, p=0.4)
+        orbits = vertex_orbits(graph)
+        combined = sorted(v for orbit in orbits for v in orbit)
+        assert combined == graph.vertices()
+
+
+class TestCoverInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2_000))
+    def test_minimum_cover_is_a_cover_and_minimal(self, seed):
+        graph = random_graph(seed, n=8, p=0.4)
+        pattern = path_pattern(["A", "B"])
+        bundle = HypergraphBundle.build(pattern, graph)
+        assume(bundle.occurrence_hg.num_edges > 0)
+        cover = minimum_vertex_cover(bundle.occurrence_hg)
+        assert is_vertex_cover(bundle.occurrence_hg, cover)
+        # Removing any single vertex breaks the cover (minimality).
+        for vertex in cover:
+            assert not is_vertex_cover(bundle.occurrence_hg, cover - {vertex})
+
+
+class TestMatcherRandomizedOracle:
+    """Cross-check the VF2 engine against a brute-force oracle."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_occurrence_count_matches_bruteforce(self, seed):
+        from itertools import permutations
+
+        graph = random_graph(seed, n=6, p=0.5)
+        pattern = path_pattern(["A", "B", "A"])
+        nodes = pattern.nodes()
+        brute = 0
+        for assignment in permutations(graph.vertices(), len(nodes)):
+            mapping = dict(zip(nodes, assignment))
+            if any(
+                graph.label_of(mapping[n]) != pattern.label_of(n) for n in nodes
+            ):
+                continue
+            if all(graph.has_edge(mapping[u], mapping[v]) for u, v in pattern.edges()):
+                brute += 1
+        assert len(find_occurrences(pattern, graph)) == brute

@@ -1,0 +1,119 @@
+"""Unit tests for the standalone two-phase simplex solver."""
+
+import pytest
+
+from repro.errors import InfeasibleLPError, LPError, UnboundedLPError
+from repro.lp.simplex import solve_bounded, solve_standard
+
+
+class TestSolveStandard:
+    def test_trivial_minimum_at_origin(self):
+        x, value = solve_standard([1.0, 1.0], [[1.0, 1.0]], [10.0])
+        assert value == pytest.approx(0.0)
+        assert x == pytest.approx([0.0, 0.0])
+
+    def test_negative_cost_pushes_to_constraint(self):
+        # min -x1 s.t. x1 <= 4  -> x1 = 4.
+        x, value = solve_standard([-1.0], [[1.0]], [4.0])
+        assert value == pytest.approx(-4.0)
+        assert x[0] == pytest.approx(4.0)
+
+    def test_two_variable_lp(self):
+        # min -3x - 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (classic).
+        x, value = solve_standard(
+            [-3.0, -5.0],
+            [[1.0, 0.0], [0.0, 2.0], [3.0, 2.0]],
+            [4.0, 12.0, 18.0],
+        )
+        assert value == pytest.approx(-36.0)
+        assert x == pytest.approx([2.0, 6.0])
+
+    def test_ge_constraints_via_negative_rhs(self):
+        # min x1 + x2 s.t. x1 + x2 >= 1  (written as -x1 - x2 <= -1).
+        x, value = solve_standard([1.0, 1.0], [[-1.0, -1.0]], [-1.0])
+        assert value == pytest.approx(1.0)
+
+    def test_infeasible(self):
+        # x1 <= -1 with x1 >= 0 is infeasible.
+        with pytest.raises(InfeasibleLPError):
+            solve_standard([1.0], [[1.0]], [-1.0])
+
+    def test_unbounded(self):
+        # min -x1 with no constraints binding x1.
+        with pytest.raises(UnboundedLPError):
+            solve_standard([-1.0], [[0.0]], [1.0])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(LPError):
+            solve_standard([1.0], [[1.0, 2.0]], [1.0])
+        with pytest.raises(LPError):
+            solve_standard([1.0], [[1.0]], [1.0, 2.0])
+
+    def test_degenerate_redundant_constraints(self):
+        # Duplicate >= rows exercise the artificial-variable cleanup.
+        x, value = solve_standard(
+            [1.0, 1.0],
+            [[-1.0, -1.0], [-1.0, -1.0]],
+            [-1.0, -1.0],
+        )
+        assert value == pytest.approx(1.0)
+
+
+class TestSolveBounded:
+    def test_vertex_cover_lp_of_triangle(self):
+        # Fractional vertex cover of K3 is 3 * 1/2.
+        rows = [[-1.0, -1.0, 0.0], [0.0, -1.0, -1.0], [-1.0, 0.0, -1.0]]
+        x, value = solve_bounded(
+            [1.0, 1.0, 1.0], rows, [-1.0, -1.0, -1.0], [(0.0, 1.0)] * 3
+        )
+        assert value == pytest.approx(1.5)
+        assert all(abs(v - 0.5) < 1e-6 for v in x)
+
+    def test_maximization(self):
+        # max x1 + x2 s.t. x1 + x2 <= 1.5, x in [0, 1].
+        x, value = solve_bounded(
+            [1.0, 1.0], [[1.0, 1.0]], [1.5], [(0.0, 1.0)] * 2, sense="max"
+        )
+        assert value == pytest.approx(1.5)
+
+    def test_nonzero_lower_bounds(self):
+        # min x s.t. x in [2, 5] -> 2.
+        x, value = solve_bounded([1.0], [], [], [(2.0, 5.0)])
+        assert value == pytest.approx(2.0)
+        assert x[0] == pytest.approx(2.0)
+
+    def test_invalid_sense(self):
+        with pytest.raises(LPError):
+            solve_bounded([1.0], [], [], [(0.0, 1.0)], sense="sideways")
+
+    def test_bounds_length_mismatch(self):
+        with pytest.raises(LPError):
+            solve_bounded([1.0, 1.0], [], [], [(0.0, 1.0)])
+
+
+class TestAgainstScipy:
+    """Cross-validate the simplex against scipy on random LPs."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_covering_lps(self, seed):
+        import random
+
+        scipy = pytest.importorskip("scipy.optimize")
+        rng = random.Random(seed)
+        num_vars = rng.randint(2, 6)
+        num_rows = rng.randint(1, 6)
+        rows = []
+        for _ in range(num_rows):
+            members = rng.sample(range(num_vars), k=rng.randint(1, num_vars))
+            row = [-1.0 if j in members else 0.0 for j in range(num_vars)]
+            rows.append(row)
+        rhs = [-1.0] * num_rows
+        objective = [1.0] * num_vars
+        bounds = [(0.0, 1.0)] * num_vars
+
+        _, ours = solve_bounded(objective, rows, rhs, bounds)
+        result = scipy.linprog(
+            c=objective, A_ub=rows, b_ub=rhs, bounds=bounds, method="highs"
+        )
+        assert result.success
+        assert ours == pytest.approx(result.fun, abs=1e-7)

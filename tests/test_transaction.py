@@ -1,0 +1,65 @@
+"""Unit tests for the transaction-setting support module."""
+
+import pytest
+
+from repro.graph.builders import cycle_graph, path_graph, path_pattern, triangle_pattern
+from repro.mining.transaction import (
+    disjoint_union,
+    transaction_counts_match_single_graph,
+    transaction_support,
+)
+
+
+@pytest.fixture()
+def transactions():
+    return [
+        cycle_graph(["a"] * 3),          # contains triangle + paths
+        path_graph(["a", "a", "a"]),     # paths only
+        path_graph(["a", "a"]),          # single edge
+        cycle_graph(["a"] * 4),          # paths, no triangle
+    ]
+
+
+class TestTransactionSupport:
+    def test_counts_containing_graphs(self, transactions):
+        edge = path_pattern(["a", "a"])
+        assert transaction_support(edge, transactions) == 4
+        path3 = path_pattern(["a", "a", "a"])
+        assert transaction_support(path3, transactions) == 3
+        triangle = triangle_pattern("a")
+        assert transaction_support(triangle, transactions) == 1
+
+    def test_anti_monotone_by_construction(self, transactions):
+        # Superpattern support never exceeds subpattern support.
+        path2 = path_pattern(["a", "a"])
+        path3 = path_pattern(["a", "a", "a"])
+        assert transaction_support(path3, transactions) <= transaction_support(
+            path2, transactions
+        )
+
+    def test_empty_database(self):
+        assert transaction_support(path_pattern(["a", "a"]), []) == 0
+
+
+class TestDisjointUnion:
+    def test_sizes_add_up(self, transactions):
+        union = disjoint_union(transactions)
+        assert union.num_vertices == sum(t.num_vertices for t in transactions)
+        assert union.num_edges == sum(t.num_edges for t in transactions)
+
+    def test_components_stay_separate(self, transactions):
+        union = disjoint_union(transactions)
+        assert len(union.connected_components()) == len(transactions)
+
+    def test_namespaced_vertices(self, transactions):
+        union = disjoint_union(transactions)
+        assert union.has_vertex((0, 1))
+        assert union.has_vertex((3, 1))
+
+    def test_mis_on_union_upper_bounds_transaction_support(self, transactions):
+        for pattern in (
+            path_pattern(["a", "a"]),
+            path_pattern(["a", "a", "a"]),
+            triangle_pattern("a"),
+        ):
+            assert transaction_counts_match_single_graph(pattern, transactions)

@@ -1,0 +1,147 @@
+"""Unit tests for the subgraph-isomorphism engine."""
+
+import pytest
+
+from repro.graph.builders import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    path_pattern,
+    triangle_pattern,
+)
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.pattern import Pattern
+from repro.isomorphism.vf2 import (
+    are_isomorphic,
+    count_subgraph_isomorphisms,
+    find_isomorphisms,
+    find_subgraph_isomorphisms,
+    has_subgraph_isomorphism,
+)
+
+
+class TestSubgraphIsomorphism:
+    def test_single_node_pattern(self):
+        g = path_graph(["a", "b", "a"])
+        p = Pattern.single_node("a")
+        maps = list(find_subgraph_isomorphisms(p, g))
+        assert sorted(m["v1"] for m in maps) == [1, 3]
+
+    def test_edge_pattern_counts_orientations(self):
+        g = path_graph(["a", "a"])
+        p = Pattern.single_edge("a", "a")
+        # Same labels: both orientations are distinct isomorphisms.
+        assert count_subgraph_isomorphisms(p, g) == 2
+
+    def test_edge_pattern_distinct_labels_single_orientation(self):
+        g = path_graph(["a", "b"])
+        p = Pattern.single_edge("a", "b")
+        assert count_subgraph_isomorphisms(p, g) == 1
+
+    def test_labels_must_match(self):
+        g = path_graph(["a", "a"])
+        p = Pattern.single_edge("a", "b")
+        assert count_subgraph_isomorphisms(p, g) == 0
+
+    def test_triangle_in_k4(self):
+        g = complete_graph(["a"] * 4)
+        p = triangle_pattern("a")
+        # 4 vertex triples x 6 automorphic maps each.
+        assert count_subgraph_isomorphisms(p, g) == 24
+
+    def test_no_occurrence_when_pattern_larger_than_graph(self):
+        g = path_graph(["a"])
+        p = path_pattern(["a", "a"])
+        assert count_subgraph_isomorphisms(p, g) == 0
+
+    def test_all_mappings_preserve_edges_and_labels(self):
+        g = cycle_graph(["a", "b", "a", "b", "a", "b"])
+        p = path_pattern(["a", "b", "a"])
+        for mapping in find_subgraph_isomorphisms(p, g):
+            for u, v in p.edges():
+                assert g.has_edge(mapping[u], mapping[v])
+            for node in p.nodes():
+                assert g.label_of(mapping[node]) == p.label_of(node)
+
+    def test_mappings_are_injective(self):
+        g = complete_graph(["a"] * 4)
+        p = triangle_pattern("a")
+        for mapping in find_subgraph_isomorphisms(p, g):
+            assert len(set(mapping.values())) == len(mapping)
+
+    def test_limit_stops_enumeration(self):
+        g = complete_graph(["a"] * 5)
+        p = triangle_pattern("a")
+        assert len(list(find_subgraph_isomorphisms(p, g, limit=7))) == 7
+
+    def test_has_subgraph_isomorphism(self):
+        g = cycle_graph(["a"] * 5)
+        assert has_subgraph_isomorphism(path_pattern(["a", "a"]), g)
+        assert not has_subgraph_isomorphism(triangle_pattern("a"), g)
+
+    def test_induced_vs_non_induced(self):
+        # Pattern: path of 3; data: triangle.  Non-induced matches exist,
+        # induced matches don't (the missing chord is present in the data).
+        g = cycle_graph(["a"] * 3)
+        p = path_pattern(["a", "a", "a"])
+        assert count_subgraph_isomorphisms(p, g) == 6
+        induced = list(find_subgraph_isomorphisms(p, g, induced=True))
+        assert induced == []
+
+    def test_disconnected_pattern(self):
+        g = path_graph(["a", "b", "a", "b"])
+        p = Pattern(LabeledGraph(vertices=[("v1", "a"), ("v2", "a")]))
+        # Two isolated 'a' nodes: injective pairs of {1, 3}.
+        assert count_subgraph_isomorphisms(p, g) == 2
+
+    def test_deterministic_order(self):
+        g = complete_graph(["a"] * 4)
+        p = triangle_pattern("a")
+        first = [tuple(sorted(m.items())) for m in find_subgraph_isomorphisms(p, g)]
+        second = [tuple(sorted(m.items())) for m in find_subgraph_isomorphisms(p, g)]
+        assert first == second
+
+
+class TestFullIsomorphism:
+    def test_isomorphic_relabeled_graphs(self):
+        g1 = cycle_graph(["a", "b", "a", "b"])
+        g2 = g1.relabeled({1: 10, 2: 20, 3: 30, 4: 40})
+        assert are_isomorphic(g1, g2)
+
+    def test_non_isomorphic_different_sizes(self):
+        assert not are_isomorphic(path_graph(["a"]), path_graph(["a", "a"]))
+
+    def test_non_isomorphic_different_edge_counts(self):
+        g1 = path_graph(["a", "a", "a"])
+        g2 = cycle_graph(["a", "a", "a"])
+        assert not are_isomorphic(g1, g2)
+
+    def test_non_isomorphic_different_labels(self):
+        g1 = path_graph(["a", "a"])
+        g2 = path_graph(["a", "b"])
+        assert not are_isomorphic(g1, g2)
+
+    def test_same_degree_sequence_but_not_isomorphic(self):
+        # C6 vs two disjoint C3s: both 2-regular on 6 vertices.
+        c6 = cycle_graph(["a"] * 6)
+        two_c3 = LabeledGraph(
+            vertices=[(i, "a") for i in range(1, 7)],
+            edges=[(1, 2), (2, 3), (1, 3), (4, 5), (5, 6), (4, 6)],
+        )
+        assert not are_isomorphic(c6, two_c3)
+
+    def test_automorphism_count_of_triangle(self):
+        g = cycle_graph(["a"] * 3)
+        assert len(list(find_isomorphisms(g, g))) == 6
+
+    def test_automorphism_count_of_labeled_triangle(self):
+        g = cycle_graph(["a", "b", "c"])
+        assert len(list(find_isomorphisms(g, g))) == 1
+
+    def test_isomorphism_is_bijective_and_edge_preserving(self):
+        g1 = cycle_graph(["a", "b", "a", "b"])
+        g2 = g1.relabeled({1: "w", 2: "x", 3: "y", 4: "z"})
+        for mapping in find_isomorphisms(g1, g2):
+            assert len(set(mapping.values())) == g1.num_vertices
+            for u, v in g1.edges():
+                assert g2.has_edge(mapping[u], mapping[v])
