@@ -18,10 +18,22 @@ def pytest_addoption(parser):
         choices=("small", "full"),
         help="workload scale for value/runtime benchmarks",
     )
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help=(
+            "CI smoke mode: force the small workload scale (combine with "
+            "--benchmark-disable to skip timing calibration; correctness "
+            "assertions — equivalence, nesting, speedup gates — still run)"
+        ),
+    )
 
 
 @pytest.fixture(scope="session")
 def bench_scale(request):
+    if request.config.getoption("--quick"):
+        return "small"
     return request.config.getoption("--bench-scale")
 
 

@@ -60,6 +60,7 @@ from .hypergraph import (
     occurrence_hypergraph,
     occurrence_overlap_graph,
 )
+from .index import GraphIndex, get_index
 from .measures import (
     available_measures,
     chain_values,
@@ -105,6 +106,8 @@ __all__ = [
     "instance_hypergraph",
     "occurrence_hypergraph",
     "occurrence_overlap_graph",
+    "GraphIndex",
+    "get_index",
     "available_measures",
     "chain_values",
     "compute_support",

@@ -39,6 +39,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         min_support=args.min_support,
         max_pattern_nodes=args.max_nodes,
         max_pattern_edges=args.max_edges,
+        use_index=not args.no_index,
+        workers=args.workers,
     )
     rows = [
         [i + 1, fp.num_nodes, fp.num_edges, fp.support, fp.num_occurrences]
@@ -171,6 +173,17 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--min-support", type=float, default=2.0)
     mine.add_argument("--max-nodes", type=int, default=5)
     mine.add_argument("--max-edges", type=int, default=6)
+    mine.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="evaluate same-level candidates in this many worker processes",
+    )
+    mine.add_argument(
+        "--no-index",
+        action="store_true",
+        help="disable the graph acceleration index (brute-force reference path)",
+    )
     mine.set_defaults(func=_cmd_mine)
 
     figure = subparsers.add_parser("figure", help="regenerate a paper figure")

@@ -56,7 +56,17 @@ class LabeledGraph:
     'A'
     """
 
-    __slots__ = ("_adj", "_labels", "_by_label", "_num_edges", "name")
+    __slots__ = (
+        "_adj",
+        "_labels",
+        "_by_label",
+        "_num_edges",
+        "_version",
+        "_index",
+        "_vertices_cache",
+        "_edges_cache",
+        "name",
+    )
 
     def __init__(
         self,
@@ -68,6 +78,10 @@ class LabeledGraph:
         self._labels: Dict[Vertex, Label] = {}
         self._by_label: Dict[Label, Set[Vertex]] = {}
         self._num_edges = 0
+        self._version = 0
+        self._index: Optional[object] = None
+        self._vertices_cache: Optional[Tuple[int, List[Vertex]]] = None
+        self._edges_cache: Optional[Tuple[int, List[Edge]]] = None
         self.name = name
         if vertices is not None:
             for vertex, label in vertices:
@@ -91,6 +105,7 @@ class LabeledGraph:
         self._adj[vertex] = set()
         self._labels[vertex] = label
         self._by_label.setdefault(label, set()).add(vertex)
+        self._version += 1
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add the undirected edge ``(u, v)``.  Idempotent for existing edges."""
@@ -105,6 +120,7 @@ class LabeledGraph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._num_edges += 1
+        self._version += 1
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove the undirected edge ``(u, v)``."""
@@ -113,6 +129,7 @@ class LabeledGraph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._num_edges -= 1
+        self._version += 1
 
     def remove_vertex(self, vertex: Vertex) -> None:
         """Remove ``vertex`` and all its incident edges."""
@@ -125,6 +142,7 @@ class LabeledGraph:
         if not self._by_label[label]:
             del self._by_label[label]
         del self._adj[vertex]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -138,16 +156,32 @@ class LabeledGraph:
         return self._num_edges
 
     def vertices(self) -> List[Vertex]:
-        """All vertex ids in a deterministic (sorted-by-repr) order."""
-        return sorted(self._adj, key=repr)
+        """All vertex ids in a deterministic (sorted-by-repr) order.
+
+        The sorted order is cached against the mutation version (``repr``
+        sorting is a hot cost for pattern-sized graphs churned by the
+        miner); a fresh copy is returned so callers may mutate it.
+        """
+        cached = self._vertices_cache
+        if cached is None or cached[0] != self._version:
+            cached = (self._version, sorted(self._adj, key=repr))
+            self._vertices_cache = cached
+        return list(cached[1])
 
     def edges(self) -> List[Edge]:
-        """All edges, each once, in canonical form and deterministic order."""
-        seen = set()
-        for u in self._adj:
-            for v in self._adj[u]:
-                seen.add(normalize_edge(u, v))
-        return sorted(seen, key=repr)
+        """All edges, each once, in canonical form and deterministic order.
+
+        Cached against the mutation version, like :meth:`vertices`.
+        """
+        cached = self._edges_cache
+        if cached is None or cached[0] != self._version:
+            seen = set()
+            for u in self._adj:
+                for v in self._adj[u]:
+                    seen.add(normalize_edge(u, v))
+            cached = (self._version, sorted(seen, key=repr))
+            self._edges_cache = cached
+        return list(cached[1])
 
     def has_vertex(self, vertex: Vertex) -> bool:
         return vertex in self._adj
@@ -278,6 +312,45 @@ class LabeledGraph:
             if not other.has_vertex(vertex) or other.label_of(vertex) != label:
                 return False
         return all(other.has_edge(u, v) for u, v in self.edges())
+
+    # ------------------------------------------------------------------
+    # acceleration-index hooks (see repro.index.graph_index)
+    # ------------------------------------------------------------------
+    def mutation_version(self) -> int:
+        """Monotone counter bumped on every structural mutation.
+
+        The acceleration index snapshots this value at build time and uses
+        it to detect staleness, so cached indexes never serve a mutated
+        graph.
+        """
+        return self._version
+
+    def cached_index(self) -> Optional[object]:
+        """The index cached by :func:`repro.index.get_index` (opaque here)."""
+        return self._index
+
+    def cache_index(self, index: Optional[object]) -> None:
+        """Attach (or clear, with ``None``) the cached acceleration index."""
+        self._index = index
+
+    def __getstate__(self):
+        # Cached indexes are per-process acceleration state; drop them so
+        # pickles stay small (process-pool workers rebuild on first use).
+        return {
+            "_adj": self._adj,
+            "_labels": self._labels,
+            "_by_label": self._by_label,
+            "_num_edges": self._num_edges,
+            "_version": self._version,
+            "name": self.name,
+        }
+
+    def __setstate__(self, state) -> None:
+        for key, value in state.items():
+            setattr(self, key, value)
+        self._index = None
+        self._vertices_cache = None
+        self._edges_cache = None
 
     # ------------------------------------------------------------------
     # dunder protocol

@@ -8,15 +8,19 @@ Given a pattern ``P`` with occurrences ``f_1..f_m`` in a data graph ``G``:
   subgraph), labeled ``S_i``.
 
 Both are k-uniform with ``k = |V_P|`` (every occurrence is injective).
+
+Occurrence enumeration routes through the data graph's acceleration index
+by default (see :mod:`repro.index`); pass ``index=False`` for the
+brute-force reference path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..graph.labeled_graph import LabeledGraph
 from ..graph.pattern import Pattern
+from ..index.graph_index import IndexArg
 from ..isomorphism.matcher import (
     Instance,
     Occurrence,
@@ -47,51 +51,97 @@ def instance_hypergraph_from(
 
 
 def occurrence_hypergraph(
-    pattern: Pattern, data: LabeledGraph, limit: Optional[int] = None
+    pattern: Pattern,
+    data: LabeledGraph,
+    limit: Optional[int] = None,
+    index: IndexArg = None,
 ) -> Hypergraph:
     """Enumerate occurrences of ``pattern`` in ``data`` and build ``H_O``."""
-    return occurrence_hypergraph_from(find_occurrences(pattern, data, limit=limit))
+    return occurrence_hypergraph_from(
+        find_occurrences(pattern, data, limit=limit, index=index)
+    )
 
 
 def instance_hypergraph(
-    pattern: Pattern, data: LabeledGraph, limit: Optional[int] = None
+    pattern: Pattern,
+    data: LabeledGraph,
+    limit: Optional[int] = None,
+    index: IndexArg = None,
 ) -> Hypergraph:
     """Enumerate instances of ``pattern`` in ``data`` and build ``H_I``."""
-    occurrences = find_occurrences(pattern, data, limit=limit)
+    occurrences = find_occurrences(pattern, data, limit=limit, index=index)
     return instance_hypergraph_from(group_into_instances(pattern, occurrences))
 
 
-@dataclass
 class HypergraphBundle:
     """Everything the framework derives from one (pattern, graph) pair.
 
-    Computing occurrences is the expensive step, so callers that need both
-    views plus the occurrence list itself should build one bundle and share
-    it between measures (this is what :mod:`repro.analysis.spectrum` does).
+    Computing occurrences is the expensive step, so callers that need
+    several views should build one bundle and share it between measures
+    (this is what :mod:`repro.analysis.spectrum` does).  The derived views
+    — instances and both hypergraphs — are computed **lazily** on first
+    access and cached: occurrence-only measures (MNI, MI, occurrence
+    counts) never pay for instance grouping, which is a large share of the
+    miner's per-candidate cost.
     """
 
-    pattern: Pattern
-    data: LabeledGraph
-    occurrences: List[Occurrence]
-    instances: List[Instance]
-    occurrence_hg: Hypergraph
-    instance_hg: Hypergraph
+    __slots__ = (
+        "pattern",
+        "data",
+        "occurrences",
+        "_instances",
+        "_occurrence_hg",
+        "_instance_hg",
+    )
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        data: LabeledGraph,
+        occurrences: List[Occurrence],
+        instances: Optional[List[Instance]] = None,
+        occurrence_hg: Optional[Hypergraph] = None,
+        instance_hg: Optional[Hypergraph] = None,
+    ) -> None:
+        self.pattern = pattern
+        self.data = data
+        self.occurrences = occurrences
+        self._instances = instances
+        self._occurrence_hg = occurrence_hg
+        self._instance_hg = instance_hg
 
     @classmethod
     def build(
-        cls, pattern: Pattern, data: LabeledGraph, limit: Optional[int] = None
+        cls,
+        pattern: Pattern,
+        data: LabeledGraph,
+        limit: Optional[int] = None,
+        index: IndexArg = None,
     ) -> "HypergraphBundle":
-        """Enumerate once; derive both hypergraphs."""
-        occurrences = find_occurrences(pattern, data, limit=limit)
-        instances = group_into_instances(pattern, occurrences)
+        """Enumerate occurrences once; derived views materialize on demand."""
         return cls(
             pattern=pattern,
             data=data,
-            occurrences=occurrences,
-            instances=instances,
-            occurrence_hg=occurrence_hypergraph_from(occurrences),
-            instance_hg=instance_hypergraph_from(instances),
+            occurrences=find_occurrences(pattern, data, limit=limit, index=index),
         )
+
+    @property
+    def instances(self) -> List[Instance]:
+        if self._instances is None:
+            self._instances = group_into_instances(self.pattern, self.occurrences)
+        return self._instances
+
+    @property
+    def occurrence_hg(self) -> Hypergraph:
+        if self._occurrence_hg is None:
+            self._occurrence_hg = occurrence_hypergraph_from(self.occurrences)
+        return self._occurrence_hg
+
+    @property
+    def instance_hg(self) -> Hypergraph:
+        if self._instance_hg is None:
+            self._instance_hg = instance_hypergraph_from(self.instances)
+        return self._instance_hg
 
     @property
     def num_occurrences(self) -> int:

@@ -144,6 +144,19 @@ class OverlapGraph:
         }
 
 
+def _candidate_pairs_from_incidence(
+    incidence: Dict[Vertex, List[int]]
+) -> Set[Tuple[int, int]]:
+    """All index pairs co-incident on at least one key, as sorted tuples."""
+    candidate_pairs: Set[Tuple[int, int]] = set()
+    for members in incidence.values():
+        members_sorted = sorted(members)
+        for i in range(len(members_sorted)):
+            for j in range(i + 1, len(members_sorted)):
+                candidate_pairs.add((members_sorted[i], members_sorted[j]))
+    return candidate_pairs
+
+
 def occurrence_overlap_graph(
     pattern: Pattern,
     occurrences: Sequence[Occurrence],
@@ -151,27 +164,35 @@ def occurrence_overlap_graph(
 ) -> OverlapGraph:
     """Build the occurrence overlap graph under the chosen semantics.
 
-    For ``simple`` overlap an inverted index (vertex -> occurrences) makes
-    construction near-linear in total overlap size; HO/SO fall back to
-    pairwise tests over candidate pairs from the same index.
+    Construction is incidence-driven: an inverted index (data vertex ->
+    occurrences, or data edge -> occurrences for ``edge``) yields the
+    candidate pairs directly.  For ``simple`` and ``edge`` semantics the
+    co-incident pairs *are* the overlapping pairs — no pairwise test runs
+    at all; HO/SO run their pairwise tests only over vertex-sharing
+    candidate pairs (both semantics imply a shared vertex).
     """
     if kind not in OVERLAP_KINDS:
         raise ValueError(f"unknown overlap kind {kind!r}; expected one of {OVERLAP_KINDS}")
     adjacency: Dict[int, Set[int]] = {occ.index: set() for occ in occurrences}
     by_index = {occ.index: occ for occ in occurrences}
 
-    # Candidate pairs: only occurrences sharing >= 1 data vertex can overlap
-    # under any of the three semantics.
     incidence: Dict[Vertex, List[int]] = {}
-    for occ in occurrences:
-        for vertex in occ.vertex_set:
-            incidence.setdefault(vertex, []).append(occ.index)
-    candidate_pairs: Set[Tuple[int, int]] = set()
-    for members in incidence.values():
-        members_sorted = sorted(members)
-        for i in range(len(members_sorted)):
-            for j in range(i + 1, len(members_sorted)):
-                candidate_pairs.add((members_sorted[i], members_sorted[j]))
+    if kind == "edge":
+        for occ in occurrences:
+            for edge in occ.edge_set(pattern):
+                incidence.setdefault(edge, []).append(occ.index)
+    else:
+        for occ in occurrences:
+            for vertex in occ.vertex_set:
+                incidence.setdefault(vertex, []).append(occ.index)
+    candidate_pairs = _candidate_pairs_from_incidence(incidence)
+
+    if kind in ("simple", "edge"):
+        # Sharing an incidence key is exactly the overlap condition.
+        for a, b in candidate_pairs:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        return OverlapGraph(nodes=sorted(adjacency), adjacency=adjacency, kind=kind)
 
     pairs = transitive_pairs(pattern) if kind == "structural" else None
     for a, b in sorted(candidate_pairs):
@@ -188,12 +209,9 @@ def instance_overlap_graph(instances: Sequence[Instance]) -> OverlapGraph:
     for inst in instances:
         for vertex in inst.vertex_set:
             incidence.setdefault(vertex, []).append(inst.index)
-    for members in incidence.values():
-        members_sorted = sorted(members)
-        for i in range(len(members_sorted)):
-            for j in range(i + 1, len(members_sorted)):
-                adjacency[members_sorted[i]].add(members_sorted[j])
-                adjacency[members_sorted[j]].add(members_sorted[i])
+    for a, b in _candidate_pairs_from_incidence(incidence):
+        adjacency[a].add(b)
+        adjacency[b].add(a)
     return OverlapGraph(nodes=sorted(adjacency), adjacency=adjacency, kind="simple")
 
 
@@ -213,16 +231,43 @@ class OverlapStatistics:
 
 
 def overlap_statistics(
-    pattern: Pattern, occurrences: Sequence[Occurrence]
+    pattern: Pattern, occurrences: Sequence[Occurrence], method: str = "indexed"
 ) -> OverlapStatistics:
-    """Count overlapping pairs under all three semantics in one pass.
+    """Count overlapping pairs under all three semantics.
 
-    Checks the containment theorems from Section 4.5 as it goes: every
-    harmful or structural overlap must also be a simple overlap.
+    With ``method="indexed"`` (default) candidate pairs come from the
+    vertex-incidence index: pairs sharing a vertex are exactly the simple
+    overlaps, and only those pairs are tested for HO/SO (both semantics
+    imply a shared image vertex — the Section 4.5 containment theorems).
+    ``method="brute"`` is the quadratic reference pass, which additionally
+    *asserts* those containment theorems pair by pair; the property test
+    suite checks both methods agree on random workloads.
     """
-    pairs = transitive_pairs(pattern)
-    simple_count = harmful_count = structural_count = 0
     items = list(occurrences)
+    pairs = transitive_pairs(pattern)
+    if method == "indexed":
+        # Incidence is keyed by list *position*, not occurrence index:
+        # caller-built occurrence lists may carry duplicate indices, and
+        # the counts must match the position-based brute pass exactly.
+        incidence: Dict[Vertex, List[int]] = {}
+        for position, occ in enumerate(items):
+            for vertex in occ.vertex_set:
+                incidence.setdefault(vertex, []).append(position)
+        candidate_pairs = _candidate_pairs_from_incidence(incidence)
+        harmful_count = structural_count = 0
+        for a, b in candidate_pairs:
+            first, second = items[a], items[b]
+            harmful_count += harmful_overlap(pattern, first, second)
+            structural_count += structural_overlap(pattern, first, second, pairs=pairs)
+        return OverlapStatistics(
+            num_occurrences=len(items),
+            simple_pairs=len(candidate_pairs),
+            harmful_pairs=harmful_count,
+            structural_pairs=structural_count,
+        )
+    if method != "brute":
+        raise ValueError(f"unknown method {method!r}; expected 'indexed' or 'brute'")
+    simple_count = harmful_count = structural_count = 0
     for i in range(len(items)):
         for j in range(i + 1, len(items)):
             first, second = items[i], items[j]

@@ -1,0 +1,9 @@
+"""Indexed acceleration layer for data-graph hot paths.
+
+See :mod:`repro.index.graph_index` for the design notes and
+``docs/architecture.md`` for how the rest of the library routes through it.
+"""
+
+from .graph_index import GraphIndex, IndexArg, get_index, resolve_index
+
+__all__ = ["GraphIndex", "IndexArg", "get_index", "resolve_index"]

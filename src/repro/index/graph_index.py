@@ -1,0 +1,227 @@
+"""Precomputed acceleration index over a :class:`LabeledGraph`.
+
+Every hot path of the library — subgraph matching, anchored searches,
+occurrence enumeration, candidate generation in the miner — used to re-scan
+the data graph per query: per-call set copies of the label inverted lists,
+per-call ``repr``-sorts of candidate vertices, per-call neighbor scans for
+label-filtered adjacency.  A :class:`GraphIndex` materializes all of that
+once per graph:
+
+* **inverted lists** — ``label -> tuple of vertices`` carrying the label,
+  pre-sorted in the library's canonical (``repr``) order;
+* **label-pair adjacency** — ``(label_u, label_v) -> tuple of data edges``
+  whose endpoints carry those labels (the graphs are vertex-labeled with a
+  single implicit edge label, so the paper's (src-label, edge-label,
+  dst-label) triple collapses to the unordered vertex-label pair);
+* **per-vertex signatures** — degree plus the multiset of neighbor labels,
+  with neighbor lists per label pre-sorted, for candidate filtering that
+  rejects hopeless vertices before any backtracking.
+
+Indexes are immutable snapshots.  Each :class:`LabeledGraph` carries a
+version counter bumped on every mutation; :func:`get_index` caches the
+index on the graph itself and transparently rebuilds after mutations, so
+"build once per mining session, reuse across all candidates" is automatic.
+
+All orders are the same canonical ``repr`` orders used by the brute-force
+paths, which is what makes indexed and unindexed enumeration byte-identical
+(asserted by ``tests/test_index_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from ..graph.labeled_graph import Edge, Label, LabeledGraph, Vertex, normalize_edge
+
+_EMPTY: Tuple[Vertex, ...] = ()
+
+
+def _label_pair_key(lu: Label, lv: Label) -> Tuple[Label, Label]:
+    """Canonical (repr-sorted) form of an unordered label pair."""
+    return (lu, lv) if repr(lu) <= repr(lv) else (lv, lu)
+
+
+class GraphIndex:
+    """An immutable acceleration structure for one labeled graph snapshot.
+
+    Build with :meth:`build` (or the cached :func:`get_index`).  The index
+    never mutates the graph; :meth:`is_current` reports whether the graph
+    has changed since the snapshot was taken.
+    """
+
+    __slots__ = (
+        "graph",
+        "version",
+        "_label_list",
+        "_histogram",
+        "_neighbors_by_label",
+        "_signatures",
+        "_degrees",
+        "_label_pairs",
+        "_edges_by_pair",
+    )
+
+    def __init__(self, graph: LabeledGraph) -> None:
+        self.graph = graph
+        self.version = graph.mutation_version()
+
+        label_list: Dict[Label, Tuple[Vertex, ...]] = {}
+        for label in graph.label_alphabet():
+            label_list[label] = tuple(
+                sorted(graph.vertices_with_label(label), key=repr)
+            )
+        self._label_list = label_list
+        self._histogram = {label: len(vs) for label, vs in label_list.items()}
+
+        neighbors_by_label: Dict[Vertex, Dict[Label, Tuple[Vertex, ...]]] = {}
+        signatures: Dict[Vertex, Dict[Label, int]] = {}
+        degrees: Dict[Vertex, int] = {}
+        labels = graph.labels()
+        for vertex in graph.vertices():
+            buckets: Dict[Label, List[Vertex]] = {}
+            for neighbor in graph.neighbors(vertex):
+                buckets.setdefault(labels[neighbor], []).append(neighbor)
+            neighbors_by_label[vertex] = {
+                label: tuple(sorted(members, key=repr))
+                for label, members in buckets.items()
+            }
+            signatures[vertex] = {
+                label: len(members) for label, members in buckets.items()
+            }
+            degrees[vertex] = graph.degree(vertex)
+        self._neighbors_by_label = neighbors_by_label
+        self._signatures = signatures
+        self._degrees = degrees
+
+        label_pairs: Set[Tuple[Label, Label]] = set()
+        edges_by_pair: Dict[Tuple[Label, Label], List[Edge]] = {}
+        for u, v in graph.edges():
+            lu, lv = labels[u], labels[v]
+            label_pairs.add((lu, lv))
+            label_pairs.add((lv, lu))
+            edges_by_pair.setdefault(_label_pair_key(lu, lv), []).append(
+                normalize_edge(u, v)
+            )
+        self._label_pairs = frozenset(label_pairs)
+        self._edges_by_pair = {
+            pair: tuple(members) for pair, members in edges_by_pair.items()
+        }
+
+    # ------------------------------------------------------------------
+    # factory / freshness
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: LabeledGraph) -> "GraphIndex":
+        """Build a fresh index for ``graph`` (no caching)."""
+        return cls(graph)
+
+    def is_current(self) -> bool:
+        """True while the indexed graph has not been mutated."""
+        return self.graph.mutation_version() == self.version
+
+    # ------------------------------------------------------------------
+    # inverted lists
+    # ------------------------------------------------------------------
+    def vertices_with_label(self, label: Label) -> Tuple[Vertex, ...]:
+        """Vertices carrying ``label``, pre-sorted in canonical order."""
+        return self._label_list.get(label, _EMPTY)
+
+    def label_histogram(self) -> Dict[Label, int]:
+        """Vertex count per label (do not mutate the returned dict)."""
+        return self._histogram
+
+    def label_frequency(self, label: Label) -> int:
+        return self._histogram.get(label, 0)
+
+    # ------------------------------------------------------------------
+    # label-pair adjacency
+    # ------------------------------------------------------------------
+    def adjacent_label_pairs(self) -> FrozenSet[Tuple[Label, Label]]:
+        """All label pairs joined by a data edge (both orders present)."""
+        return self._label_pairs
+
+    def has_label_pair(self, lu: Label, lv: Label) -> bool:
+        return (lu, lv) in self._label_pairs
+
+    def edges_with_labels(self, lu: Label, lv: Label) -> Tuple[Edge, ...]:
+        """Data edges whose endpoint labels are the unordered pair (lu, lv)."""
+        return self._edges_by_pair.get(_label_pair_key(lu, lv), _EMPTY)
+
+    def distinct_edge_label_pairs(self) -> List[Tuple[Label, Label]]:
+        """Canonical unordered label pairs realized by data edges, sorted."""
+        return sorted(self._edges_by_pair, key=repr)
+
+    # ------------------------------------------------------------------
+    # per-vertex signatures
+    # ------------------------------------------------------------------
+    def degree_of(self, vertex: Vertex) -> int:
+        return self._degrees[vertex]
+
+    def degree_map(self) -> Dict[Vertex, int]:
+        """Vertex -> degree for the whole graph (do not mutate)."""
+        return self._degrees
+
+    def signature_map(self) -> Dict[Vertex, Dict[Label, int]]:
+        """Vertex -> neighbor-label multiset for the whole graph (do not mutate)."""
+        return self._signatures
+
+    def neighbors_with_label(self, vertex: Vertex, label: Label) -> Tuple[Vertex, ...]:
+        """Neighbors of ``vertex`` carrying ``label``, pre-sorted."""
+        return self._neighbors_by_label[vertex].get(label, _EMPTY)
+
+    def signature_of(self, vertex: Vertex) -> Dict[Label, int]:
+        """Neighbor-label multiset of ``vertex`` (do not mutate)."""
+        return self._signatures[vertex]
+
+    def dominates(self, vertex: Vertex, requirements: Dict[Label, int]) -> bool:
+        """True when ``vertex``'s neighbor-label counts cover ``requirements``.
+
+        A pattern node whose neighbors carry labels with multiplicities
+        ``requirements`` can only be hosted by data vertices passing this
+        check: pattern neighbors of one label must map injectively into
+        data neighbors of that label.
+        """
+        signature = self._signatures[vertex]
+        for label, count in requirements.items():
+            if signature.get(label, 0) < count:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<GraphIndex |V|={len(self._degrees)} "
+            f"labels={len(self._label_list)} pairs={len(self._edges_by_pair)} "
+            f"v{self.version}>"
+        )
+
+
+#: What callers may pass wherever an index is accepted:
+#: ``None``  -> use the graph's cached index (build it on first use);
+#: ``False`` -> brute force, no index (the reference path);
+#: a :class:`GraphIndex` -> use exactly this index.
+IndexArg = Union[None, bool, GraphIndex]
+
+
+def get_index(graph: LabeledGraph) -> GraphIndex:
+    """The cached index for ``graph``, (re)building after any mutation."""
+    cached = graph.cached_index()
+    if isinstance(cached, GraphIndex) and cached.is_current():
+        return cached
+    index = GraphIndex(graph)
+    graph.cache_index(index)
+    return index
+
+
+def resolve_index(graph: LabeledGraph, index: IndexArg) -> Optional[GraphIndex]:
+    """Normalize an :data:`IndexArg` into a usable index (or ``None``).
+
+    Returns ``None`` for the brute-force request (``index=False``); a stale
+    explicit index is silently replaced by a fresh cached one.
+    """
+    if index is False:
+        return None
+    if isinstance(index, GraphIndex):
+        if index.graph is graph and index.is_current():
+            return index
+        return get_index(graph)
+    return get_index(graph)

@@ -7,7 +7,10 @@ u?*  Each such question is a subgraph-isomorphism search with one
 assignment pinned in advance, which this module provides.
 
 The search reuses the VF2 engine's feasibility logic but fixes the anchor
-before exploring, and stops at the first witness.
+before exploring, and stops at the first witness.  Candidate vertices for
+anchoring are seeded from the graph index's pre-sorted inverted lists when
+an index is in play (the default), which also accelerates every inner
+anchored search via label-filtered adjacency and signature filtering.
 """
 
 from __future__ import annotations
@@ -15,8 +18,106 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Set
 
 from ..graph.labeled_graph import LabeledGraph, Vertex
+from ..index.graph_index import IndexArg, resolve_index
+from .vf2 import (
+    Mapping,
+    _candidate_data_vertices,
+    _is_feasible,
+    _matching_order,
+    _node_requirements,
+)
 from ..graph.pattern import Pattern
-from .vf2 import Mapping, _candidate_data_vertices, _is_feasible, _matching_order
+
+
+class AnchoredSearch:
+    """Reusable anchored-search context for one (pattern, data) pair.
+
+    Anchored probes come in bursts — lazy MNI asks "does any occurrence
+    map v to u?" once per candidate data vertex — so the per-pattern setup
+    (index resolution, matching order, node signature requirements) is
+    computed once here and shared across every probe.
+    """
+
+    __slots__ = ("pattern", "data", "resolved", "requirements", "order")
+
+    def __init__(
+        self, pattern: Pattern, data: LabeledGraph, index: IndexArg = None
+    ) -> None:
+        self.pattern = pattern
+        self.data = data
+        self.resolved = resolve_index(data, index)
+        self.requirements = (
+            _node_requirements(pattern) if self.resolved is not None else None
+        )
+        self.order = _matching_order(pattern, data)
+
+    def iter_from(
+        self, anchors: Mapping, limit: Optional[int] = None
+    ) -> Iterator[Mapping]:
+        """Yield occurrences extending the partial assignment ``anchors``.
+
+        ``anchors`` maps pattern nodes to data vertices; assignments must
+        be label-consistent and injective or nothing is yielded.
+        """
+        pattern, data = self.pattern, self.data
+        resolved, requirements = self.resolved, self.requirements
+        # Validate the anchors up front (cheap rejections).
+        if len(set(anchors.values())) != len(anchors):
+            return
+        for node, vertex in anchors.items():
+            if not pattern.graph.has_vertex(node) or not data.has_vertex(vertex):
+                return
+            if pattern.label_of(node) != data.label_of(vertex):
+                return
+            if data.degree(vertex) < pattern.graph.degree(node):
+                return
+        # Anchored pattern edges must exist between anchored images.
+        for u, v in pattern.edges():
+            if u in anchors and v in anchors:
+                if not data.has_edge(anchors[u], anchors[v]):
+                    return
+        if resolved is not None and requirements is not None:
+            # The signature filter applies to anchors too: an anchor whose
+            # neighborhood cannot host its pattern neighbors has no witness.
+            for node, vertex in anchors.items():
+                if not resolved.dominates(vertex, requirements[node]):
+                    return
+
+        order = [node for node in self.order if node not in anchors]
+        mapping: Dict[Vertex, Vertex] = dict(anchors)
+        used: Set[Vertex] = set(anchors.values())
+        yielded = 0
+
+        def backtrack(depth: int) -> Iterator[Mapping]:
+            nonlocal yielded
+            if limit is not None and yielded >= limit:
+                return
+            if depth == len(order):
+                yielded += 1
+                yield dict(mapping)
+                return
+            node = order[depth]
+            for vertex in _candidate_data_vertices(
+                pattern, data, node, mapping, resolved
+            ):
+                if not _is_feasible(
+                    pattern, data, node, vertex, mapping, used, False,
+                    resolved, requirements,
+                ):
+                    continue
+                mapping[node] = vertex
+                used.add(vertex)
+                yield from backtrack(depth + 1)
+                del mapping[node]
+                used.discard(vertex)
+                if limit is not None and yielded >= limit:
+                    return
+
+        yield from backtrack(0)
+
+    def has_witness(self, node: Vertex, vertex: Vertex) -> bool:
+        """True when some occurrence maps pattern ``node`` to ``vertex``."""
+        return next(self.iter_from({node: vertex}, limit=1), None) is not None
 
 
 def find_anchored_isomorphisms(
@@ -24,66 +125,25 @@ def find_anchored_isomorphisms(
     data: LabeledGraph,
     anchors: Mapping,
     limit: Optional[int] = None,
+    index: IndexArg = None,
 ) -> Iterator[Mapping]:
     """Yield occurrences extending the partial assignment ``anchors``.
 
-    ``anchors`` maps pattern nodes to data vertices; assignments must be
-    label-consistent and injective or nothing is yielded.
+    One-shot convenience over :class:`AnchoredSearch`; build the context
+    yourself when probing the same pattern repeatedly.
     """
-    # Validate the anchors up front (cheap rejections).
-    if len(set(anchors.values())) != len(anchors):
-        return
-    for node, vertex in anchors.items():
-        if not pattern.graph.has_vertex(node) or not data.has_vertex(vertex):
-            return
-        if pattern.label_of(node) != data.label_of(vertex):
-            return
-        if data.degree(vertex) < pattern.graph.degree(node):
-            return
-    # Anchored pattern edges must exist between anchored images.
-    for u, v in pattern.edges():
-        if u in anchors and v in anchors:
-            if not data.has_edge(anchors[u], anchors[v]):
-                return
-
-    order = [node for node in _matching_order(pattern, data) if node not in anchors]
-    mapping: Dict[Vertex, Vertex] = dict(anchors)
-    used: Set[Vertex] = set(anchors.values())
-    yielded = 0
-
-    def backtrack(depth: int) -> Iterator[Mapping]:
-        nonlocal yielded
-        if limit is not None and yielded >= limit:
-            return
-        if depth == len(order):
-            yielded += 1
-            yield dict(mapping)
-            return
-        node = order[depth]
-        for vertex in _candidate_data_vertices(pattern, data, node, mapping):
-            if not _is_feasible(pattern, data, node, vertex, mapping, used, False):
-                continue
-            mapping[node] = vertex
-            used.add(vertex)
-            yield from backtrack(depth + 1)
-            del mapping[node]
-            used.discard(vertex)
-            if limit is not None and yielded >= limit:
-                return
-
-    yield from backtrack(0)
+    yield from AnchoredSearch(pattern, data, index=index).iter_from(anchors, limit)
 
 
 def has_occurrence_with(
-    pattern: Pattern, data: LabeledGraph, node: Vertex, vertex: Vertex
+    pattern: Pattern,
+    data: LabeledGraph,
+    node: Vertex,
+    vertex: Vertex,
+    index: IndexArg = None,
 ) -> bool:
     """True when some occurrence maps pattern ``node`` to data ``vertex``."""
-    return (
-        next(
-            find_anchored_isomorphisms(pattern, data, {node: vertex}, limit=1), None
-        )
-        is not None
-    )
+    return AnchoredSearch(pattern, data, index=index).has_witness(node, vertex)
 
 
 def valid_images(
@@ -91,17 +151,26 @@ def valid_images(
     data: LabeledGraph,
     node: Vertex,
     stop_after: Optional[int] = None,
+    index: IndexArg = None,
 ) -> List[Vertex]:
     """Data vertices that host ``node`` in at least one occurrence.
 
     ``stop_after`` truncates the scan once that many images are confirmed —
     the heart of lazy MNI: deciding "support >= t" needs only t images per
-    node, not the full occurrence set.
+    node, not the full occurrence set.  Candidates come straight from the
+    index's pre-sorted inverted list (or a sorted set copy in brute mode);
+    either way the scan order is the canonical one.  One shared
+    :class:`AnchoredSearch` context serves every probe in the scan.
     """
     label = pattern.label_of(node)
+    search = AnchoredSearch(pattern, data, index=index)
+    if search.resolved is not None:
+        candidates = search.resolved.vertices_with_label(label)
+    else:
+        candidates = sorted(data.vertices_with_label(label), key=repr)
     images: List[Vertex] = []
-    for vertex in sorted(data.vertices_with_label(label), key=repr):
-        if has_occurrence_with(pattern, data, node, vertex):
+    for vertex in candidates:
+        if search.has_witness(node, vertex):
             images.append(vertex)
             if stop_after is not None and len(images) >= stop_after:
                 break

@@ -17,7 +17,8 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..graph.labeled_graph import LabeledGraph, Vertex, normalize_edge
 from ..graph.pattern import Pattern
-from .vf2 import find_subgraph_isomorphisms
+from ..index.graph_index import IndexArg
+from .vf2 import collect_subgraph_isomorphism_items, find_subgraph_isomorphisms
 
 Mapping = Dict[Vertex, Vertex]
 
@@ -108,17 +109,25 @@ class Instance:
 
 
 def find_occurrences(
-    pattern: Pattern, data: LabeledGraph, limit: Optional[int] = None
+    pattern: Pattern,
+    data: LabeledGraph,
+    limit: Optional[int] = None,
+    index: IndexArg = None,
 ) -> List[Occurrence]:
     """Enumerate all occurrences of ``pattern`` in ``data``, deterministically.
 
     The result order is stable across runs (sorted candidate exploration in
-    the engine), so occurrence indices are reproducible.
+    the engine), so occurrence indices are reproducible.  ``index`` selects
+    the engine's acceleration mode (default: the graph's cached index);
+    indexed and brute-force enumeration return identical lists.
     """
-    occurrences = []
-    for i, mapping in enumerate(find_subgraph_isomorphisms(pattern, data, limit=limit)):
-        occurrences.append(Occurrence.from_mapping(mapping, index=i))
-    return occurrences
+    items_list = collect_subgraph_isomorphism_items(
+        pattern, data, limit=limit, index=index
+    )
+    return [
+        Occurrence(mapping_items=items, index=i)
+        for i, items in enumerate(items_list)
+    ]
 
 
 def group_into_instances(
@@ -150,10 +159,15 @@ def group_into_instances(
 
 
 def find_instances(
-    pattern: Pattern, data: LabeledGraph, limit: Optional[int] = None
+    pattern: Pattern,
+    data: LabeledGraph,
+    limit: Optional[int] = None,
+    index: IndexArg = None,
 ) -> List[Instance]:
     """Enumerate the distinct instances of ``pattern`` in ``data``."""
-    return group_into_instances(pattern, find_occurrences(pattern, data, limit=limit))
+    return group_into_instances(
+        pattern, find_occurrences(pattern, data, limit=limit, index=index)
+    )
 
 
 @dataclass(frozen=True)
@@ -170,8 +184,10 @@ class MatchSummary:
         return self.num_occurrences / self.num_instances
 
 
-def summarize_matches(pattern: Pattern, data: LabeledGraph) -> MatchSummary:
+def summarize_matches(
+    pattern: Pattern, data: LabeledGraph, index: IndexArg = None
+) -> MatchSummary:
     """Count occurrences and instances in one enumeration pass."""
-    occurrences = find_occurrences(pattern, data)
+    occurrences = find_occurrences(pattern, data, index=index)
     instances = group_into_instances(pattern, occurrences)
     return MatchSummary(num_occurrences=len(occurrences), num_instances=len(instances))

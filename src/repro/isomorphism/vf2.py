@@ -9,6 +9,21 @@ This is the matcher behind every occurrence enumeration in the library
 * label and degree feasibility filters;
 * full adjacency consistency checks against already-mapped nodes.
 
+When a :class:`~repro.index.GraphIndex` is available (the default — see the
+``index`` parameter) the search additionally uses:
+
+* pre-sorted inverted lists and per-vertex label-filtered adjacency for
+  candidate domains (no per-call set copies or ``repr`` sorts);
+* intersection over *all* mapped pattern neighbors, anchored at the one
+  with the smallest compatible adjacency list;
+* neighbor-label signature dominance filtering (a data vertex must carry,
+  per label, at least as many neighbors as the pattern node requires).
+
+Both modes explore candidates in the same canonical order and the extra
+filters only cut subtrees that cannot complete, so indexed and brute-force
+enumeration yield byte-identical occurrence sequences (asserted by
+``tests/test_index_equivalence.py``).
+
 Two entry points:
 
 * :func:`find_subgraph_isomorphisms` — injective label/edge-preserving maps
@@ -19,10 +34,11 @@ Two entry points:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Set
 
-from ..graph.labeled_graph import LabeledGraph, Vertex
+from ..graph.labeled_graph import Label, LabeledGraph, Vertex
 from ..graph.pattern import Pattern
+from ..index.graph_index import GraphIndex, IndexArg, resolve_index
 
 Mapping = Dict[Vertex, Vertex]
 
@@ -40,6 +56,7 @@ def _matching_order(pattern: Pattern, data: Optional[LabeledGraph]) -> List[Vert
         rarity = {node: 0 for node in graph.vertices()}
 
     remaining: Set[Vertex] = set(graph.vertices())
+    ordered: Set[Vertex] = set()
     order: List[Vertex] = []
     while remaining:
         # Prefer a node adjacent to the already-ordered prefix; tie-break on
@@ -47,7 +64,7 @@ def _matching_order(pattern: Pattern, data: Optional[LabeledGraph]) -> List[Vert
         adjacent = {
             node
             for node in remaining
-            if any(nbr in set(order) for nbr in graph.neighbors(node))
+            if any(nbr in ordered for nbr in graph.neighbors(node))
         }
         pool = adjacent if adjacent else remaining
         chosen = min(
@@ -55,8 +72,59 @@ def _matching_order(pattern: Pattern, data: Optional[LabeledGraph]) -> List[Vert
             key=lambda node: (rarity[node], -graph.degree(node), repr(node)),
         )
         order.append(chosen)
+        ordered.add(chosen)
         remaining.discard(chosen)
     return order
+
+
+def _node_requirements(pattern: Pattern) -> Dict[Vertex, Dict[Label, int]]:
+    """Per pattern node: multiset of its neighbors' labels.
+
+    Used with :meth:`GraphIndex.dominates` — pattern neighbors with one
+    label must map injectively into same-label data neighbors, so a data
+    vertex whose signature does not dominate the requirement can never
+    host the node.
+    """
+    graph = pattern.graph
+    requirements: Dict[Vertex, Dict[Label, int]] = {}
+    for node in graph.vertices():
+        counts: Dict[Label, int] = {}
+        for neighbor in graph.neighbors(node):
+            label = graph.label_of(neighbor)
+            counts[label] = counts.get(label, 0) + 1
+        requirements[node] = counts
+    return requirements
+
+
+def _indexed_candidate_domain(
+    index: GraphIndex,
+    data: LabeledGraph,
+    label: Label,
+    anchor_images: List[Vertex],
+) -> Iterable[Vertex]:
+    """Candidate domain from the index, in canonical order.
+
+    ``anchor_images`` are the (already distinct) images of the node's
+    mapped pattern neighbors.  The domain is the smallest label-filtered
+    adjacency list among them, intersected with the other anchors'
+    adjacency; with no anchors it is the inverted list.  This single
+    helper serves both the generator and collector engines so the two can
+    never diverge on domain computation.
+    """
+    if not anchor_images:
+        return index.vertices_with_label(label)
+    best_image = anchor_images[0]
+    best = index.neighbors_with_label(best_image, label)
+    for image in anchor_images[1:]:
+        narrowed = index.neighbors_with_label(image, label)
+        if len(narrowed) < len(best):
+            best, best_image = narrowed, image
+    if len(anchor_images) == 1:
+        return best
+    other_sets = [
+        data.neighbors(image) for image in anchor_images if image != best_image
+    ]
+    return [v for v in best if all(v in nbrs for nbrs in other_sets)]
 
 
 def _candidate_data_vertices(
@@ -64,20 +132,27 @@ def _candidate_data_vertices(
     data: LabeledGraph,
     node: Vertex,
     mapping: Mapping,
-) -> Iterator[Vertex]:
+    index: Optional[GraphIndex] = None,
+) -> Iterable[Vertex]:
     """Data vertices that could host ``node`` given the partial ``mapping``.
 
     If ``node`` has a mapped pattern neighbor, candidates come from that
     neighbor's image's adjacency (cheap); otherwise from the label index.
+    With an index, the adjacency lists are pre-sorted and the domain is
+    intersected over every mapped neighbor.
     """
     label = pattern.label_of(node)
     mapped_neighbors = [n for n in pattern.graph.neighbors(node) if n in mapping]
+    if index is not None:
+        return _indexed_candidate_domain(
+            index, data, label, [mapping[n] for n in mapped_neighbors]
+        )
     if mapped_neighbors:
         anchor = mapping[mapped_neighbors[0]]
         candidates: Set[Vertex] = data.neighbors_with_label(anchor, label)
     else:
         candidates = data.vertices_with_label(label)
-    return iter(sorted(candidates, key=repr))
+    return sorted(candidates, key=repr)
 
 
 def _is_feasible(
@@ -88,12 +163,17 @@ def _is_feasible(
     mapping: Mapping,
     used: Set[Vertex],
     induced: bool,
+    index: Optional[GraphIndex] = None,
+    requirements: Optional[Dict[Vertex, Dict[Label, int]]] = None,
 ) -> bool:
     """Check injectivity, degree, and adjacency consistency for node→vertex."""
     if vertex in used:
         return False
     if data.degree(vertex) < pattern.graph.degree(node):
         return False
+    if index is not None and requirements is not None:
+        if not index.dominates(vertex, requirements[node]):
+            return False
     data_neighbors = data.neighbors(vertex)
     for pattern_neighbor in pattern.graph.neighbors(node):
         image = mapping.get(pattern_neighbor)
@@ -115,6 +195,7 @@ def find_subgraph_isomorphisms(
     data: LabeledGraph,
     induced: bool = False,
     limit: Optional[int] = None,
+    index: IndexArg = None,
 ) -> Iterator[Mapping]:
     """Yield every occurrence of ``pattern`` in ``data``.
 
@@ -126,6 +207,13 @@ def find_subgraph_isomorphisms(
     ----------
     limit:
         Stop after yielding this many occurrences (None = unlimited).
+    index:
+        ``None`` (default) uses the data graph's cached
+        :class:`~repro.index.GraphIndex` (built on first use); ``False``
+        forces the brute-force reference path; a ``GraphIndex`` instance
+        is used when it is current for this data graph, and silently
+        replaced by a fresh cached index otherwise (staleness safety
+        net).  All modes yield identical occurrence sequences.
 
     Yields
     ------
@@ -133,6 +221,8 @@ def find_subgraph_isomorphisms(
     """
     if pattern.num_nodes > data.num_vertices:
         return
+    resolved = resolve_index(data, index)
+    requirements = _node_requirements(pattern) if resolved is not None else None
     order = _matching_order(pattern, data)
     mapping: Mapping = {}
     used: Set[Vertex] = set()
@@ -147,8 +237,11 @@ def find_subgraph_isomorphisms(
             yield dict(mapping)
             return
         node = order[depth]
-        for vertex in _candidate_data_vertices(pattern, data, node, mapping):
-            if not _is_feasible(pattern, data, node, vertex, mapping, used, induced):
+        for vertex in _candidate_data_vertices(pattern, data, node, mapping, resolved):
+            if not _is_feasible(
+                pattern, data, node, vertex, mapping, used, induced,
+                resolved, requirements,
+            ):
                 continue
             mapping[node] = vertex
             used.add(vertex)
@@ -161,14 +254,145 @@ def find_subgraph_isomorphisms(
     yield from backtrack(0)
 
 
-def count_subgraph_isomorphisms(pattern: Pattern, data: LabeledGraph) -> int:
+def collect_subgraph_isomorphism_items(
+    pattern: Pattern,
+    data: LabeledGraph,
+    limit: Optional[int] = None,
+    index: IndexArg = None,
+):
+    """All (non-induced) occurrences as sorted ``(node, vertex)`` item tuples.
+
+    This is the hot-path twin of :func:`find_subgraph_isomorphisms`: the
+    same search in the same exploration order, but collecting into a list
+    with per-depth static precomputation (anchor neighbors, prior-neighbor
+    adjacency checks, degree requirements, signature requirements) instead
+    of resuming a generator chain per node.  Items come back pre-sorted in
+    the canonical ``repr`` node order — exactly what
+    :meth:`Occurrence.from_mapping` would produce — so occurrence
+    construction skips its per-occurrence sort.
+
+    The equivalence suite pins this against the generator engine in both
+    indexed and brute modes.
+    """
+    if pattern.num_nodes > data.num_vertices:
+        return []
+    if limit is not None and limit <= 0:
+        return []  # mirror the generator engine: limit=0 yields nothing
+    resolved = resolve_index(data, index)
+    order = _matching_order(pattern, data)
+    pattern_graph = pattern.graph
+
+    depth_count = len(order)
+    position = {node: depth for depth, node in enumerate(order)}
+    item_nodes = sorted(order, key=repr)
+    labels = [pattern_graph.label_of(node) for node in order]
+    # Static per-depth structure: pattern neighbors mapped before this
+    # depth (the only ones adjacency checks can bind against), and the
+    # degree each candidate must meet.
+    prior_neighbors: List[List[Vertex]] = []
+    min_degrees: List[int] = []
+    for depth, node in enumerate(order):
+        neighbors = pattern_graph.neighbors(node)
+        prior_neighbors.append([n for n in neighbors if position[n] < depth])
+        min_degrees.append(len(neighbors))
+    # Signature requirements only help while some pattern neighbor is
+    # still unmapped: once every neighbor is mapped and adjacent, the
+    # vertex trivially dominates its requirement.
+    requirement_items: List[Optional[tuple]] = [None] * depth_count
+    if resolved is not None:
+        requirements = _node_requirements(pattern)
+        for depth, node in enumerate(order):
+            if len(prior_neighbors[depth]) < min_degrees[depth]:
+                requirement_items[depth] = tuple(requirements[node].items())
+
+    if resolved is not None:
+        degree_get = resolved.degree_map().__getitem__
+        signature_map = resolved.signature_map()
+    else:
+        degree_get = data.degree
+        signature_map = None
+
+    data_neighbors = data.neighbors
+    results: List[tuple] = []
+    mapping: Mapping = {}
+    used: Set[Vertex] = set()
+    image_of = mapping.__getitem__
+
+    def rec(depth: int) -> bool:
+        """Explore one depth; False aborts the whole search (limit hit)."""
+        if depth == depth_count:
+            results.append(tuple(zip(item_nodes, map(image_of, item_nodes))))
+            return limit is None or len(results) < limit
+        node = order[depth]
+        label = labels[depth]
+        anchors = prior_neighbors[depth]
+        if resolved is not None:
+            candidates = _indexed_candidate_domain(
+                resolved, data, label, [mapping[n] for n in anchors]
+            )
+        else:
+            if anchors:
+                pool = data.neighbors_with_label(mapping[anchors[0]], label)
+            else:
+                pool = data.vertices_with_label(label)
+            candidates = sorted(pool, key=repr)
+        min_degree = min_degrees[depth]
+        requirement = requirement_items[depth]
+        # Indexed candidates are drawn from (and intersected over) every
+        # anchor's adjacency, so the per-candidate adjacency loop is only
+        # needed on the brute path, where candidates come from one anchor.
+        check_neighbors = anchors[1:] if resolved is None else ()
+        for vertex in candidates:
+            if vertex in used:
+                continue
+            if degree_get(vertex) < min_degree:
+                continue
+            if requirement is not None:
+                signature = signature_map[vertex]
+                ok = True
+                for req_label, count in requirement:
+                    if signature.get(req_label, 0) < count:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+            if check_neighbors:
+                nbrs = data_neighbors(vertex)
+                ok = True
+                for prior in check_neighbors:
+                    if mapping[prior] not in nbrs:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+            mapping[node] = vertex
+            used.add(vertex)
+            keep_going = rec(depth + 1)
+            del mapping[node]
+            used.discard(vertex)
+            if not keep_going:
+                return False
+        return True
+
+    rec(0)
+    return results
+
+
+def count_subgraph_isomorphisms(
+    pattern: Pattern, data: LabeledGraph, index: IndexArg = None
+) -> int:
     """The number of occurrences of ``pattern`` in ``data``."""
-    return sum(1 for _ in find_subgraph_isomorphisms(pattern, data))
+    return sum(1 for _ in find_subgraph_isomorphisms(pattern, data, index=index))
 
 
-def has_subgraph_isomorphism(pattern: Pattern, data: LabeledGraph) -> bool:
+def has_subgraph_isomorphism(
+    pattern: Pattern, data: LabeledGraph, index: IndexArg = None
+) -> bool:
     """True when ``pattern`` occurs at least once in ``data``."""
-    return next(find_subgraph_isomorphisms(pattern, data, limit=1), None) is not None
+    return (
+        next(find_subgraph_isomorphisms(pattern, data, limit=1, index=index), None)
+        is not None
+    )
 
 
 def find_isomorphisms(
@@ -178,7 +402,8 @@ def find_isomorphisms(
 
     An isomorphism must be a bijection that preserves labels, edges, and
     non-edges; this is subgraph isomorphism plus equal sizes plus induced
-    matching.
+    matching.  Isomorphism checks are mostly run on tiny pattern-sized
+    graphs, so the brute-force path is used (no index build).
     """
     if first.num_vertices != second.num_vertices:
         return
@@ -189,7 +414,7 @@ def find_isomorphisms(
     if first.degree_sequence() != second.degree_sequence():
         return
     yield from find_subgraph_isomorphisms(
-        Pattern(first), second, induced=True, limit=limit
+        Pattern(first), second, induced=True, limit=limit, index=False
     )
 
 

@@ -22,43 +22,61 @@ from typing import Optional
 from ..errors import MeasureError
 from ..graph.labeled_graph import LabeledGraph
 from ..graph.pattern import Pattern
+from ..index.graph_index import IndexArg, resolve_index
 from ..isomorphism.anchored import valid_images
 
 
-def mni_at_least(pattern: Pattern, data: LabeledGraph, threshold: int) -> bool:
+def mni_at_least(
+    pattern: Pattern, data: LabeledGraph, threshold: int, index: IndexArg = None
+) -> bool:
     """Decide ``sigma_MNI(P, G) >= threshold`` without full enumeration.
 
     Nodes are visited rarest-label-first so infrequent patterns fail fast.
+    Anchored searches are seeded from the graph index's inverted lists
+    unless ``index=False`` requests the brute-force reference path.
     """
     if threshold < 1:
         raise MeasureError("threshold must be >= 1")
-    histogram = data.label_histogram()
+    resolved = resolve_index(data, index)
+    histogram = (
+        resolved.label_histogram() if resolved is not None else data.label_histogram()
+    )
     nodes = sorted(
         pattern.nodes(),
         key=lambda node: (histogram.get(pattern.label_of(node), 0), repr(node)),
     )
+    search_index: IndexArg = resolved if resolved is not None else False
     for node in nodes:
         # A node cannot have more images than label-compatible vertices.
         if histogram.get(pattern.label_of(node), 0) < threshold:
             return False
-        images = valid_images(pattern, data, node, stop_after=threshold)
+        images = valid_images(
+            pattern, data, node, stop_after=threshold, index=search_index
+        )
         if len(images) < threshold:
             return False
     return True
 
 
 def lazy_mni_support(
-    pattern: Pattern, data: LabeledGraph, cap: Optional[int] = None
+    pattern: Pattern,
+    data: LabeledGraph,
+    cap: Optional[int] = None,
+    index: IndexArg = None,
 ) -> int:
     """``min(sigma_MNI(P, G), cap)`` via per-node early-terminated scans.
 
     With ``cap=None`` this computes exact MNI (scanning all candidate
     images per node), still without materializing occurrences.
     """
+    resolved = resolve_index(data, index)
+    search_index: IndexArg = resolved if resolved is not None else False
     best: Optional[int] = None
     for node in pattern.nodes():
         stop_after = cap if best is None else min(cap or best, best)
-        images = valid_images(pattern, data, node, stop_after=stop_after)
+        images = valid_images(
+            pattern, data, node, stop_after=stop_after, index=search_index
+        )
         count = len(images)
         if best is None or count < best:
             best = count

@@ -17,14 +17,23 @@ projects onto an occurrence of the one-edge-smaller pattern.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from ..graph.labeled_graph import Label, LabeledGraph
 from ..graph.pattern import Pattern
+from ..index.graph_index import GraphIndex
 
 
-def adjacent_label_pairs(data: LabeledGraph) -> Set[Tuple[Label, Label]]:
-    """All (unordered, both orders stored) label pairs joined by a data edge."""
+def adjacent_label_pairs(
+    data: LabeledGraph, index: Optional[GraphIndex] = None
+) -> Set[Tuple[Label, Label]]:
+    """All (unordered, both orders stored) label pairs joined by a data edge.
+
+    With an index this is a precomputed lookup; without one it scans the
+    edge list (the brute-force reference path).
+    """
+    if index is not None:
+        return set(index.adjacent_label_pairs())
     pairs: Set[Tuple[Label, Label]] = set()
     for u, v in data.edges():
         lu, lv = data.label_of(u), data.label_of(v)
@@ -33,27 +42,44 @@ def adjacent_label_pairs(data: LabeledGraph) -> Set[Tuple[Label, Label]]:
     return pairs
 
 
-def single_edge_patterns(data: LabeledGraph) -> List[Pattern]:
+def _seed_pattern(lu: Label, lv: Label) -> Pattern:
+    # Canonical endpoint order, so indexed and edge-scan seed generation
+    # produce literally identical patterns (not merely isomorphic ones).
+    if repr(lv) < repr(lu):
+        lu, lv = lv, lu
+    return Pattern.from_edges(
+        [("v1", lu), ("v2", lv)],
+        [("v1", "v2")],
+        name=f"seed:{lu}-{lv}",
+    )
+
+
+def single_edge_patterns(
+    data: LabeledGraph, index: Optional[GraphIndex] = None
+) -> List[Pattern]:
     """All distinct one-edge patterns occurring in the data graph.
 
     These seed the mining search; label pairs are deduplicated as
-    unordered pairs.
+    unordered pairs.  With an index the seeds come straight from the
+    label-pair edge lists (no edge scan); both paths return the same
+    patterns in the same order.
     """
+    if index is not None:
+        seeds = [
+            _seed_pattern(lu, lv) for lu, lv in index.distinct_edge_label_pairs()
+        ]
+        return sorted(
+            seeds, key=lambda p: repr(sorted(p.graph.labels().values(), key=repr))
+        )
     seen: Set[FrozenSet] = set()
-    seeds: List[Pattern] = []
+    seeds = []
     for u, v in data.edges():
         lu, lv = data.label_of(u), data.label_of(v)
         key = frozenset({(0, lu), (1, lv)}) if lu == lv else frozenset({lu, lv})
         if key in seen:
             continue
         seen.add(key)
-        seeds.append(
-            Pattern.from_edges(
-                [("v1", lu), ("v2", lv)],
-                [("v1", "v2")],
-                name=f"seed:{lu}-{lv}",
-            )
-        )
+        seeds.append(_seed_pattern(lu, lv))
     return sorted(seeds, key=lambda p: repr(sorted(p.graph.labels().values(), key=repr)))
 
 

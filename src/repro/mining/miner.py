@@ -3,13 +3,25 @@
 A pattern-growth (gSpan/GraMi-flavored) search:
 
 1. seed with every distinct one-edge pattern occurring in the data graph;
-2. repeatedly pop a frequent pattern and generate its one-edge extensions
+2. repeatedly take a frequent pattern and generate its one-edge extensions
    (forward = new node, backward = close a cycle), deduplicated by
    canonical certificate;
 3. evaluate the configured support measure; extensions below the threshold
    are pruned and — because every measure the paper proposes is
    **anti-monotonic** — pruning is *safe*: no frequent superpattern can hide
    behind an infrequent subpattern.
+
+The search is organized **level-synchronously** (all candidates with k+1
+edges are generated from the level-k survivors, deduplicated, then
+evaluated as a batch).  This is the same traversal the old FIFO queue
+performed — seeds are all one-edge patterns, each extension adds exactly
+one edge — but it exposes the per-level batches needed for parallel
+support evaluation (``workers > 1``) while keeping results identical.
+
+The data graph's :class:`~repro.index.GraphIndex` is built **once per
+mining session** and reused across every candidate evaluation (and every
+worker builds its own copy exactly once); ``use_index=False`` selects the
+brute-force reference path the equivalence tests compare against.
 
 The support measure is pluggable (any name registered in
 :mod:`repro.measures`); using a non-anti-monotonic measure (e.g. raw
@@ -19,15 +31,15 @@ occurrence count) makes pruning heuristic, which the miner flags via
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional, Set
+import math
+from typing import List, Optional, Sequence, Tuple
 
 from ..errors import MiningError
 from ..graph.canonical import canonical_certificate
 from ..graph.labeled_graph import LabeledGraph
 from ..graph.pattern import Pattern
-from ..hypergraph.construction import HypergraphBundle
-from ..measures.base import compute_support, measure_info
+from ..index.graph_index import GraphIndex, get_index
+from ..measures.base import measure_info
 from .extension import adjacent_label_pairs, all_extensions, single_edge_patterns
 from .results import FrequentPattern, MiningResult, MiningStats
 
@@ -57,6 +69,16 @@ class FrequentSubgraphMiner:
         Only for ``measure="mni"``: decide frequency with the GraMi-style
         threshold-bounded evaluation (anchored searches, no occurrence
         enumeration).  Reported supports are capped at ``min_support``.
+    use_index:
+        Route all matching through the data graph's acceleration index
+        (built once, reused for every candidate).  ``False`` is the
+        brute-force reference path; results are identical either way.
+    workers:
+        Evaluate same-level candidates concurrently in this many worker
+        processes (``<= 1`` = in-process serial evaluation).  Result
+        order, supports and statistics are deterministic and identical to
+        the serial run.  Falls back to serial evaluation if worker
+        processes cannot be spawned.
     """
 
     def __init__(
@@ -69,6 +91,8 @@ class FrequentSubgraphMiner:
         max_occurrences: Optional[int] = None,
         allow_non_anti_monotonic: bool = False,
         lazy: bool = False,
+        use_index: bool = True,
+        workers: int = 1,
     ) -> None:
         info = measure_info(measure)
         if not info.anti_monotonic and not allow_non_anti_monotonic:
@@ -87,78 +111,209 @@ class FrequentSubgraphMiner:
         self.max_pattern_edges = max_pattern_edges
         self.max_occurrences = max_occurrences
         self.lazy = lazy
-        self._label_pairs = adjacent_label_pairs(data)
+        self.use_index = use_index
+        self.workers = max(1, int(workers))
+        # Built once per mining session; every candidate evaluation, seed
+        # generation, and extension proposal reuses it.  mine() re-syncs
+        # against the graph's mutation version, so a graph mutated between
+        # construction and mining never sees stale label pairs, histogram
+        # counts, or prune bounds.
+        self._index_arg = None if use_index else False
+        self._index: Optional[GraphIndex] = None
+        self._session_version: Optional[int] = None
+        self._sync_session_state()
+
+    def _sync_session_state(self) -> None:
+        """(Re)derive per-session state from the data graph when it changed."""
+        if self._session_version == self.data.mutation_version():
+            return
+        self._index = get_index(self.data) if self.use_index else None
+        self._label_pairs = adjacent_label_pairs(self.data, index=self._index)
+        self._histogram = (
+            self._index.label_histogram()
+            if self._index
+            else self.data.label_histogram()
+        )
+        self._session_version = self.data.mutation_version()
 
     # ------------------------------------------------------------------
-    def _support_of(self, pattern: Pattern, stats: MiningStats) -> FrequentPattern:
-        """Evaluate the measure for one candidate, recording stats."""
-        stats.support_calls += 1
-        if self.lazy:
-            from ..measures.lazy_mni import lazy_mni_support
+    @property
+    def _lazy_cap(self) -> int:
+        """Ceiling of the (possibly fractional) threshold for lazy mode."""
+        return max(1, math.ceil(self.min_support))
 
-            cap = max(1, int(-(-self.min_support // 1)))  # ceil for float thresholds
-            support = float(lazy_mni_support(pattern, self.data, cap=cap))
-            return FrequentPattern(
-                pattern=pattern,
-                support=support,
-                certificate=canonical_certificate(pattern.graph),
-                num_occurrences=-1,  # occurrences never enumerated
-            )
-        stats.occurrence_enumerations += 1
-        bundle = HypergraphBundle.build(pattern, self.data, limit=self.max_occurrences)
-        support = compute_support(self.measure, pattern, self.data, bundle=bundle)
+    def _record(
+        self,
+        pattern: Pattern,
+        certificate: str,
+        support: float,
+        num_occurrences: int,
+        stats: MiningStats,
+    ) -> FrequentPattern:
+        """The single stats-bookkeeping + result-assembly path.
+
+        Both the serial evaluator and the process-pool outcome loop feed
+        through here, so serial and parallel runs cannot drift apart.
+        """
+        stats.support_calls += 1
+        if num_occurrences >= 0:
+            stats.occurrence_enumerations += 1
         return FrequentPattern(
             pattern=pattern,
             support=support,
-            certificate=canonical_certificate(pattern.graph),
-            num_occurrences=bundle.num_occurrences,
+            certificate=certificate,
+            num_occurrences=num_occurrences,
         )
+
+    def _support_of(
+        self, pattern: Pattern, certificate: str, stats: MiningStats
+    ) -> FrequentPattern:
+        """Evaluate the measure for one candidate, recording stats."""
+        from .parallel import evaluate_support
+
+        support, num_occurrences = evaluate_support(
+            pattern,
+            self.data,
+            self.measure,
+            lazy=self.lazy,
+            lazy_cap=self._lazy_cap,
+            max_occurrences=self.max_occurrences,
+            index_arg=self._index_arg,
+            histogram=self._histogram,
+            prune_below=self.min_support,
+        )
+        return self._record(pattern, certificate, support, num_occurrences, stats)
+
+    # ------------------------------------------------------------------
+    def _evaluate_level(
+        self,
+        level: Sequence[Tuple[Pattern, str]],
+        stats: MiningStats,
+        pool,
+    ) -> Tuple[List[FrequentPattern], object]:
+        """Evaluate one level's candidates in order; returns (results, pool).
+
+        ``ProcessPoolExecutor`` spawns workers lazily, so environments
+        that cannot fork only fail here, at the first ``map`` — not in
+        :meth:`_make_pool`.  Any pool-infrastructure failure (spawn
+        refused, workers killed) shuts the pool down and re-evaluates the
+        level serially; the returned pool is then ``None`` so the rest of
+        the run stays serial.  Evaluation is pure, so the retry changes
+        nothing but wall-clock time.
+        """
+        from concurrent.futures import BrokenExecutor
+
+        outcomes = None
+        if pool is not None:
+            from .parallel import evaluate_candidate
+
+            patterns = [pattern for pattern, _ in level]
+            chunksize = max(1, len(patterns) // (self.workers * 4))
+            try:
+                outcomes = list(
+                    pool.map(evaluate_candidate, patterns, chunksize=chunksize)
+                )
+            except (OSError, BrokenExecutor):
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+        if outcomes is None:
+            return (
+                [
+                    self._support_of(pattern, certificate, stats)
+                    for pattern, certificate in level
+                ],
+                pool,
+            )
+        evaluated = [
+            self._record(pattern, certificate, support, num_occurrences, stats)
+            for (pattern, certificate), (support, num_occurrences) in zip(
+                level, outcomes
+            )
+        ]
+        return evaluated, pool
+
+    def _make_pool(self):
+        """A process pool for support evaluation, or None (serial).
+
+        Construction itself rarely fails (workers spawn lazily); the
+        degrade-to-serial path for unspawnable workers lives in
+        :meth:`_evaluate_level`.
+        """
+        if self.workers <= 1:
+            return None
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            from .parallel import init_worker
+
+            return ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=init_worker,
+                initargs=(
+                    self.data,
+                    self.measure,
+                    self.lazy,
+                    self._lazy_cap,
+                    self.max_occurrences,
+                    self.use_index,
+                    self.min_support,
+                ),
+            )
+        except (OSError, ValueError):
+            # Restricted environments (no usable start method, no
+            # /dev/shm): degrade to the serial path, which produces
+            # identical results.
+            return None
 
     def mine(self) -> MiningResult:
         """Run the search; returns every frequent pattern found."""
+        self._sync_session_state()
         stats = MiningStats()
         frequent: List[FrequentPattern] = []
-        seen: Set[str] = set()
-        queue: Deque[Pattern] = deque()
+        seen: set = set()
 
-        for seed in single_edge_patterns(self.data):
+        level: List[Tuple[Pattern, str]] = []
+        for seed in single_edge_patterns(self.data, index=self._index):
             stats.patterns_generated += 1
             certificate = canonical_certificate(seed.graph)
             if certificate in seen:
                 stats.duplicates_skipped += 1
                 continue
             seen.add(certificate)
-            stats.patterns_evaluated += 1
-            evaluated = self._support_of(seed, stats)
-            if evaluated.support >= self.min_support:
-                stats.patterns_frequent += 1
-                frequent.append(evaluated)
-                queue.append(seed)
-            else:
-                stats.patterns_pruned += 1
+            level.append((seed, certificate))
 
-        while queue:
-            pattern = queue.popleft()
-            for extension in all_extensions(
-                pattern,
-                self._label_pairs,
-                max_nodes=self.max_pattern_nodes,
-                max_edges=self.max_pattern_edges,
-            ):
-                stats.patterns_generated += 1
-                certificate = canonical_certificate(extension.graph)
-                if certificate in seen:
-                    stats.duplicates_skipped += 1
-                    continue
-                seen.add(certificate)
-                stats.patterns_evaluated += 1
-                evaluated = self._support_of(extension, stats)
-                if evaluated.support >= self.min_support:
-                    stats.patterns_frequent += 1
-                    frequent.append(evaluated)
-                    queue.append(extension)
-                else:
-                    stats.patterns_pruned += 1
+        pool = self._make_pool()
+        try:
+            while level:
+                stats.patterns_evaluated += len(level)
+                survivors: List[Pattern] = []
+                results, pool = self._evaluate_level(level, stats, pool)
+                for evaluated in results:
+                    if evaluated.support >= self.min_support:
+                        stats.patterns_frequent += 1
+                        frequent.append(evaluated)
+                        survivors.append(evaluated.pattern)
+                    else:
+                        stats.patterns_pruned += 1
+                next_level: List[Tuple[Pattern, str]] = []
+                for pattern in survivors:
+                    for extension in all_extensions(
+                        pattern,
+                        self._label_pairs,
+                        max_nodes=self.max_pattern_nodes,
+                        max_edges=self.max_pattern_edges,
+                    ):
+                        stats.patterns_generated += 1
+                        certificate = canonical_certificate(extension.graph)
+                        if certificate in seen:
+                            stats.duplicates_skipped += 1
+                            continue
+                        seen.add(certificate)
+                        next_level.append((extension, certificate))
+                level = next_level
+        finally:
+            if pool is not None:
+                pool.shutdown()
 
         frequent.sort(key=lambda fp: (fp.num_edges, -fp.support, fp.certificate))
         return MiningResult(
@@ -178,6 +333,8 @@ def mine_frequent_patterns(
     max_occurrences: Optional[int] = None,
     allow_non_anti_monotonic: bool = False,
     lazy: bool = False,
+    use_index: bool = True,
+    workers: int = 1,
 ) -> MiningResult:
     """Convenience one-call mining entry point (see :class:`FrequentSubgraphMiner`)."""
     miner = FrequentSubgraphMiner(
@@ -189,5 +346,7 @@ def mine_frequent_patterns(
         max_occurrences=max_occurrences,
         allow_non_anti_monotonic=allow_non_anti_monotonic,
         lazy=lazy,
+        use_index=use_index,
+        workers=workers,
     )
     return miner.mine()
