@@ -8,7 +8,6 @@ Expected shape: ratios are 1.0 on disjoint workloads, and never exceed k.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.datasets.synthetic import planted_pattern_graph, random_labeled_graph

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.datasets.synthetic import planted_pattern_graph

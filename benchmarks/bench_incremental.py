@@ -1,9 +1,19 @@
-"""tab9 (ablation) — embedding propagation vs recomputing miner.
+"""tab9 (ablation) — incremental machinery vs recomputing from scratch.
 
-The search-scheme half of the single-graph FSM problem: extending the
-parent's embedding list avoids re-running subgraph isomorphism for every
-candidate.  Results must be identical; wall time and enumeration counts
-are the ablation.
+Two ablations share this module:
+
+* **tab9** — embedding propagation (:mod:`repro.mining.incremental`) vs
+  the recomputing miner: extending the parent's embedding list avoids
+  re-running subgraph isomorphism for every candidate;
+* **tab9b** — delta-maintained dynamic mining
+  (:mod:`repro.mining.dynamic`) vs full re-mining per batch over an
+  insertion stream: patching the `GraphIndex` in O(delta) and re-evaluating
+  only footprint-affected patterns avoids paying the whole search again
+  for every batch.  The speedup gate here is an acceptance criterion —
+  the delta path must beat rebuild-per-batch on the medium stream.
+
+Results must be identical in both ablations; wall time and enumeration /
+evaluation counts are the ablation.
 """
 
 from __future__ import annotations
@@ -13,8 +23,9 @@ import time
 import pytest
 
 from repro.analysis.report import format_table
-from repro.datasets.synthetic import planted_pattern_graph
+from repro.datasets.synthetic import planted_pattern_graph, random_labeled_graph
 from repro.graph.builders import path_pattern, star_pattern
+from repro.mining.dynamic import DynamicMiner, apply_update
 from repro.mining.incremental import mine_frequent_patterns_incremental
 from repro.mining.miner import mine_frequent_patterns
 
@@ -89,3 +100,141 @@ def test_tab9_benchmark_recompute(workload, benchmark):
             workload, measure="mni", min_support=3, max_pattern_nodes=3
         )
     )
+
+
+# ----------------------------------------------------------------------
+# tab9b — delta-maintained dynamic mining vs full re-mine per batch
+# ----------------------------------------------------------------------
+
+STREAM_PARAMS = dict(measure="mni", min_support=3, max_pattern_nodes=4, max_pattern_edges=4)
+
+
+@pytest.fixture(scope="module")
+def stream_workload():
+    """A medium insertion stream over a two-region graph.
+
+    The stable region (heavily welded planted A-(B,C) stars plus welded
+    A-B-A-C chains) carries the expensive bulk of the frequent patterns;
+    the stream only ever touches a sparse D/E region growing as a tree,
+    so the delta path re-evaluates a small, cheap footprint-affected
+    slice per batch while rebuild-per-batch re-enumerates the whole
+    welded bulk every time.
+    """
+    import random
+
+    base = planted_pattern_graph(
+        star_pattern("A", ["B", "C"]),
+        num_copies=60,
+        overlap_fraction=0.55,
+        background_vertices=40,
+        background_edge_probability=0.05,
+        seed=61,
+        name="stream-base",
+    )
+    chain = path_pattern(["A", "B", "A", "C"])
+    welded = planted_pattern_graph(chain, num_copies=40, overlap_fraction=0.45, seed=57)
+    offset = base.num_vertices + 1000
+    for vertex in welded.vertices():
+        base.add_vertex(vertex + offset, welded.label_of(vertex))
+    for u, v in welded.edges():
+        base.add_edge(u + offset, v + offset)
+    growth = random_labeled_graph(8, 0.25, alphabet=("D", "E"), seed=67)
+    offset2 = offset + 10000
+    for vertex in growth.vertices():
+        base.add_vertex(vertex + offset2, growth.label_of(vertex))
+    for u, v in growth.edges():
+        base.add_edge(u + offset2, v + offset2)
+    base.add_edge(0, offset2)  # stitch the regions
+
+    rng = random.Random(71)
+    growth_vertices = [vertex + offset2 for vertex in growth.vertices()]
+    updates = []
+    serial = 0
+    while len(updates) < 48:
+        # Tree-shaped growth: every new D/E vertex hangs off an existing
+        # one, keeping the affected region sparse (cheap to re-evaluate).
+        vertex = f"g{serial}"
+        serial += 1
+        updates.append(("v", vertex, rng.choice("DE")))
+        updates.append(("e", rng.choice(growth_vertices), vertex))
+        growth_vertices.append(vertex)
+    return base, updates
+
+
+def _batches(updates, size):
+    return [updates[start : start + size] for start in range(0, len(updates), size)]
+
+
+def _apply_batch(graph, batch):
+    for update in batch:
+        apply_update(graph, update)
+
+
+def test_tab9b_delta_stream_vs_rebuild_per_batch(stream_workload, benchmark, emit):
+    """Acceptance gate: the delta path beats rebuild-per-batch on a medium stream.
+
+    Timed as interleaved min-of-3 pairs (same discipline as the tab4c
+    speedup gate) so shared-runner contention degrades both pipelines
+    instead of flipping their ratio.  Per-batch results must be identical.
+    """
+    base, updates = stream_workload
+    batches = _batches(updates, 6)
+
+    def delta_run():
+        graph = base.copy()
+        miner = DynamicMiner(graph, **STREAM_PARAMS)
+        keys = [miner.refresh().certificates()]
+        for batch in batches:
+            _apply_batch(graph, batch)
+            keys.append(miner.refresh().certificates())
+        return keys
+
+    def rebuild_run():
+        graph = base.copy()
+        keys = [mine_frequent_patterns(graph, **STREAM_PARAMS).certificates()]
+        for batch in batches:
+            _apply_batch(graph, batch)
+            keys.append(mine_frequent_patterns(graph, **STREAM_PARAMS).certificates())
+        return keys
+
+    best_delta = best_rebuild = float("inf")
+    delta_keys = rebuild_keys = None
+    for _ in range(3):
+        start = time.perf_counter()
+        rebuild_keys = rebuild_run()
+        best_rebuild = min(best_rebuild, time.perf_counter() - start)
+        start = time.perf_counter()
+        delta_keys = delta_run()
+        best_delta = min(best_delta, time.perf_counter() - start)
+
+    assert delta_keys == rebuild_keys  # identical after every batch
+    speedup = best_rebuild / max(best_delta, 1e-9)
+    emit(
+        format_table(
+            ["pipeline", "time ms", "batches", "final frequent"],
+            [
+                ["rebuild per batch", f"{best_rebuild*1e3:.1f}", len(batches), len(rebuild_keys[-1])],
+                ["delta-maintained", f"{best_delta*1e3:.1f}", len(batches), len(delta_keys[-1])],
+                ["speedup", f"{speedup:.2f}x", "", ""],
+            ],
+            title="tab9b: delta-maintained dynamic mining vs rebuild-per-batch",
+        )
+    )
+    assert speedup >= 1.3, f"delta path only {speedup:.2f}x over rebuild-per-batch"
+
+    benchmark(delta_run)
+
+
+def test_tab9b_benchmark_rebuild_per_batch(stream_workload, benchmark):
+    base, updates = stream_workload
+    batches = _batches(updates, 6)
+
+    def rebuild_run():
+        graph = base.copy()
+        results = [mine_frequent_patterns(graph, **STREAM_PARAMS)]
+        for batch in batches:
+            _apply_batch(graph, batch)
+            results.append(mine_frequent_patterns(graph, **STREAM_PARAMS))
+        return results
+
+    benchmark(rebuild_run)

@@ -9,7 +9,6 @@ overlap graph sparsifies (simple <= harmful/structural variants).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.datasets.paper_figures import load_figure

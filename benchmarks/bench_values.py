@@ -9,7 +9,6 @@ with the MNI/MIS ratio growing with overlap density.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.datasets.synthetic import planted_pattern_graph, random_labeled_graph

@@ -1,4 +1,11 @@
-"""Shim for environments without the wheel package (offline editable installs)."""
+"""Setuptools shim for offline / legacy editable installs.
+
+All real packaging metadata lives in ``pyproject.toml`` (package
+discovery under ``src/``, ``python_requires>=3.10``, and the ``repro`` /
+``repro-graph`` console scripts); this file only keeps
+``pip install -e .`` working in environments without PEP 660 support.
+"""
+
 from setuptools import setup
 
 setup()

@@ -2,10 +2,11 @@
 
 Subcommands
 -----------
-``measure``  compute the support spectrum for a pattern in a graph
-``mine``     mine frequent patterns from a graph
-``figure``   regenerate a paper figure worksheet (fig1 .. fig10)
-``info``     list registered measures with their properties
+``measure``      compute the support spectrum for a pattern in a graph
+``mine``         mine frequent patterns from a graph
+``mine-stream``  maintain frequent patterns while replaying a graph-update stream
+``figure``       regenerate a paper figure worksheet (fig1 .. fig10)
+``info``         list registered measures with their properties
 """
 
 from __future__ import annotations
@@ -29,6 +30,17 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _frequent_table(result, title: str) -> str:
+    """The frequent-pattern table shared by ``mine`` and ``mine-stream``."""
+    rows = [
+        [i + 1, fp.num_nodes, fp.num_edges, fp.support, fp.num_occurrences]
+        for i, fp in enumerate(result.frequent)
+    ]
+    return format_table(
+        ["#", "nodes", "edges", "support", "occurrences"], rows, title=title
+    )
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
     from .mining.miner import mine_frequent_patterns
 
@@ -42,22 +54,69 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         use_index=not args.no_index,
         workers=args.workers,
     )
-    rows = [
-        [i + 1, fp.num_nodes, fp.num_edges, fp.support, fp.num_occurrences]
-        for i, fp in enumerate(result.frequent)
-    ]
     print(
-        format_table(
-            ["#", "nodes", "edges", "support", "occurrences"],
-            rows,
-            title=(
-                f"{result.num_frequent} frequent patterns "
-                f"(measure={result.measure}, min_support={result.min_support:g})"
-            ),
+        _frequent_table(
+            result,
+            f"{result.num_frequent} frequent patterns "
+            f"(measure={result.measure}, min_support={result.min_support:g})",
         )
     )
     stats = result.stats.as_dict()
     print("\n" + format_table(["counter", "value"], sorted(stats.items())))
+    return 0
+
+
+def _cmd_mine_stream(args: argparse.Namespace) -> int:
+    from .graph.io import load_update_stream
+    from .mining.dynamic import mine_stream
+
+    data = load_graph(args.graph)
+    updates = load_update_stream(args.updates)
+    rows = []
+    last = None
+    for step in mine_stream(
+        data,
+        updates,
+        batch_size=args.batch_size,
+        mode=args.mode,
+        measure=args.measure,
+        min_support=args.min_support,
+        max_pattern_nodes=args.max_nodes,
+        max_pattern_edges=args.max_edges,
+    ):
+        last = step
+        stats = step.result.stats
+        rows.append(
+            [
+                step.batch,
+                step.updates_applied,
+                step.num_vertices,
+                step.num_edges,
+                step.result.num_frequent,
+                stats.patterns_evaluated,
+                stats.patterns_reused,
+                stats.patterns_skipped_unaffected,
+            ]
+        )
+    print(
+        format_table(
+            ["batch", "updates", "|V|", "|E|", "frequent", "evaluated", "reused", "skipped"],
+            rows,
+            title=(
+                f"mine-stream over {len(updates)} updates "
+                f"(mode={args.mode}, measure={args.measure}, "
+                f"min_support={args.min_support:g}, batch_size={args.batch_size})"
+            ),
+        )
+    )
+    assert last is not None
+    print(
+        "\n"
+        + _frequent_table(
+            last.result,
+            f"{last.result.num_frequent} frequent patterns after the stream",
+        )
+    )
     return 0
 
 
@@ -185,6 +244,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the graph acceleration index (brute-force reference path)",
     )
     mine.set_defaults(func=_cmd_mine)
+
+    stream = subparsers.add_parser(
+        "mine-stream",
+        help="maintain frequent patterns while replaying a graph-update stream",
+    )
+    stream.add_argument("graph", help="base data graph (.lg file)")
+    stream.add_argument("updates", help="update stream (v/e lines, applied in order)")
+    stream.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="updates applied between refreshes of the frequent-pattern set",
+    )
+    stream.add_argument(
+        "--mode",
+        choices=("delta", "rebuild", "brute"),
+        default="delta",
+        help=(
+            "maintenance strategy: delta-patched index + footprint reuse "
+            "(default), full re-mine with a rebuilt index, or the "
+            "index-free brute-force reference"
+        ),
+    )
+    stream.add_argument("--measure", default="mni", help="support measure name")
+    stream.add_argument("--min-support", type=float, default=2.0)
+    stream.add_argument("--max-nodes", type=int, default=5)
+    stream.add_argument("--max-edges", type=int, default=6)
+    stream.set_defaults(func=_cmd_mine_stream)
 
     figure = subparsers.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("figure_id", help="fig1 .. fig10")

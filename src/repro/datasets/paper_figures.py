@@ -15,7 +15,7 @@ describes and assert the caption's claims; DESIGN.md records this.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from ..graph.labeled_graph import LabeledGraph
 from ..graph.pattern import Pattern

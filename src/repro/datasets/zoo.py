@@ -17,7 +17,6 @@ from ..graph.builders import (
     star_graph,
 )
 from ..graph.labeled_graph import LabeledGraph
-from ..graph.pattern import Pattern
 
 
 def uniform_triangle_fan(num_triangles: int = 4, label: str = "a") -> LabeledGraph:

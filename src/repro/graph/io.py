@@ -102,6 +102,49 @@ def save_pattern(pattern: Pattern, path: PathLike) -> None:
     save_graph(pattern.graph, path)
 
 
+def parse_update_stream(text: str) -> List[tuple]:
+    """Parse a graph-update stream (``.lg``-style ``v`` / ``e`` lines).
+
+    Each line is one update op, applied in file order by the dynamic
+    mining layer (:mod:`repro.mining.dynamic`):
+
+        v <vertex-id> <label>     -> ("v", vertex, label)
+        e <vertex-id> <vertex-id> -> ("e", u, v)
+
+    Blank lines, ``#`` comments and ``t`` headers are skipped, exactly as
+    in :func:`parse_lg` — so any ``.lg`` file is also a valid update
+    stream that replays the graph it describes.
+    """
+    updates: List[tuple] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#") or line.startswith("t "):
+            continue
+        parts = line.split()
+        kind = parts[0]
+        if kind == "v":
+            if len(parts) < 3:
+                raise DatasetError(f"line {line_number}: vertex line needs 'v id label'")
+            updates.append(("v", _parse_vertex_id(parts[1]), parts[2]))
+        elif kind == "e":
+            if len(parts) < 3:
+                raise DatasetError(f"line {line_number}: edge line needs 'e u v'")
+            updates.append(("e", _parse_vertex_id(parts[1]), _parse_vertex_id(parts[2])))
+        else:
+            raise DatasetError(
+                f"line {line_number}: unknown update kind {kind!r} (expected v/e)"
+            )
+    return updates
+
+
+def load_update_stream(path: PathLike) -> List[tuple]:
+    """Load an update stream from a ``v``/``e`` line file."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"update stream file not found: {path}")
+    return parse_update_stream(path.read_text())
+
+
 def parse_edge_list(
     lines: Iterable[str], default_label: str = "A", name: str = ""
 ) -> LabeledGraph:

@@ -13,7 +13,18 @@ orderable ids (ints and strings in practice).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from ..errors import EdgeNotFoundError, GraphError, SelfLoopError, VertexNotFoundError
 
@@ -63,6 +74,7 @@ class LabeledGraph:
         "_num_edges",
         "_version",
         "_index",
+        "_observers",
         "_vertices_cache",
         "_edges_cache",
         "name",
@@ -80,6 +92,7 @@ class LabeledGraph:
         self._num_edges = 0
         self._version = 0
         self._index: Optional[object] = None
+        self._observers: List[Callable[[object], None]] = []
         self._vertices_cache: Optional[Tuple[int, List[Vertex]]] = None
         self._edges_cache: Optional[Tuple[int, List[Edge]]] = None
         self.name = name
@@ -106,6 +119,10 @@ class LabeledGraph:
         self._labels[vertex] = label
         self._by_label.setdefault(label, set()).add(vertex)
         self._version += 1
+        if self._observers:
+            from ..index.delta import VertexAdded
+
+            self._publish(VertexAdded(version=self._version, vertex=vertex, label=label))
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add the undirected edge ``(u, v)``.  Idempotent for existing edges."""
@@ -121,6 +138,18 @@ class LabeledGraph:
         self._adj[v].add(u)
         self._num_edges += 1
         self._version += 1
+        if self._observers:
+            from ..index.delta import EdgeAdded
+
+            self._publish(
+                EdgeAdded(
+                    version=self._version,
+                    u=u,
+                    v=v,
+                    label_u=self._labels[u],
+                    label_v=self._labels[v],
+                )
+            )
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove the undirected edge ``(u, v)``."""
@@ -130,6 +159,18 @@ class LabeledGraph:
         self._adj[v].discard(u)
         self._num_edges -= 1
         self._version += 1
+        if self._observers:
+            from ..index.delta import EdgeRemoved
+
+            self._publish(
+                EdgeRemoved(
+                    version=self._version,
+                    u=u,
+                    v=v,
+                    label_u=self._labels[u],
+                    label_v=self._labels[v],
+                )
+            )
 
     def remove_vertex(self, vertex: Vertex) -> None:
         """Remove ``vertex`` and all its incident edges."""
@@ -143,6 +184,10 @@ class LabeledGraph:
             del self._by_label[label]
         del self._adj[vertex]
         self._version += 1
+        if self._observers:
+            from ..index.delta import VertexRemoved
+
+            self._publish(VertexRemoved(version=self._version, vertex=vertex, label=label))
 
     # ------------------------------------------------------------------
     # queries
@@ -333,9 +378,42 @@ class LabeledGraph:
         """Attach (or clear, with ``None``) the cached acceleration index."""
         self._index = index
 
+    # ------------------------------------------------------------------
+    # mutation-observer hook (see repro.index.delta)
+    # ------------------------------------------------------------------
+    def subscribe(self, observer: Callable[[object], None]) -> Callable[[object], None]:
+        """Register ``observer`` to receive one typed delta per mutation.
+
+        Each structural mutation (``add_vertex`` / ``add_edge`` /
+        ``remove_edge`` / ``remove_vertex``) that actually changes the graph
+        publishes exactly one delta from :mod:`repro.index.delta`, carrying
+        the post-mutation :meth:`mutation_version` — idempotent no-ops
+        (re-adding a vertex or edge) publish nothing.  Observers must not
+        mutate the graph or raise.  Returns ``observer`` for use as the
+        :meth:`unsubscribe` token.
+        """
+        self._observers.append(observer)
+        return observer
+
+    def unsubscribe(self, observer: Callable[[object], None]) -> None:
+        """Detach ``observer``; detaching one that is not attached is a no-op."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    def has_observers(self) -> bool:
+        """True when at least one mutation observer is attached."""
+        return bool(self._observers)
+
+    def _publish(self, delta: object) -> None:
+        for observer in tuple(self._observers):
+            observer(delta)
+
     def __getstate__(self):
-        # Cached indexes are per-process acceleration state; drop them so
-        # pickles stay small (process-pool workers rebuild on first use).
+        # Cached indexes and observers are per-process acceleration state;
+        # drop them so pickles stay small (process-pool workers rebuild on
+        # first use, and an observer in another process would go stale).
         return {
             "_adj": self._adj,
             "_labels": self._labels,
@@ -349,6 +427,7 @@ class LabeledGraph:
         for key, value in state.items():
             setattr(self, key, value)
         self._index = None
+        self._observers = []
         self._vertices_cache = None
         self._edges_cache = None
 

@@ -18,7 +18,7 @@ found when two even-level vertices meet.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
 
 Node = Hashable
 

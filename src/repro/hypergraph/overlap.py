@@ -17,7 +17,7 @@ measure the paper suggests in Section 4.5.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..graph.automorphism import transitive_pairs
 from ..graph.labeled_graph import Vertex

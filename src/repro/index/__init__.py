@@ -1,9 +1,29 @@
 """Indexed acceleration layer for data-graph hot paths.
 
-See :mod:`repro.index.graph_index` for the design notes and
+See :mod:`repro.index.graph_index` for the design notes,
+:mod:`repro.index.delta` for incremental (delta-patched) maintenance, and
 ``docs/architecture.md`` for how the rest of the library routes through it.
 """
 
+from .delta import (
+    EdgeAdded,
+    EdgeRemoved,
+    GraphDelta,
+    IndexMaintainer,
+    VertexAdded,
+    VertexRemoved,
+)
 from .graph_index import GraphIndex, IndexArg, get_index, resolve_index
 
-__all__ = ["GraphIndex", "IndexArg", "get_index", "resolve_index"]
+__all__ = [
+    "GraphIndex",
+    "IndexArg",
+    "get_index",
+    "resolve_index",
+    "GraphDelta",
+    "VertexAdded",
+    "EdgeAdded",
+    "EdgeRemoved",
+    "VertexRemoved",
+    "IndexMaintainer",
+]

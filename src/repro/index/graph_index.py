@@ -17,10 +17,15 @@ once per graph:
   with neighbor lists per label pre-sorted, for candidate filtering that
   rejects hopeless vertices before any backtracking.
 
-Indexes are immutable snapshots.  Each :class:`LabeledGraph` carries a
-version counter bumped on every mutation; :func:`get_index` caches the
-index on the graph itself and transparently rebuilds after mutations, so
-"build once per mining session, reuse across all candidates" is automatic.
+Each :class:`LabeledGraph` carries a version counter bumped on every
+mutation; :func:`get_index` caches the index on the graph itself and
+transparently rebuilds after mutations, so "build once per mining session,
+reuse across all candidates" is automatic.  Indexes never drift from their
+graph: they either match its version exactly or are replaced.  Under a
+stream of *insertions* a full rebuild is avoidable — :meth:`apply_delta`
+patches the index in O(delta) per update, and
+:class:`repro.index.delta.IndexMaintainer` drives that from the graph's
+mutation-observer hook.
 
 All orders are the same canonical ``repr`` orders used by the brute-force
 paths, which is what makes indexed and unindexed enumeration byte-identical
@@ -29,11 +34,18 @@ paths, which is what makes indexed and unindexed enumeration byte-identical
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from ..graph.labeled_graph import Edge, Label, LabeledGraph, Vertex, normalize_edge
 
 _EMPTY: Tuple[Vertex, ...] = ()
+
+
+def _insert_canonical(members: Tuple, item) -> Tuple:
+    """Insert ``item`` into a repr-sorted tuple, preserving canonical order."""
+    position = bisect_left(members, repr(item), key=repr)
+    return members[:position] + (item,) + members[position:]
 
 
 def _label_pair_key(lu: Label, lv: Label) -> Tuple[Label, Label]:
@@ -42,11 +54,13 @@ def _label_pair_key(lu: Label, lv: Label) -> Tuple[Label, Label]:
 
 
 class GraphIndex:
-    """An immutable acceleration structure for one labeled graph snapshot.
+    """An acceleration structure for one labeled graph snapshot.
 
     Build with :meth:`build` (or the cached :func:`get_index`).  The index
     never mutates the graph; :meth:`is_current` reports whether the graph
-    has changed since the snapshot was taken.
+    has changed since the snapshot was taken.  A stale index can be
+    brought current either by rebuilding or — for insertion deltas — by
+    :meth:`apply_delta` patching in O(delta).
     """
 
     __slots__ = (
@@ -118,6 +132,63 @@ class GraphIndex:
     def is_current(self) -> bool:
         """True while the indexed graph has not been mutated."""
         return self.graph.mutation_version() == self.version
+
+    # ------------------------------------------------------------------
+    # delta maintenance (see repro.index.delta)
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta) -> bool:
+        """Patch this index in place for one typed graph delta.
+
+        Insertions (:class:`~repro.index.delta.VertexAdded`,
+        :class:`~repro.index.delta.EdgeAdded`) are absorbed in O(delta):
+        a vertex splices into its label's inverted list, an edge splices
+        into its label-pair edge list and both endpoints' neighbor-label
+        buckets — all at the canonical (``repr``-sorted) position, so the
+        patched index is structurally identical to a rebuilt one.  The
+        index version advances to the delta's version; callers must apply
+        deltas contiguously (:class:`~repro.index.delta.IndexMaintainer`
+        enforces this).
+
+        Returns ``False`` for removal deltas, which this index does not
+        patch — the caller falls back to :meth:`build`.
+        """
+        from .delta import EdgeAdded, VertexAdded
+
+        if isinstance(delta, VertexAdded):
+            self._apply_vertex_added(delta.vertex, delta.label)
+        elif isinstance(delta, EdgeAdded):
+            self._apply_edge_added(delta.u, delta.v, delta.label_u, delta.label_v)
+        else:
+            return False
+        self.version = delta.version
+        return True
+
+    def _apply_vertex_added(self, vertex: Vertex, label: Label) -> None:
+        self._label_list[label] = _insert_canonical(
+            self._label_list.get(label, _EMPTY), vertex
+        )
+        self._histogram[label] = self._histogram.get(label, 0) + 1
+        self._neighbors_by_label[vertex] = {}
+        self._signatures[vertex] = {}
+        self._degrees[vertex] = 0
+
+    def _apply_edge_added(self, u: Vertex, v: Vertex, lu: Label, lv: Label) -> None:
+        if (lu, lv) not in self._label_pairs:
+            self._label_pairs = self._label_pairs | {(lu, lv), (lv, lu)}
+        pair = _label_pair_key(lu, lv)
+        self._edges_by_pair[pair] = _insert_canonical(
+            self._edges_by_pair.get(pair, _EMPTY), normalize_edge(u, v)
+        )
+        buckets_u = self._neighbors_by_label[u]
+        buckets_u[lv] = _insert_canonical(buckets_u.get(lv, _EMPTY), v)
+        buckets_v = self._neighbors_by_label[v]
+        buckets_v[lu] = _insert_canonical(buckets_v.get(lu, _EMPTY), u)
+        signature_u = self._signatures[u]
+        signature_u[lv] = signature_u.get(lv, 0) + 1
+        signature_v = self._signatures[v]
+        signature_v[lu] = signature_v.get(lu, 0) + 1
+        self._degrees[u] += 1
+        self._degrees[v] += 1
 
     # ------------------------------------------------------------------
     # inverted lists

@@ -18,7 +18,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 from ..graph.labeled_graph import LabeledGraph, Vertex, normalize_edge
 from ..graph.pattern import Pattern
 from ..index.graph_index import IndexArg
-from .vf2 import collect_subgraph_isomorphism_items, find_subgraph_isomorphisms
+from .vf2 import collect_subgraph_isomorphism_items
 
 Mapping = Dict[Vertex, Vertex]
 

@@ -18,9 +18,9 @@ benchmark ``tab7`` (bench_decomposition.py).
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List
 
-from ..hypergraph.hypergraph import EdgeLabel, Hypergraph, HVertex
+from ..hypergraph.hypergraph import Hypergraph, HVertex
 from .mies import mies_support_of
 from .mvc import mvc_support_of
 from .relaxations import lp_mvc_support_of

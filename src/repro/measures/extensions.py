@@ -33,7 +33,7 @@ better than MI wherever instances overlap inside an orbit.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..graph.automorphism import transitive_node_subsets
 from ..graph.labeled_graph import Vertex

@@ -13,7 +13,7 @@ of ``O``; we solve it by branch-and-bound graph coloring with a greedy
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import List, Set
 
 from ..errors import BudgetExceededError
 from ..hypergraph.construction import HypergraphBundle

@@ -15,7 +15,7 @@ Properties (Theorems 3.2–3.4, all verified by the test suite):
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..graph.automorphism import transitive_node_subsets
 from ..graph.labeled_graph import Vertex

@@ -14,7 +14,7 @@ packing bound.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import FrozenSet, List, Sequence, Set, Tuple
 
 from ..errors import BudgetExceededError
 from ..hypergraph.hypergraph import Hypergraph, HVertex, EdgeLabel

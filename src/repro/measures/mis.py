@@ -20,7 +20,7 @@ two views agree.  Both entry points are provided.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, Set
 
 from ..errors import BudgetExceededError
 from ..hypergraph.construction import HypergraphBundle

@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from ..errors import BudgetExceededError, LPError, MeasureError
-from ..hypergraph.hypergraph import Hyperedge, Hypergraph, HVertex
+from ..errors import BudgetExceededError, LPError
+from ..hypergraph.hypergraph import Hypergraph, HVertex
 from ..hypergraph.construction import HypergraphBundle
 from ..lp.model import LinearProgram, solve
 from .base import register_measure

@@ -7,12 +7,17 @@ from .extension import (
     forward_extensions,
     single_edge_patterns,
 )
+from .dynamic import DynamicMiner, StreamBatch, mine_stream, pattern_footprint
 from .incremental import IncrementalMiner, mine_frequent_patterns_incremental
 from .miner import FrequentSubgraphMiner, mine_frequent_patterns
 from .results import FrequentPattern, MiningResult, MiningStats
 from .transaction import disjoint_union, transaction_support
 
 __all__ = [
+    "DynamicMiner",
+    "StreamBatch",
+    "mine_stream",
+    "pattern_footprint",
     "adjacent_label_pairs",
     "all_extensions",
     "backward_extensions",

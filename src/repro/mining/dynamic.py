@@ -1,0 +1,402 @@
+"""Dynamic frequent-subgraph mining over a growing data graph.
+
+The static miners (:mod:`repro.mining.miner`, ``.incremental``) answer one
+question about one graph snapshot.  :class:`DynamicMiner` maintains the
+answer *under a stream of updates*: mutate the data graph, call
+:meth:`DynamicMiner.refresh`, and the frequent-pattern set is brought
+current — without re-evaluating patterns the updates cannot have touched.
+
+Two observations make that sound for an **insertion-only** stream under
+the paper's anti-monotone support measures:
+
+* every *new* occurrence of a pattern ``P`` must map at least one pattern
+  edge onto a newly inserted data edge, so the labels of that data edge
+  form a pair in ``P``'s **label-pair footprint** — a pattern whose
+  footprint is disjoint from the batch's delta pairs has an unchanged
+  occurrence set, and every measure in this library is a pure function of
+  the occurrence set, so its support (and occurrence count) is unchanged;
+* a pattern that was *not* frequent before and has an unaffected footprint
+  cannot be frequent now: unchanged occurrences mean unchanged support,
+  and by anti-monotonicity its parents' supports bound it exactly as they
+  did before.  (This is why the miner refuses non-anti-monotone measures.)
+
+So the refresh re-runs the pattern-growth search but, per candidate:
+known-frequent + unaffected footprint -> **reuse** the cached result;
+unknown + unaffected -> **skip** (provably infrequent); affected ->
+re-evaluate through the shared :func:`repro.mining.parallel.evaluate_support`
+path.  Results are byte-identical to a from-scratch mine of the current
+graph (certificates, supports, occurrence counts — pinned by
+``tests/test_dynamic_mining.py``); only the work differs, which
+``stats.patterns_reused`` / ``stats.patterns_skipped_unaffected`` report.
+
+Removals (or an observation gap after :meth:`DynamicMiner.detach`) are
+answered with a full re-mine — the anti-monotone reuse argument only runs
+in the growing direction.  The data graph's index rides along through an
+:class:`~repro.index.delta.IndexMaintainer`, so the ``GraphIndex`` is
+patched in O(delta) rather than rebuilt per batch; ``use_index=False``
+keeps the brute-force reference path alive, and rebuild-per-batch via
+:func:`repro.mining.miner.mine_frequent_patterns` is the reference mode of
+:func:`mine_stream` (CLI: ``repro-graph mine-stream``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..errors import MiningError
+from ..graph.canonical import canonical_certificate
+from ..graph.labeled_graph import Label, LabeledGraph
+from ..graph.pattern import Pattern
+from ..index.delta import INSERTION_DELTAS, AnyDelta, EdgeAdded, IndexMaintainer
+from ..index.graph_index import _label_pair_key
+from ..measures.base import measure_info
+from .extension import adjacent_label_pairs, all_extensions, single_edge_patterns
+from .parallel import evaluate_support
+from .results import FrequentPattern, MiningResult, MiningStats
+
+LabelPair = Tuple[Label, Label]
+
+#: A graph update as parsed from an update stream (see
+#: :func:`repro.graph.io.parse_update_stream`): ``("v", vertex, label)``
+#: or ``("e", u, v)``.
+GraphUpdate = Tuple
+
+
+def apply_update(graph: LabeledGraph, update: GraphUpdate) -> None:
+    """Apply one parsed update op to ``graph``."""
+    kind = update[0]
+    if kind == "v":
+        graph.add_vertex(update[1], update[2])
+    elif kind == "e":
+        graph.add_edge(update[1], update[2])
+    else:
+        raise MiningError(f"unknown update kind {kind!r} (expected 'v' or 'e')")
+
+
+def pattern_footprint(pattern: Pattern) -> FrozenSet[LabelPair]:
+    """The canonical label pairs realized by ``pattern``'s edges."""
+    graph = pattern.graph
+    return frozenset(
+        _label_pair_key(graph.label_of(u), graph.label_of(v)) for u, v in graph.edges()
+    )
+
+
+class DynamicMiner:
+    """Maintain the frequent-pattern set of one graph under updates.
+
+    Construct over a live :class:`LabeledGraph`; the miner subscribes to
+    the graph's mutation-observer hook.  Mutate the graph freely (directly
+    or via :meth:`apply`), then call :meth:`refresh` to get a
+    :class:`MiningResult` for the *current* graph.  Parameters mirror
+    :class:`~repro.mining.miner.FrequentSubgraphMiner` (measure must be
+    anti-monotonic — the delta reuse argument depends on it).
+
+    With ``use_index=True`` (default) the graph's acceleration index is
+    delta-patched between refreshes through an
+    :class:`~repro.index.delta.IndexMaintainer`; ``use_index=False`` is
+    the brute-force reference path.
+    """
+
+    def __init__(
+        self,
+        data: LabeledGraph,
+        measure: str = "mni",
+        min_support: float = 2.0,
+        max_pattern_nodes: int = 5,
+        max_pattern_edges: int = 6,
+        lazy: bool = False,
+        use_index: bool = True,
+    ) -> None:
+        info = measure_info(measure)
+        if not info.anti_monotonic:
+            raise MiningError(
+                f"measure {measure!r} is not anti-monotonic; dynamic maintenance "
+                "relies on anti-monotone pruning and reuse"
+            )
+        if min_support <= 0:
+            raise MiningError("min_support must be positive")
+        if lazy and measure != "mni":
+            raise MiningError("lazy evaluation is only defined for the MNI measure")
+        self.data = data
+        self.measure = measure
+        self.min_support = min_support
+        self.max_pattern_nodes = max_pattern_nodes
+        self.max_pattern_edges = max_pattern_edges
+        self.lazy = lazy
+        self.use_index = use_index
+        self._maintainer = IndexMaintainer(data) if use_index else None
+        self._buffer: List[AnyDelta] = []
+        self._observer = data.subscribe(self._buffer.append)
+        self._attached = True
+        self._frequent: Dict[str, FrequentPattern] = {}
+        self._footprints: Dict[str, FrozenSet[LabelPair]] = {}
+        # Candidate generation re-creates literally identical pattern
+        # objects every refresh; their canonical certificates are the
+        # single biggest recurring cost of the lattice walk, so memoize
+        # them across refreshes keyed by the (hashable) graph signature.
+        self._certificates: Dict[Tuple, str] = {}
+        self._synced_version: Optional[int] = None
+        self._last_result: Optional[MiningResult] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def attached(self) -> bool:
+        """True while the miner still observes the graph's mutations."""
+        return self._attached
+
+    def detach(self) -> None:
+        """Stop observing (index maintainer included).
+
+        Refreshes after a detach-era mutation fall back to a full
+        re-mine — results stay correct, only the delta savings are lost.
+        """
+        if self._attached:
+            self.data.unsubscribe(self._observer)
+            self._attached = False
+        if self._maintainer is not None:
+            self._maintainer.detach()
+
+    @property
+    def _lazy_cap(self) -> int:
+        return max(1, math.ceil(self.min_support))
+
+    # ------------------------------------------------------------------
+    def apply(self, updates: Iterable[GraphUpdate]) -> int:
+        """Apply parsed update ops to the graph; returns how many were applied."""
+        count = 0
+        for update in updates:
+            apply_update(self.data, update)
+            count += 1
+        return count
+
+    def refresh(self) -> MiningResult:
+        """Bring the frequent-pattern set current; returns the full result."""
+        target = self.data.mutation_version()
+        if self._synced_version == target and self._last_result is not None:
+            return self._last_result
+        delta_pairs = self._consume_deltas(target)
+        result = self._mine(delta_pairs)
+        self._frequent = {fp.certificate: fp for fp in result.frequent}
+        self._synced_version = target
+        self._last_result = result
+        return result
+
+    mine = refresh
+
+    # ------------------------------------------------------------------
+    def _consume_deltas(self, target: int) -> Optional[Set[LabelPair]]:
+        """Canonical label pairs touched since the last refresh.
+
+        ``None`` means "treat everything as affected" — first refresh, a
+        removal in the stream, or any gap in observation (detached, or a
+        buffer that cannot replay the version counter contiguously).
+        """
+        # The subscribed observer is this list's bound .append — clear in
+        # place, never swap the list out from under it.
+        buffer = list(self._buffer)
+        self._buffer.clear()
+        synced = self._synced_version
+        if synced is None or not self._attached:
+            return None
+        deltas = [d for d in buffer if d.version > synced]
+        if not deltas:
+            # Version moved but nothing observed: a gap; re-mine fully.
+            return None if synced != target else set()
+        if deltas[0].version != synced + 1 or deltas[-1].version != target:
+            return None
+        if any(b.version != a.version + 1 for a, b in zip(deltas, deltas[1:])):
+            return None
+        if not all(isinstance(d, INSERTION_DELTAS) for d in deltas):
+            return None
+        return {d.label_pair() for d in deltas if isinstance(d, EdgeAdded)}
+
+    def _certificate(self, pattern: Pattern) -> str:
+        key = pattern.graph.signature()
+        certificate = self._certificates.get(key)
+        if certificate is None:
+            certificate = canonical_certificate(pattern.graph)
+            self._certificates[key] = certificate
+        return certificate
+
+    def _footprint(self, pattern: Pattern, certificate: str) -> FrozenSet[LabelPair]:
+        cached = self._footprints.get(certificate)
+        if cached is None:
+            cached = pattern_footprint(pattern)
+            self._footprints[certificate] = cached
+        return cached
+
+    def _evaluate(
+        self,
+        pattern: Pattern,
+        certificate: str,
+        delta_pairs: Optional[Set[LabelPair]],
+        histogram: Dict,
+        stats: MiningStats,
+    ) -> Optional[FrequentPattern]:
+        """One candidate: reuse, skip (returns ``None``), or evaluate."""
+        if delta_pairs is not None and not (
+            self._footprint(pattern, certificate) & delta_pairs
+        ):
+            cached = self._frequent.get(certificate)
+            if cached is not None:
+                stats.patterns_reused += 1
+                return cached
+            stats.patterns_skipped_unaffected += 1
+            return None
+        stats.patterns_evaluated += 1
+        stats.support_calls += 1
+        support, num_occurrences = evaluate_support(
+            pattern,
+            self.data,
+            self.measure,
+            lazy=self.lazy,
+            lazy_cap=self._lazy_cap,
+            max_occurrences=None,
+            index_arg=None if self.use_index else False,
+            histogram=histogram,
+            prune_below=self.min_support,
+        )
+        if num_occurrences >= 0:
+            stats.occurrence_enumerations += 1
+        return FrequentPattern(
+            pattern=pattern,
+            support=support,
+            certificate=certificate,
+            num_occurrences=num_occurrences,
+        )
+
+    def _mine(self, delta_pairs: Optional[Set[LabelPair]]) -> MiningResult:
+        """Pattern-growth closure with per-candidate reuse/skip/evaluate."""
+        index = self._maintainer.index() if self._maintainer is not None else None
+        label_pairs = adjacent_label_pairs(self.data, index=index)
+        histogram = (
+            index.label_histogram() if index is not None else self.data.label_histogram()
+        )
+        stats = MiningStats()
+        frequent: List[FrequentPattern] = []
+        seen: Set[str] = set()
+
+        level: List[Tuple[Pattern, str]] = []
+        for seed in single_edge_patterns(self.data, index=index):
+            stats.patterns_generated += 1
+            certificate = self._certificate(seed)
+            if certificate in seen:
+                stats.duplicates_skipped += 1
+                continue
+            seen.add(certificate)
+            level.append((seed, certificate))
+
+        while level:
+            next_level: List[Tuple[Pattern, str]] = []
+            for pattern, certificate in level:
+                evaluated = self._evaluate(
+                    pattern, certificate, delta_pairs, histogram, stats
+                )
+                if evaluated is None:
+                    continue
+                if evaluated.support >= self.min_support:
+                    stats.patterns_frequent += 1
+                    frequent.append(evaluated)
+                    for extension in all_extensions(
+                        pattern,
+                        label_pairs,
+                        max_nodes=self.max_pattern_nodes,
+                        max_edges=self.max_pattern_edges,
+                    ):
+                        stats.patterns_generated += 1
+                        ext_certificate = self._certificate(extension)
+                        if ext_certificate in seen:
+                            stats.duplicates_skipped += 1
+                            continue
+                        seen.add(ext_certificate)
+                        next_level.append((extension, ext_certificate))
+                else:
+                    stats.patterns_pruned += 1
+            level = next_level
+
+        frequent.sort(key=lambda fp: (fp.num_edges, -fp.support, fp.certificate))
+        return MiningResult(
+            frequent=frequent,
+            stats=stats,
+            measure=self.measure,
+            min_support=self.min_support,
+        )
+
+
+@dataclass(frozen=True)
+class StreamBatch:
+    """One step of :func:`mine_stream`: the result after applying a batch."""
+
+    batch: int
+    updates_applied: int
+    num_vertices: int
+    num_edges: int
+    result: MiningResult
+
+
+def mine_stream(
+    data: LabeledGraph,
+    updates: Sequence[GraphUpdate],
+    *,
+    batch_size: int = 1,
+    mode: str = "delta",
+    measure: str = "mni",
+    min_support: float = 2.0,
+    max_pattern_nodes: int = 5,
+    max_pattern_edges: int = 6,
+    lazy: bool = False,
+) -> Iterator[StreamBatch]:
+    """Mine a growing graph: apply ``updates`` in batches, yield per-batch results.
+
+    ``mode`` selects the maintenance strategy:
+
+    * ``"delta"`` — :class:`DynamicMiner` with the delta-maintained index
+      (the fast path);
+    * ``"rebuild"`` — full re-mine per batch with a freshly rebuilt index
+      (reference path);
+    * ``"brute"`` — full re-mine per batch with ``use_index=False``
+      (brute-force reference path).
+
+    Batch 0 is the base graph before any update; all three modes yield
+    byte-identical results per batch (pinned by the test suite).
+    """
+    if batch_size < 1:
+        raise MiningError("batch_size must be >= 1")
+    if mode not in ("delta", "rebuild", "brute"):
+        raise MiningError(f"unknown mine-stream mode {mode!r}")
+
+    kwargs = dict(
+        measure=measure,
+        min_support=min_support,
+        max_pattern_nodes=max_pattern_nodes,
+        max_pattern_edges=max_pattern_edges,
+        lazy=lazy,
+    )
+    miner: Optional[DynamicMiner] = None
+    if mode == "delta":
+        miner = DynamicMiner(data, **kwargs)
+
+    def evaluate() -> MiningResult:
+        if miner is not None:
+            return miner.refresh()
+        from .miner import mine_frequent_patterns
+
+        return mine_frequent_patterns(data, use_index=(mode == "rebuild"), **kwargs)
+
+    try:
+        yield StreamBatch(0, 0, data.num_vertices, data.num_edges, evaluate())
+        for batch_number, start in enumerate(range(0, len(updates), batch_size), start=1):
+            chunk = updates[start : start + batch_size]
+            for update in chunk:
+                apply_update(data, update)
+            yield StreamBatch(
+                batch_number, len(chunk), data.num_vertices, data.num_edges, evaluate()
+            )
+    finally:
+        # The miner (and its IndexMaintainer) subscribed to the caller's
+        # graph; leave no observers behind once the stream is consumed,
+        # abandoned, or fails mid-batch.
+        if miner is not None:
+            miner.detach()

@@ -17,7 +17,7 @@ projects onto an occurrence of the one-edge-smaller pattern.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+from typing import FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from ..graph.labeled_graph import Label, LabeledGraph
 from ..graph.pattern import Pattern

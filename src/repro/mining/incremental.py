@@ -21,7 +21,7 @@ asserts certificate-level equality, and ``tab9`` benchmarks the speedup.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Deque, Dict, List, Set, Tuple
 
 from ..errors import MiningError
 from ..graph.canonical import canonical_certificate

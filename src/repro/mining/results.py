@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from ..graph.pattern import Pattern
 
@@ -43,6 +43,9 @@ class MiningStats:
     duplicates_skipped: int = 0
     support_calls: int = 0
     occurrence_enumerations: int = 0
+    # Dynamic (delta-maintained) mining only — see repro.mining.dynamic:
+    patterns_reused: int = 0
+    patterns_skipped_unaffected: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -53,6 +56,8 @@ class MiningStats:
             "duplicates_skipped": self.duplicates_skipped,
             "support_calls": self.support_calls,
             "occurrence_enumerations": self.occurrence_enumerations,
+            "patterns_reused": self.patterns_reused,
+            "patterns_skipped_unaffected": self.patterns_skipped_unaffected,
         }
 
 

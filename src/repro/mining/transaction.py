@@ -13,7 +13,7 @@ when patterns are connected.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 from ..graph.labeled_graph import LabeledGraph
 from ..graph.pattern import Pattern

@@ -1,7 +1,5 @@
 """Unit tests for automorphisms, orbits, and transitive node subsets."""
 
-import pytest
-
 from repro.graph.automorphism import (
     automorphism_group_size,
     automorphisms,

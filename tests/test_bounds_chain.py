@@ -9,7 +9,6 @@ labeled graphs: for *every* pattern/graph pair,
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.datasets.paper_figures import load_all_figures
 from repro.datasets.synthetic import random_labeled_graph
 from repro.datasets.zoo import zoo_graph, zoo_names
 from repro.graph.builders import path_pattern, triangle_pattern

@@ -39,6 +39,62 @@ class TestMineCommand:
         assert "measure=mis" in capsys.readouterr().out
 
 
+class TestMineStreamCommand:
+    @pytest.fixture()
+    def stream_files(self, tmp_path):
+        graph_path = tmp_path / "base.lg"
+        updates_path = tmp_path / "updates.lg"
+        save_graph(path_graph(["a", "b", "a", "b", "a"]), graph_path)
+        updates_path.write_text(
+            "# grow the path\n"
+            "v 6 b\n"
+            "e 5 6\n"
+            "v 7 a\n"
+            "e 6 7\n"
+        )
+        return str(graph_path), str(updates_path)
+
+    def test_streams_batches(self, stream_files, capsys):
+        graph_path, updates_path = stream_files
+        assert (
+            main(
+                [
+                    "mine-stream",
+                    graph_path,
+                    updates_path,
+                    "--batch-size",
+                    "2",
+                    "--min-support",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mine-stream over 4 updates" in out
+        assert "mode=delta" in out
+        assert "frequent patterns after the stream" in out
+
+    @pytest.mark.parametrize("mode", ["rebuild", "brute"])
+    def test_reference_modes(self, stream_files, mode, capsys):
+        graph_path, updates_path = stream_files
+        assert (
+            main(
+                [
+                    "mine-stream",
+                    graph_path,
+                    updates_path,
+                    "--mode",
+                    mode,
+                    "--min-support",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert f"mode={mode}" in capsys.readouterr().out
+
+
 class TestFigureCommand:
     @pytest.mark.parametrize("figure_id", ["fig2", "fig4", "fig6"])
     def test_regenerates_figures(self, figure_id, capsys):

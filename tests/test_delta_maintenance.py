@@ -1,0 +1,241 @@
+"""Randomized equivalence: delta-patched GraphIndex == rebuilt-from-scratch.
+
+The delta layer (repro.index.delta) patches a cached GraphIndex in
+O(delta) per insertion instead of rebuilding it.  A patched index must be
+*structurally identical* to one rebuilt from scratch — same inverted
+lists in the same canonical order, same label-pair edge lists, same
+degree/neighbor-label signatures, same version — after every batch of a
+randomized update sequence.  Removals, observation gaps, and detached
+observers must fall back to a rebuild and still land on the identical
+structure.  Style and scope mirror ``tests/test_index_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.datasets.synthetic import (
+    preferential_attachment_graph,
+    random_labeled_graph,
+)
+from repro.graph.builders import path_pattern
+from repro.index import (
+    EdgeAdded,
+    EdgeRemoved,
+    GraphIndex,
+    IndexMaintainer,
+    VertexAdded,
+    VertexRemoved,
+    get_index,
+)
+from repro.isomorphism.matcher import find_occurrences
+
+
+def index_structure(index: GraphIndex, graph):
+    """Every observable component of the index, via its public API."""
+    pairs = index.distinct_edge_label_pairs()
+    alphabet = graph.label_alphabet()
+    return {
+        "version": index.version,
+        "inverted": {label: index.vertices_with_label(label) for label in alphabet},
+        "histogram": dict(index.label_histogram()),
+        "label_pairs": set(index.adjacent_label_pairs()),
+        "pair_edges": {pair: index.edges_with_labels(*pair) for pair in pairs},
+        "degrees": {vertex: index.degree_of(vertex) for vertex in graph.vertices()},
+        "signatures": {
+            vertex: dict(index.signature_of(vertex)) for vertex in graph.vertices()
+        },
+        "neighbors": {
+            (vertex, label): index.neighbors_with_label(vertex, label)
+            for vertex in graph.vertices()
+            for label in alphabet
+        },
+    }
+
+
+def assert_patched_equals_rebuilt(maintainer: IndexMaintainer, graph):
+    patched = maintainer.index()
+    rebuilt = GraphIndex.build(graph)
+    assert index_structure(patched, graph) == index_structure(rebuilt, graph)
+    return patched
+
+
+def grow_randomly(graph, rng: random.Random, steps: int, alphabet, tag: str):
+    """Apply ``steps`` random insertions (vertices and edges) to ``graph``."""
+    added = 0
+    serial = 0
+    while added < steps:
+        if rng.random() < 0.3:
+            graph.add_vertex(f"{tag}-{serial}", rng.choice(alphabet))
+            serial += 1
+            added += 1
+        else:
+            u, v = rng.sample(graph.vertices(), 2)
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+                added += 1
+
+
+#: Randomized update-sequence scenarios: (generator-kind, seed, size, knob).
+SEQUENCE_SPECS = (
+    [("er", seed, 12, 0.25) for seed in range(8)]
+    + [("er", seed, 18, 0.15) for seed in range(8, 14)]
+    + [("ba", seed, 20, 2) for seed in range(14, 20)]
+)
+
+
+def build_graph(spec):
+    kind, seed, size, knob = spec
+    if kind == "er":
+        alphabet = ("A", "B", "C") if seed % 2 else ("A", "B", "C", "D")
+        return random_labeled_graph(size, knob, alphabet=alphabet, seed=seed)
+    return preferential_attachment_graph(
+        size, knob, alphabet=("A", "B", "C", "D"), seed=seed, label_skew=0.3
+    )
+
+
+class TestRandomizedPatchEquivalence:
+    @pytest.mark.parametrize(
+        "spec", SEQUENCE_SPECS, ids=lambda spec: f"{spec[0]}-s{spec[1]}"
+    )
+    def test_patched_index_identical_after_every_batch(self, spec):
+        graph = build_graph(spec)
+        rng = random.Random(spec[1] * 101 + 7)
+        maintainer = IndexMaintainer(graph)
+        for batch in range(5):
+            grow_randomly(graph, rng, steps=6, alphabet="ABCD", tag=f"b{batch}")
+            assert_patched_equals_rebuilt(maintainer, graph)
+        assert maintainer.rebuilds == 0
+        assert maintainer.patches_applied >= 5
+
+    def test_patched_index_is_adopted_by_get_index(self):
+        graph = build_graph(("er", 1, 12, 0.25))
+        maintainer = IndexMaintainer(graph)
+        graph.add_vertex("late", "A")
+        patched = maintainer.index()
+        assert get_index(graph) is patched
+
+    def test_matcher_results_through_patched_index(self):
+        graph = build_graph(("er", 2, 14, 0.3))
+        maintainer = IndexMaintainer(graph)
+        rng = random.Random(33)
+        pattern = path_pattern(["A", "B", "A"])
+        for batch in range(4):
+            grow_randomly(graph, rng, steps=5, alphabet="ABC", tag=f"m{batch}")
+            maintainer.index()  # patch + re-cache; matching uses it below
+            assert find_occurrences(pattern, graph) == find_occurrences(
+                pattern, graph, index=False
+            )
+        assert maintainer.rebuilds == 0
+
+
+class TestDeltaPublication:
+    def test_one_typed_delta_per_mutation(self):
+        graph = build_graph(("er", 4, 10, 0.2))
+        received = []
+        graph.subscribe(received.append)
+        before = graph.mutation_version()
+        graph.add_vertex("x", "A")
+        graph.add_vertex("y", "B")
+        graph.add_edge("x", "y")
+        graph.remove_edge("x", "y")
+        graph.remove_vertex("x")
+        kinds = [type(delta) for delta in received]
+        assert kinds == [VertexAdded, VertexAdded, EdgeAdded, EdgeRemoved, VertexRemoved]
+        assert [delta.version for delta in received] == list(
+            range(before + 1, before + 6)
+        )
+        edge_added = received[2]
+        assert {edge_added.label_u, edge_added.label_v} == {"A", "B"}
+
+    def test_idempotent_mutations_publish_nothing(self):
+        graph = build_graph(("er", 5, 10, 0.2))
+        graph.add_vertex("x", "A")
+        graph.add_vertex("y", "B")
+        graph.add_edge("x", "y")
+        received = []
+        graph.subscribe(received.append)
+        graph.add_vertex("x", "A")  # re-add, same label
+        graph.add_edge("x", "y")  # existing edge
+        assert received == []
+
+    def test_unsubscribe_and_has_observers(self):
+        graph = build_graph(("er", 6, 10, 0.2))
+        received = []
+        token = graph.subscribe(received.append)
+        assert graph.has_observers()
+        graph.unsubscribe(token)
+        graph.unsubscribe(token)  # second detach is a no-op
+        assert not graph.has_observers()
+        graph.add_vertex("quiet", "A")
+        assert received == []
+
+    def test_observers_dropped_from_pickles(self):
+        graph = build_graph(("er", 7, 10, 0.2))
+        graph.subscribe(lambda delta: None)
+        clone = pickle.loads(pickle.dumps(graph))
+        assert not clone.has_observers()
+        assert clone == graph
+
+
+class TestRebuildFallbacks:
+    def test_edge_removal_falls_back_to_rebuild(self):
+        graph = build_graph(("er", 8, 12, 0.3))
+        maintainer = IndexMaintainer(graph)
+        grow_randomly(graph, random.Random(1), steps=4, alphabet="ABC", tag="r")
+        u, v = graph.edges()[0]
+        graph.remove_edge(u, v)
+        assert_patched_equals_rebuilt(maintainer, graph)
+        assert maintainer.rebuilds == 1
+
+    def test_vertex_removal_falls_back_to_rebuild(self):
+        graph = build_graph(("er", 9, 12, 0.3))
+        maintainer = IndexMaintainer(graph)
+        graph.add_vertex("gone", "A")
+        graph.remove_vertex(graph.vertices()[0])
+        assert_patched_equals_rebuilt(maintainer, graph)
+        assert maintainer.rebuilds == 1
+        # Maintenance keeps working (patching again) after the rebuild.
+        grow_randomly(graph, random.Random(2), steps=4, alphabet="ABC", tag="after")
+        assert_patched_equals_rebuilt(maintainer, graph)
+        assert maintainer.rebuilds == 1
+
+    def test_interleaved_reads_between_deltas(self):
+        """A get_index call mid-stream rebuilds; the maintainer adopts it."""
+        graph = build_graph(("er", 10, 12, 0.25))
+        maintainer = IndexMaintainer(graph)
+        graph.add_vertex("mid", "B")
+        interloper = get_index(graph)  # rebuilds + caches behind our back
+        adopted = maintainer.index()
+        assert adopted is interloper
+        assert maintainer.rebuilds == 0
+        # And patching continues from the adopted snapshot.
+        anchor = graph.vertices()[0]
+        target = "mid" if anchor != "mid" else graph.vertices()[1]
+        graph.add_edge(anchor, target)
+        patched = assert_patched_equals_rebuilt(maintainer, graph)
+        assert patched is adopted
+        assert maintainer.patches_applied == 1
+
+    def test_detached_maintainer_goes_stale_then_rebuilds(self):
+        graph = build_graph(("er", 11, 12, 0.25))
+        maintainer = IndexMaintainer(graph)
+        assert maintainer.attached
+        maintainer.detach()
+        assert not maintainer.attached
+        graph.add_vertex("unseen", "C")
+        assert_patched_equals_rebuilt(maintainer, graph)
+        assert maintainer.rebuilds == 1
+        maintainer.detach()  # second detach is a no-op
+
+    def test_noop_refresh_clears_nothing_and_patches_nothing(self):
+        graph = build_graph(("er", 12, 12, 0.25))
+        maintainer = IndexMaintainer(graph)
+        first = maintainer.index()
+        second = maintainer.index()
+        assert first is second
+        assert maintainer.patches_applied == 0
+        assert maintainer.rebuilds == 0

@@ -1,0 +1,259 @@
+"""Randomized equivalence: DynamicMiner == re-mined-from-scratch, per batch.
+
+The dynamic mining subsystem (repro.mining.dynamic) maintains the
+frequent-pattern set under a stream of insertions, re-evaluating only
+patterns whose label-pair footprint intersects the batch's delta.  After
+*every* batch its results must be byte-identical — certificates, support
+values, occurrence counts — to a full re-mine of the current graph, both
+through a freshly built index and through the ``use_index=False``
+brute-force reference path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.synthetic import planted_pattern_graph, random_labeled_graph
+from repro.errors import MiningError
+from repro.graph.builders import star_pattern
+from repro.mining.dynamic import DynamicMiner, StreamBatch, mine_stream, pattern_footprint
+from repro.mining.miner import mine_frequent_patterns
+
+MINE_KWARGS = dict(
+    measure="mni", min_support=2, max_pattern_nodes=4, max_pattern_edges=4
+)
+
+
+def result_key(result):
+    """The byte-identity certificate: (certificate, support, occurrences)."""
+    return [
+        (fp.certificate, fp.support, fp.num_occurrences)
+        for fp in sorted(result.frequent, key=lambda fp: fp.certificate)
+    ]
+
+
+def reference_keys(graph, **kwargs):
+    """Full re-mine references: rebuilt index (on a copy) and brute force."""
+    rebuilt = mine_frequent_patterns(graph.copy(), **kwargs)
+    brute = mine_frequent_patterns(graph, use_index=False, **kwargs)
+    assert result_key(rebuilt) == result_key(brute)
+    return result_key(rebuilt)
+
+
+def grow_randomly(graph, rng, steps, alphabet, tag):
+    added = 0
+    serial = 0
+    while added < steps:
+        if rng.random() < 0.3:
+            graph.add_vertex(f"{tag}-{serial}", rng.choice(alphabet))
+            serial += 1
+            added += 1
+        else:
+            u, v = rng.sample(graph.vertices(), 2)
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+                added += 1
+
+
+class TestRandomizedStreamEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 5, 8, 13])
+    def test_identical_after_every_batch(self, seed):
+        alphabet = ("A", "B", "C") if seed % 2 else ("A", "B", "C", "D")
+        graph = random_labeled_graph(14, 0.22, alphabet=alphabet, seed=seed)
+        rng = random.Random(seed * 37 + 5)
+        miner = DynamicMiner(graph, **MINE_KWARGS)
+        assert result_key(miner.refresh()) == reference_keys(graph, **MINE_KWARGS)
+        for batch in range(4):
+            grow_randomly(graph, rng, steps=5, alphabet="ABCD", tag=f"s{seed}b{batch}")
+            dynamic = miner.refresh()
+            assert result_key(dynamic) == reference_keys(graph, **MINE_KWARGS)
+
+    @pytest.mark.parametrize("measure", ["mni", "mi", "mis"])
+    def test_measure_generality(self, measure):
+        kwargs = dict(MINE_KWARGS, measure=measure)
+        graph = planted_pattern_graph(
+            star_pattern("A", ["B", "C"]),
+            num_copies=8,
+            overlap_fraction=0.5,
+            background_vertices=4,
+            background_edge_probability=0.3,
+            seed=21,
+        )
+        rng = random.Random(99)
+        miner = DynamicMiner(graph, **kwargs)
+        miner.refresh()
+        for batch in range(3):
+            grow_randomly(graph, rng, steps=4, alphabet="ABC", tag=f"m{batch}")
+            assert result_key(miner.refresh()) == reference_keys(graph, **kwargs)
+
+    def test_lazy_mni_stream(self):
+        kwargs = dict(MINE_KWARGS, lazy=True)
+        graph = random_labeled_graph(14, 0.25, alphabet=("A", "B", "C"), seed=31)
+        rng = random.Random(7)
+        miner = DynamicMiner(graph, **kwargs)
+        miner.refresh()
+        for batch in range(3):
+            grow_randomly(graph, rng, steps=4, alphabet="ABC", tag=f"l{batch}")
+            assert result_key(miner.refresh()) == reference_keys(graph, **kwargs)
+
+    def test_brute_reference_mode(self):
+        graph = random_labeled_graph(12, 0.25, alphabet=("A", "B"), seed=17)
+        rng = random.Random(3)
+        miner = DynamicMiner(graph, use_index=False, **MINE_KWARGS)
+        miner.refresh()
+        grow_randomly(graph, rng, steps=6, alphabet="AB", tag="nb")
+        assert result_key(miner.refresh()) == reference_keys(graph, **MINE_KWARGS)
+
+
+class TestDeltaSavings:
+    def test_localized_delta_reuses_unaffected_patterns(self):
+        """Insertions confined to one label region leave the rest untouched."""
+        left = planted_pattern_graph(
+            star_pattern("A", ["B", "B"]), num_copies=8, overlap_fraction=0.4, seed=3
+        )
+        graph = left
+        offset = graph.num_vertices + 100
+        right = planted_pattern_graph(
+            star_pattern("C", ["D", "D"]), num_copies=8, overlap_fraction=0.4, seed=4
+        )
+        for vertex in right.vertices():
+            graph.add_vertex(vertex + offset, right.label_of(vertex))
+        for u, v in right.edges():
+            graph.add_edge(u + offset, v + offset)
+        miner = DynamicMiner(graph, **MINE_KWARGS)
+        initial = miner.refresh()
+        assert initial.num_frequent > 0
+        # Touch only the C/D region.
+        c_vertices = sorted(graph.vertices_with_label("C"), key=repr)
+        graph.add_vertex("new-d", "D")
+        graph.add_edge(c_vertices[0], "new-d")
+        refreshed = miner.refresh()
+        stats = refreshed.stats
+        assert stats.patterns_reused > 0
+        assert stats.patterns_evaluated < initial.stats.patterns_evaluated
+        assert result_key(refreshed) == reference_keys(graph, **MINE_KWARGS)
+
+    def test_vertex_only_batch_evaluates_nothing(self):
+        graph = random_labeled_graph(14, 0.25, alphabet=("A", "B"), seed=5)
+        miner = DynamicMiner(graph, **MINE_KWARGS)
+        initial = miner.refresh()
+        graph.add_vertex("isolated", "A")
+        refreshed = miner.refresh()
+        assert refreshed.stats.patterns_evaluated == 0
+        assert refreshed.stats.patterns_reused == initial.num_frequent
+        assert result_key(refreshed) == result_key(initial)
+
+    def test_noop_refresh_returns_cached_result(self):
+        graph = random_labeled_graph(10, 0.3, alphabet=("A", "B"), seed=6)
+        miner = DynamicMiner(graph, **MINE_KWARGS)
+        first = miner.refresh()
+        assert miner.refresh() is first
+
+
+class TestFallbacks:
+    def test_removal_falls_back_to_full_remine(self):
+        graph = random_labeled_graph(14, 0.3, alphabet=("A", "B", "C"), seed=9)
+        miner = DynamicMiner(graph, **MINE_KWARGS)
+        miner.refresh()
+        u, v = graph.edges()[0]
+        graph.remove_edge(u, v)
+        assert result_key(miner.refresh()) == reference_keys(graph, **MINE_KWARGS)
+
+    def test_vertex_removal_falls_back_to_full_remine(self):
+        graph = random_labeled_graph(14, 0.3, alphabet=("A", "B", "C"), seed=10)
+        miner = DynamicMiner(graph, **MINE_KWARGS)
+        miner.refresh()
+        graph.remove_vertex(graph.vertices()[0])
+        assert result_key(miner.refresh()) == reference_keys(graph, **MINE_KWARGS)
+
+    def test_detached_miner_stays_correct_via_full_remine(self):
+        graph = random_labeled_graph(12, 0.25, alphabet=("A", "B"), seed=11)
+        miner = DynamicMiner(graph, **MINE_KWARGS)
+        miner.refresh()
+        assert miner.attached
+        miner.detach()
+        assert not miner.attached
+        grow_randomly(graph, random.Random(1), steps=5, alphabet="AB", tag="det")
+        refreshed = miner.refresh()
+        assert refreshed.stats.patterns_reused == 0  # no delta savings anymore
+        assert result_key(refreshed) == reference_keys(graph, **MINE_KWARGS)
+        miner.detach()  # idempotent
+
+    def test_rejects_non_anti_monotonic_measure(self):
+        graph = random_labeled_graph(8, 0.3, alphabet=("A", "B"), seed=12)
+        with pytest.raises(MiningError):
+            DynamicMiner(graph, measure="occurrences")
+
+    def test_rejects_bad_parameters(self):
+        graph = random_labeled_graph(8, 0.3, alphabet=("A", "B"), seed=13)
+        with pytest.raises(MiningError):
+            DynamicMiner(graph, min_support=0)
+        with pytest.raises(MiningError):
+            DynamicMiner(graph, measure="mis", lazy=True)
+
+
+class TestMineStream:
+    def _updates(self, tag, count):
+        updates = [("v", f"{tag}-{i}", "AB"[i % 2]) for i in range(count)]
+        for i in range(1, count):
+            updates.append(("e", f"{tag}-{i - 1}", f"{tag}-{i}"))
+        return updates
+
+    def test_modes_agree_per_batch(self):
+        updates = self._updates("u", 6)
+        keys = {}
+        for mode in ("delta", "rebuild", "brute"):
+            graph = random_labeled_graph(10, 0.25, alphabet=("A", "B"), seed=20)
+            steps = list(
+                mine_stream(graph, updates, batch_size=3, mode=mode, **MINE_KWARGS)
+            )
+            assert [step.batch for step in steps] == [0, 1, 2, 3, 4]
+            assert steps[0].updates_applied == 0
+            keys[mode] = [result_key(step.result) for step in steps]
+        assert keys["delta"] == keys["rebuild"] == keys["brute"]
+
+    def test_stream_batch_shape(self):
+        graph = random_labeled_graph(8, 0.3, alphabet=("A", "B"), seed=22)
+        before_v, before_e = graph.num_vertices, graph.num_edges
+        steps = list(
+            mine_stream(
+                graph,
+                [("v", "s-0", "A"), ("e", "s-0", graph.vertices()[0])],
+                batch_size=2,
+                **MINE_KWARGS,
+            )
+        )
+        assert isinstance(steps[0], StreamBatch)
+        assert steps[0].num_vertices == before_v and steps[0].num_edges == before_e
+        assert steps[1].num_vertices == before_v + 1
+        assert steps[1].num_edges == before_e + 1
+        assert steps[1].updates_applied == 2
+
+    def test_stream_detaches_observers_when_done(self):
+        graph = random_labeled_graph(8, 0.3, alphabet=("A", "B"), seed=24)
+        list(mine_stream(graph, [("v", "s-0", "A")], **MINE_KWARGS))
+        assert not graph.has_observers()
+        # Abandoning the generator mid-stream must also clean up.
+        stream = mine_stream(graph, [("v", "s-1", "B")], **MINE_KWARGS)
+        next(stream)
+        stream.close()
+        assert not graph.has_observers()
+
+    def test_rejects_bad_mode_and_batch_size(self):
+        graph = random_labeled_graph(8, 0.3, alphabet=("A", "B"), seed=23)
+        with pytest.raises(MiningError):
+            list(mine_stream(graph, [], mode="nope"))
+        with pytest.raises(MiningError):
+            list(mine_stream(graph, [], batch_size=0))
+        with pytest.raises(MiningError):
+            list(mine_stream(graph, [("x", 1, 2)]))
+
+
+def test_pattern_footprint_is_canonical():
+    pattern = star_pattern("A", ["B", "C"])
+    footprint = pattern_footprint(pattern)
+    assert len(footprint) == 2
+    for pair in footprint:
+        assert pair == (pair if repr(pair[0]) <= repr(pair[1]) else (pair[1], pair[0]))

@@ -12,10 +12,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.datasets.synthetic import planted_pattern_graph, random_labeled_graph
-from repro.graph.builders import path_pattern, star_pattern, triangle_pattern
+from repro.graph.builders import path_pattern
 from repro.graph.pattern import Pattern
 from repro.hypergraph.hypergraph import Hypergraph, dual_hypergraph
-from repro.hypergraph.construction import HypergraphBundle
 from repro.measures.mies import mies_support_of
 from repro.measures.mvc import mvc_support_of
 from repro.measures.relaxations import lp_mies_support_of, lp_mvc_support_of

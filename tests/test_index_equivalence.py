@@ -19,7 +19,6 @@ from repro.datasets.synthetic import (
     random_labeled_graph,
 )
 from repro.graph.builders import path_pattern, star_pattern, triangle_pattern
-from repro.graph.pattern import Pattern
 from repro.hypergraph.overlap import (
     OVERLAP_KINDS,
     occurrence_overlap_graph,
@@ -28,7 +27,7 @@ from repro.hypergraph.overlap import (
 )
 from repro.index import GraphIndex, get_index
 from repro.isomorphism.anchored import valid_images
-from repro.isomorphism.matcher import find_occurrences, group_into_instances
+from repro.isomorphism.matcher import find_occurrences
 from repro.isomorphism.vf2 import find_subgraph_isomorphisms
 from repro.measures.lazy_mni import lazy_mni_support, mni_at_least
 from repro.measures.mni import mni_support_from_occurrences

@@ -116,3 +116,48 @@ class TestStreams:
         assert len(back) == 2
         assert are_isomorphic(back[0], graphs[0])
         assert are_isomorphic(back[1], graphs[1])
+
+
+class TestUpdateStreams:
+    def test_parse_update_stream(self):
+        from repro.graph.io import parse_update_stream
+
+        updates = parse_update_stream(
+            "# header\nt 1\nv 4 C\n\ne 1 4\nv name B\ne name 4\n"
+        )
+        assert updates == [
+            ("v", 4, "C"),
+            ("e", 1, 4),
+            ("v", "name", "B"),
+            ("e", "name", 4),
+        ]
+
+    def test_lg_file_is_a_valid_update_stream(self):
+        from repro.graph.io import parse_update_stream
+        from repro.graph.labeled_graph import LabeledGraph
+        from repro.mining.dynamic import apply_update
+
+        original = path_graph(["a", "b", "a"])
+        replayed = LabeledGraph()
+        for update in parse_update_stream(format_lg(original)):
+            apply_update(replayed, update)
+        assert replayed == original
+
+    def test_load_update_stream(self, tmp_path):
+        from repro.graph.io import load_update_stream
+
+        path = tmp_path / "updates.lg"
+        path.write_text("v 1 A\nv 2 B\ne 1 2\n")
+        assert load_update_stream(path) == [("v", 1, "A"), ("v", 2, "B"), ("e", 1, 2)]
+        with pytest.raises(DatasetError):
+            load_update_stream(tmp_path / "missing.lg")
+
+    def test_malformed_update_lines(self):
+        from repro.graph.io import parse_update_stream
+
+        with pytest.raises(DatasetError):
+            parse_update_stream("v 1\n")
+        with pytest.raises(DatasetError):
+            parse_update_stream("e 1\n")
+        with pytest.raises(DatasetError):
+            parse_update_stream("q 1 2\n")

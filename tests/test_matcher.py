@@ -3,7 +3,6 @@
 import pytest
 
 from repro.graph.builders import complete_graph, path_graph, triangle_pattern
-from repro.graph.pattern import Pattern
 from repro.isomorphism.matcher import (
     Occurrence,
     find_instances,

@@ -3,7 +3,6 @@
 import random
 from itertools import combinations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graph.matching import is_matching, maximum_matching, maximum_matching_size

@@ -1,7 +1,5 @@
 """Unit tests for the MI measure (Section 3.2)."""
 
-import pytest
-
 from repro.datasets.paper_figures import load_figure
 from repro.graph.builders import path_pattern, star_graph, star_pattern, triangle_pattern
 from repro.graph.labeled_graph import LabeledGraph

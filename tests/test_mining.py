@@ -4,7 +4,7 @@ import pytest
 
 from repro.datasets.zoo import zoo_graph
 from repro.errors import MiningError
-from repro.graph.builders import path_graph, triangle_pattern
+from repro.graph.builders import path_graph
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.pattern import Pattern
 from repro.mining.extension import (

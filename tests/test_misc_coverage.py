@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import MeasureError
-from repro.graph.builders import complete_graph, path_graph, path_pattern, triangle_pattern
+from repro.graph.builders import complete_graph, path_graph, triangle_pattern
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.pattern import Pattern
 from repro.hypergraph.construction import HypergraphBundle

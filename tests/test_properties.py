@@ -9,7 +9,6 @@ counting identities.
 
 import random
 
-import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.datasets.synthetic import random_labeled_graph
@@ -17,7 +16,6 @@ from repro.graph.automorphism import automorphism_group_size, vertex_orbits
 from repro.graph.builders import path_pattern, triangle_pattern
 from repro.graph.canonical import canonical_certificate
 from repro.graph.labeled_graph import LabeledGraph
-from repro.graph.pattern import Pattern
 from repro.hypergraph.construction import HypergraphBundle
 from repro.isomorphism.matcher import find_instances, find_occurrences
 from repro.isomorphism.vf2 import are_isomorphic

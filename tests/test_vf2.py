@@ -1,7 +1,5 @@
 """Unit tests for the subgraph-isomorphism engine."""
 
-import pytest
-
 from repro.graph.builders import (
     complete_graph,
     cycle_graph,
