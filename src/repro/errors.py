@@ -82,5 +82,9 @@ class MiningError(ReproError):
     """Frequent-pattern mining failed or was misconfigured."""
 
 
+class PartitionError(ReproError):
+    """A data-graph partition is malformed or was misconfigured."""
+
+
 class DatasetError(ReproError):
     """Dataset loading/generation failure."""

@@ -18,7 +18,7 @@ from pathlib import Path
 from typing import Iterable, List, TextIO, Union
 
 from ..errors import DatasetError
-from .labeled_graph import LabeledGraph
+from .labeled_graph import LabeledGraph, normalize_edge
 from .pattern import Pattern
 
 PathLike = Union[str, Path]
@@ -112,10 +112,25 @@ def parse_update_stream(text: str) -> List[tuple]:
         e <vertex-id> <vertex-id> -> ("e", u, v)
 
     Blank lines, ``#`` comments and ``t`` headers are skipped, exactly as
-    in :func:`parse_lg` — so any ``.lg`` file is also a valid update
-    stream that replays the graph it describes.
+    in :func:`parse_lg` — so any well-formed ``.lg`` file is also a valid
+    update stream that replays the graph it describes.
+
+    The stream is validated eagerly, so malformed input fails here with a
+    line-numbered :class:`~repro.errors.DatasetError` instead of a raw
+    exception (or silent no-op) halfway through replay:
+
+    * malformed records — missing tokens, unknown record kinds;
+    * self-loop edge insertions (``e x x`` — outside the graph model);
+    * duplicate edge insertions (``e u v`` twice, in either endpoint
+      order — the stream protocol is insertion-only, so the second
+      insertion can only be a mistake);
+    * conflicting re-declarations of a vertex with a different label
+      (re-declaring with the *same* label stays legal, so concatenated
+      ``.lg`` fragments that repeat their vertex preamble still parse).
     """
     updates: List[tuple] = []
+    declared_labels: dict = {}
+    inserted_edges: dict = {}
     for line_number, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line or line.startswith("#") or line.startswith("t "):
@@ -125,11 +140,34 @@ def parse_update_stream(text: str) -> List[tuple]:
         if kind == "v":
             if len(parts) < 3:
                 raise DatasetError(f"line {line_number}: vertex line needs 'v id label'")
-            updates.append(("v", _parse_vertex_id(parts[1]), parts[2]))
+            vertex, label = _parse_vertex_id(parts[1]), parts[2]
+            previous = declared_labels.get(vertex)
+            if previous is not None and previous != label:
+                raise DatasetError(
+                    f"line {line_number}: vertex {vertex!r} re-declared with "
+                    f"label {label!r} (was {previous!r})"
+                )
+            declared_labels[vertex] = label
+            updates.append(("v", vertex, label))
         elif kind == "e":
             if len(parts) < 3:
                 raise DatasetError(f"line {line_number}: edge line needs 'e u v'")
-            updates.append(("e", _parse_vertex_id(parts[1]), _parse_vertex_id(parts[2])))
+            u = _parse_vertex_id(parts[1])
+            v = _parse_vertex_id(parts[2])
+            if u == v:
+                raise DatasetError(
+                    f"line {line_number}: self loop on vertex {u!r} "
+                    "(the graph model requires u != v)"
+                )
+            edge = normalize_edge(u, v)
+            first = inserted_edges.get(edge)
+            if first is not None:
+                raise DatasetError(
+                    f"line {line_number}: duplicate insertion of edge "
+                    f"({u!r}, {v!r}) (first inserted at line {first})"
+                )
+            inserted_edges[edge] = line_number
+            updates.append(("e", u, v))
         else:
             raise DatasetError(
                 f"line {line_number}: unknown update kind {kind!r} (expected v/e)"

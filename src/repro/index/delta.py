@@ -25,7 +25,10 @@ Three pieces cooperate:
   deltas, and on :meth:`IndexMaintainer.index` brings the maintained
   index current: patching when the buffered run is contiguous and
   insertion-only, falling back to a full rebuild for removals or any
-  observation gap (e.g. after :meth:`IndexMaintainer.detach`).
+  observation gap (e.g. after :meth:`IndexMaintainer.detach`).  Bursts
+  of rebuild-triggering deltas coalesce into one deferred rebuild: the
+  first removal drops the buffer and later deltas are absorbed without
+  being stored, so N removals cost O(1) state and a single rebuild.
 
 The maintainer re-caches the patched index on the graph itself, so every
 hot path that resolves indexes through ``get_index`` transparently sees
@@ -124,6 +127,14 @@ class IndexMaintainer:
        observation gap (attached late, detached in between), or a buffer
        that cannot replay the version counter exactly.
 
+    Rebuild-triggering deltas are **coalesced at observation time**: the
+    first removal in a run marks a single deferred rebuild, drops the now
+    superseded buffer, and every further delta of the burst is absorbed
+    into that pending rebuild without being buffered at all — so a stream
+    of N removals costs O(1) maintained state and exactly one rebuild at
+    the next :meth:`index` call, never one per delta
+    (``deltas_coalesced`` counts the absorbed deltas).
+
     The returned index is re-cached on the graph, so subsequent
     ``get_index`` calls (matcher, miner, overlap graphs …) reuse it.
     ``patches_applied`` / ``rebuilds`` count how each refresh was served.
@@ -135,18 +146,42 @@ class IndexMaintainer:
         "_observer",
         "_attached",
         "_index",
+        "_rebuild_pending",
         "patches_applied",
         "rebuilds",
+        "deltas_coalesced",
     )
 
     def __init__(self, graph: LabeledGraph) -> None:
         self.graph = graph
         self._buffer: List[AnyDelta] = []
-        self._observer = graph.subscribe(self._buffer.append)
+        self._observer = graph.subscribe(self._observe)
         self._attached = True
         self._index = get_index(graph)
+        self._rebuild_pending = False
         self.patches_applied = 0
         self.rebuilds = 0
+        self.deltas_coalesced = 0
+
+    def _observe(self, delta: AnyDelta) -> None:
+        """Buffer one published delta, folding rebuild bursts into one.
+
+        Once a rebuild is pending, every subsequent delta — removal or
+        insertion — is already covered by that rebuild (it reads the
+        graph's final state), so nothing further is buffered until the
+        rebuild is served.
+        """
+        if self._rebuild_pending:
+            self.deltas_coalesced += 1
+            return
+        if isinstance(delta, INSERTION_DELTAS):
+            self._buffer.append(delta)
+            return
+        # First removal of a burst: the buffered insertions are superseded
+        # by the deferred rebuild along with the removal itself.
+        self.deltas_coalesced += len(self._buffer) + 1
+        self._buffer.clear()
+        self._rebuild_pending = True
 
     # ------------------------------------------------------------------
     @property
@@ -161,31 +196,40 @@ class IndexMaintainer:
             self._attached = False
 
     # ------------------------------------------------------------------
+    @property
+    def rebuild_pending(self) -> bool:
+        """True while a coalesced rebuild is deferred to the next :meth:`index`."""
+        return self._rebuild_pending
+
     def index(self) -> GraphIndex:
         """The maintained index, brought current for the graph's version."""
         graph = self.graph
         target = graph.mutation_version()
         if self._index.version == target:
-            self._buffer.clear()
+            self._reset_observation()
             return self._index
         cached = graph.cached_index()
         if isinstance(cached, GraphIndex) and cached.is_current():
             # Someone already paid for a fresh index (an interleaved read
             # through get_index); adopt it instead of duplicating the work.
             self._index = cached
-            self._buffer.clear()
+            self._reset_observation()
             return cached
         deltas = [d for d in self._buffer if d.version > self._index.version]
-        if self._patchable(deltas, target):
+        if not self._rebuild_pending and self._patchable(deltas, target):
             for delta in deltas:
                 self._index.apply_delta(delta)
             self.patches_applied += len(deltas)
         else:
             self._index = GraphIndex.build(graph)
             self.rebuilds += 1
-        self._buffer.clear()
+        self._reset_observation()
         graph.cache_index(self._index)
         return self._index
+
+    def _reset_observation(self) -> None:
+        self._buffer.clear()
+        self._rebuild_pending = False
 
     def _patchable(self, deltas: List[AnyDelta], target: int) -> bool:
         """True when ``deltas`` is a contiguous insertion-only replay to ``target``."""
@@ -201,7 +245,10 @@ class IndexMaintainer:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "attached" if self._attached else "detached"
+        if self._rebuild_pending:
+            state += " rebuild-pending"
         return (
             f"<IndexMaintainer {state} v{self._index.version} "
-            f"patches={self.patches_applied} rebuilds={self.rebuilds}>"
+            f"patches={self.patches_applied} rebuilds={self.rebuilds} "
+            f"coalesced={self.deltas_coalesced}>"
         )

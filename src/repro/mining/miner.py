@@ -79,6 +79,21 @@ class FrequentSubgraphMiner:
         order, supports and statistics are deterministic and identical to
         the serial run.  Falls back to serial evaluation if worker
         processes cannot be spawned.
+    shards:
+        Partition the data graph into this many edge-disjoint shards
+        (``repro.partition``) and evaluate support shard-by-shard: each
+        candidate enumerates only its relevant halo-expanded shards and
+        the per-shard results merge into exact global values — results
+        are byte-identical to the unsharded run (with ``max_occurrences``
+        set, truncation is still deterministic but may keep a different
+        occurrence subset than the flat enumeration order would).
+        ``shards=1`` (default) is the unsharded path, untouched.
+        Composes with ``workers``: the pool's unit of work becomes one
+        (candidate, shard) pair, so shards of the same candidate
+        evaluate in parallel.
+    partition_method:
+        Partitioner for ``shards > 1`` — ``"hash"``, ``"label"``, or
+        ``"edgecut"`` (see :func:`repro.partition.partition_edges`).
     """
 
     def __init__(
@@ -93,6 +108,8 @@ class FrequentSubgraphMiner:
         lazy: bool = False,
         use_index: bool = True,
         workers: int = 1,
+        shards: int = 1,
+        partition_method: str = "hash",
     ) -> None:
         info = measure_info(measure)
         if not info.anti_monotonic and not allow_non_anti_monotonic:
@@ -104,6 +121,16 @@ class FrequentSubgraphMiner:
             raise MiningError("min_support must be positive")
         if lazy and measure != "mni":
             raise MiningError("lazy evaluation is only defined for the MNI measure")
+        if shards < 1:
+            raise MiningError(f"shards must be >= 1, got {shards}")
+        if shards > 1:
+            from ..partition.partitioner import PARTITION_METHODS
+
+            if partition_method not in PARTITION_METHODS:
+                raise MiningError(
+                    f"unknown partition method {partition_method!r}; "
+                    f"available: {', '.join(PARTITION_METHODS)}"
+                )
         self.data = data
         self.measure = measure
         self.min_support = min_support
@@ -113,6 +140,8 @@ class FrequentSubgraphMiner:
         self.lazy = lazy
         self.use_index = use_index
         self.workers = max(1, int(workers))
+        self.shards = int(shards)
+        self.partition_method = partition_method
         # Built once per mining session; every candidate evaluation, seed
         # generation, and extension proposal reuses it.  mine() re-syncs
         # against the graph's mutation version, so a graph mutated between
@@ -120,6 +149,7 @@ class FrequentSubgraphMiner:
         # counts, or prune bounds.
         self._index_arg = None if use_index else False
         self._index: Optional[GraphIndex] = None
+        self._sharded = None
         self._session_version: Optional[int] = None
         self._sync_session_state()
 
@@ -134,6 +164,14 @@ class FrequentSubgraphMiner:
             if self._index
             else self.data.label_histogram()
         )
+        if self.shards > 1:
+            from ..partition.sharded_index import ShardedIndex
+
+            self._sharded = ShardedIndex.build(
+                self.data, self.shards, self.partition_method
+            )
+        else:
+            self._sharded = None
         self._session_version = self.data.mutation_version()
 
     # ------------------------------------------------------------------
@@ -169,6 +207,21 @@ class FrequentSubgraphMiner:
         self, pattern: Pattern, certificate: str, stats: MiningStats
     ) -> FrequentPattern:
         """Evaluate the measure for one candidate, recording stats."""
+        if self._sharded is not None:
+            from ..partition.evaluate import sharded_evaluate_support
+
+            support, num_occurrences = sharded_evaluate_support(
+                pattern,
+                self._sharded,
+                self.measure,
+                lazy=self.lazy,
+                lazy_cap=self._lazy_cap,
+                max_occurrences=self.max_occurrences,
+                index_arg=self._index_arg,
+                histogram=self._histogram,
+                prune_below=self.min_support,
+            )
+            return self._record(pattern, certificate, support, num_occurrences, stats)
         from .parallel import evaluate_support
 
         support, num_occurrences = evaluate_support(
@@ -204,7 +257,13 @@ class FrequentSubgraphMiner:
         from concurrent.futures import BrokenExecutor
 
         outcomes = None
-        if pool is not None:
+        if pool is not None and self._sharded is not None:
+            try:
+                outcomes = self._pooled_sharded_outcomes(level, pool)
+            except (OSError, BrokenExecutor):
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+        elif pool is not None:
             from .parallel import evaluate_candidate
 
             patterns = [pattern for pattern, _ in level]
@@ -232,6 +291,98 @@ class FrequentSubgraphMiner:
         ]
         return evaluated, pool
 
+    def _pooled_sharded_outcomes(
+        self, level: Sequence[Tuple[Pattern, str]], pool
+    ) -> List[Tuple[float, int]]:
+        """One level through the pool at (candidate, shard) granularity.
+
+        The parent plans each candidate exactly as the serial sharded
+        evaluator would — same prune bound, same relevant-shard set, same
+        flat fallback for unshardable patterns — fans the planned
+        (candidate, shard) tasks out through ``pool.map`` (order
+        preserving), and merges each candidate's shard partials through
+        the shared merge helpers.  Outcomes are therefore byte-identical
+        to the serial sharded run, which in turn matches the unsharded
+        one.
+        """
+        from ..partition.evaluate import (
+            merge_lazy_partials,
+            plan_candidate,
+            support_from_shard_items,
+        )
+        from .parallel import evaluate_shard_task, evaluate_support
+
+        sharded = self._sharded
+        plans: List[Tuple[str, object]] = []
+        tasks: List[Tuple[str, Pattern, int]] = []
+        for pattern, _ in level:
+            kind, payload = plan_candidate(
+                pattern,
+                sharded,
+                self.measure,
+                lazy=self.lazy,
+                histogram=self._histogram,
+                prune_below=self.min_support,
+            )
+            if kind != "shards":
+                plans.append((kind, payload))
+                continue
+            shard_ids: List[int] = payload  # type: ignore[assignment]
+            if len(shard_ids) <= 1:
+                # One (or zero) relevant shards: the worker's sharded
+                # evaluation is already the complete global answer —
+                # returns two numbers instead of occurrence lists.
+                plans.append(("solo", None))
+                tasks.append(("solo", pattern, shard_ids[0] if shard_ids else -1))
+                continue
+            plans.append(("fanout", len(shard_ids)))
+            tasks.extend(("part", pattern, shard_id) for shard_id in shard_ids)
+
+        chunksize = max(1, len(tasks) // (self.workers * 4))
+        partials = iter(
+            list(pool.map(evaluate_shard_task, tasks, chunksize=chunksize))
+            if tasks
+            else []
+        )
+        outcomes: List[Tuple[float, int]] = []
+        for (pattern, _), (kind, payload) in zip(level, plans):
+            if kind == "pruned":
+                outcomes.append(payload)  # type: ignore[arg-type]
+            elif kind == "solo":
+                outcomes.append(next(partials))
+            elif kind == "flat":
+                outcomes.append(
+                    evaluate_support(
+                        pattern,
+                        self.data,
+                        self.measure,
+                        lazy=self.lazy,
+                        lazy_cap=self._lazy_cap,
+                        max_occurrences=self.max_occurrences,
+                        index_arg=self._index_arg,
+                        histogram=self._histogram,
+                        prune_below=self.min_support,
+                    )
+                )
+            else:
+                shard_partials = [next(partials) for _ in range(payload)]  # type: ignore[arg-type]
+                if self.lazy:
+                    support = float(
+                        merge_lazy_partials(shard_partials, cap=self._lazy_cap)
+                    )
+                    outcomes.append((support, -1))
+                else:
+                    outcomes.append(
+                        support_from_shard_items(
+                            pattern,
+                            self.data,
+                            shard_partials,
+                            self.measure,
+                            max_occurrences=self.max_occurrences,
+                        )
+                    )
+        return outcomes
+
     def _make_pool(self):
         """A process pool for support evaluation, or None (serial).
 
@@ -257,6 +408,7 @@ class FrequentSubgraphMiner:
                     self.max_occurrences,
                     self.use_index,
                     self.min_support,
+                    self._sharded.partition if self._sharded is not None else None,
                 ),
             )
         except (OSError, ValueError):
@@ -335,6 +487,8 @@ def mine_frequent_patterns(
     lazy: bool = False,
     use_index: bool = True,
     workers: int = 1,
+    shards: int = 1,
+    partition_method: str = "hash",
 ) -> MiningResult:
     """Convenience one-call mining entry point (see :class:`FrequentSubgraphMiner`)."""
     miner = FrequentSubgraphMiner(
@@ -348,5 +502,7 @@ def mine_frequent_patterns(
         lazy=lazy,
         use_index=use_index,
         workers=workers,
+        shards=shards,
+        partition_method=partition_method,
     )
     return miner.mine()

@@ -1,0 +1,53 @@
+"""Partitioned data-graph subsystem: sharded indexing and halo-aware evaluation.
+
+Splits one :class:`~repro.graph.labeled_graph.LabeledGraph` into k
+edge-disjoint shards (:mod:`repro.partition.partitioner`), replicates
+boundary vertices into per-shard halos (:mod:`repro.partition.shard`),
+builds one :class:`~repro.index.GraphIndex` per shard behind a merged
+global directory (:mod:`repro.partition.sharded_index`), and evaluates
+the paper's support measures exactly by merging per-shard enumeration
+(:mod:`repro.partition.evaluate`).  Shard directories round-trip through
+:mod:`repro.partition.io`.  See the "Partitioning" section of
+``docs/architecture.md`` for the invariants and routing rules.
+"""
+
+from .evaluate import (
+    merge_lazy_partials,
+    merge_shard_items,
+    pattern_shardable,
+    plan_candidate,
+    relevant_shards,
+    required_depth,
+    shard_node_images,
+    shard_occurrence_items,
+    sharded_evaluate_support,
+    sharded_lazy_mni,
+    sharded_occurrences,
+    support_from_shard_items,
+)
+from .io import load_partition, save_partition
+from .partitioner import PARTITION_METHODS, Partition, partition_edges
+from .shard import GraphShard
+from .sharded_index import ShardedIndex
+
+__all__ = [
+    "PARTITION_METHODS",
+    "Partition",
+    "partition_edges",
+    "GraphShard",
+    "ShardedIndex",
+    "save_partition",
+    "load_partition",
+    "required_depth",
+    "pattern_shardable",
+    "plan_candidate",
+    "relevant_shards",
+    "shard_occurrence_items",
+    "shard_node_images",
+    "sharded_occurrences",
+    "merge_shard_items",
+    "merge_lazy_partials",
+    "support_from_shard_items",
+    "sharded_lazy_mni",
+    "sharded_evaluate_support",
+]

@@ -1,0 +1,63 @@
+"""One shard of a partitioned data graph, with its halo bookkeeping.
+
+A :class:`GraphShard` materializes the core subgraph of one partition
+cell: its assigned (core) edges, their endpoints, and any isolated
+vertices the partitioner routed here.  Vertices whose incident edges span
+several shards are **boundary vertices**; each incident shard replicates
+them — that replicated set is the shard's **halo**.  The invariant the
+test suite pins: a boundary vertex appears in *every* shard owning one of
+its edges, exactly once per shard.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+from ..graph.labeled_graph import Edge, LabeledGraph, Vertex
+
+
+class GraphShard:
+    """The core subgraph + halo bookkeeping for one partition cell.
+
+    Built by :class:`~repro.partition.sharded_index.ShardedIndex`; the
+    ``graph`` attribute is a self-contained :class:`LabeledGraph` (core
+    edges, their endpoints, assigned isolated vertices) suitable for
+    per-shard indexing and serialization.
+    """
+
+    __slots__ = ("shard_id", "graph", "core_edges", "core_edge_set", "halo_vertices")
+
+    def __init__(
+        self,
+        shard_id: int,
+        graph: LabeledGraph,
+        core_edges: Tuple[Edge, ...],
+        halo_vertices: FrozenSet[Vertex],
+    ) -> None:
+        self.shard_id = shard_id
+        self.graph = graph
+        self.core_edges = core_edges
+        self.core_edge_set = frozenset(core_edges)
+        self.halo_vertices = halo_vertices
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_core_edges(self) -> int:
+        return len(self.core_edges)
+
+    def interior_vertices(self) -> FrozenSet[Vertex]:
+        """Vertices living only in this shard (complement of the halo)."""
+        return frozenset(self.graph.vertices()) - self.halo_vertices
+
+    def owns_edge(self, edge: Edge) -> bool:
+        """True when the canonical ``edge`` is one of this shard's core edges."""
+        return edge in self.core_edge_set
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<GraphShard {self.shard_id} |V|={self.num_vertices} "
+            f"core|E|={self.num_core_edges} halo={len(self.halo_vertices)}>"
+        )

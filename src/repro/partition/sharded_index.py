@@ -1,0 +1,217 @@
+"""ShardedIndex — the index layer over a partitioned data graph.
+
+This is the architectural seam the ROADMAP's sharding item asked for: a
+:class:`ShardedIndex` splits one :class:`LabeledGraph` into k edge-disjoint
+:class:`~repro.partition.shard.GraphShard` cells (via a configurable
+:func:`~repro.partition.partitioner.partition_edges` method), replicates
+boundary vertices into per-shard halos, and exposes the merged global
+views evaluation needs:
+
+* a **global label histogram** — merged over shard vertex sets with
+  replicated boundary vertices counted once, so it is identical to the
+  unpartitioned graph's histogram (the miner's label-frequency prune
+  bound stays exact);
+* a **label-pair directory** — canonical label pair → the shard ids whose
+  *core* edges realize it.  A pattern can only have occurrences anchored
+  in shards sharing its footprint, so the directory prunes whole shards
+  per candidate;
+* per-shard :class:`~repro.index.GraphIndex` instances (built lazily and
+  cached on each shard's core graph through the ordinary ``get_index``
+  path, so the PR 2 delta protocol applies shard-by-shard);
+* **halo-expanded shard views** — the induced subgraph within ``depth``
+  hops of a shard's vertices, cached per (shard, depth).  Depth
+  ``n - 2`` is exactly what makes per-shard enumeration of an n-node
+  connected pattern exhaustive for occurrences using a core edge (see
+  :mod:`repro.partition.evaluate`).
+
+Like :class:`~repro.index.GraphIndex`, a ShardedIndex is a snapshot: it
+records the source graph's mutation version and :meth:`is_current`
+reports staleness; the miner re-syncs per session exactly as it does for
+the flat index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..errors import PartitionError
+from ..graph.labeled_graph import Label, LabeledGraph, Vertex
+from ..index.graph_index import GraphIndex, _label_pair_key, get_index
+from .partitioner import Partition, partition_edges
+from .shard import GraphShard
+
+LabelPair = Tuple[Label, Label]
+
+
+class ShardedIndex:
+    """k edge-disjoint shards of one data graph, plus merged global views.
+
+    Build with :meth:`build` (partitioning included) or directly from a
+    pre-computed :class:`~repro.partition.partitioner.Partition`.  The
+    source graph is retained: halo expansion and global-exactness
+    guarantees both need it, and a one-shard index degenerates to the
+    ordinary single-graph path.
+    """
+
+    __slots__ = ("graph", "partition", "version", "shards", "_pair_shards", "_expanded")
+
+    def __init__(self, graph: LabeledGraph, partition: Partition) -> None:
+        self.graph = graph
+        self.partition = partition
+        self.version = graph.mutation_version()
+        self._expanded: Dict[Tuple[int, int], LabeledGraph] = {}
+
+        members: List[Dict[Vertex, Label]] = [{} for _ in range(partition.num_shards)]
+        core_edges: List[List] = [[] for _ in range(partition.num_shards)]
+        owners: Dict[Vertex, Set[int]] = {}
+        for edge in graph.edges():
+            owner = partition.assignment.get(edge)
+            if owner is None:
+                raise PartitionError(
+                    f"edge {edge!r} is not covered by the partition "
+                    "(was the graph mutated after partitioning?)"
+                )
+            core_edges[owner].append(edge)
+            for vertex in edge:
+                members[owner][vertex] = graph.label_of(vertex)
+                owners.setdefault(vertex, set()).add(owner)
+        for vertex, owner in partition.vertex_assignment.items():
+            members[owner][vertex] = graph.label_of(vertex)
+            owners.setdefault(vertex, set()).add(owner)
+
+        pair_shards: Dict[LabelPair, Set[int]] = {}
+        shards: List[GraphShard] = []
+        for shard_id in range(partition.num_shards):
+            shard_graph = LabeledGraph(
+                name=f"{graph.name or 'graph'}[shard {shard_id}]"
+            )
+            for vertex in sorted(members[shard_id], key=repr):
+                shard_graph.add_vertex(vertex, members[shard_id][vertex])
+            for u, v in core_edges[shard_id]:
+                shard_graph.add_edge(u, v)
+                pair = _label_pair_key(graph.label_of(u), graph.label_of(v))
+                pair_shards.setdefault(pair, set()).add(shard_id)
+            halo = frozenset(
+                vertex for vertex in members[shard_id] if len(owners[vertex]) > 1
+            )
+            shards.append(
+                GraphShard(
+                    shard_id=shard_id,
+                    graph=shard_graph,
+                    core_edges=tuple(sorted(core_edges[shard_id], key=repr)),
+                    halo_vertices=halo,
+                )
+            )
+        self.shards = tuple(shards)
+        self._pair_shards = {
+            pair: tuple(sorted(ids)) for pair, ids in pair_shards.items()
+        }
+
+    # ------------------------------------------------------------------
+    # factory / freshness
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, graph: LabeledGraph, num_shards: int, method: str = "hash"
+    ) -> "ShardedIndex":
+        """Partition ``graph`` and build the sharded index in one call."""
+        return cls(graph, partition_edges(graph, num_shards, method))
+
+    def is_current(self) -> bool:
+        """True while the source graph has not been mutated."""
+        return self.graph.mutation_version() == self.version
+
+    # ------------------------------------------------------------------
+    # merged global views
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self.partition.num_shards
+
+    def label_histogram(self) -> Dict[Label, int]:
+        """Global vertex count per label (boundary vertices counted once).
+
+        Merged from the shard vertex sets, deduplicated by vertex id —
+        equal to the source graph's histogram, which keeps every
+        histogram-derived prune bound exact under sharding.
+        """
+        counted: Set[Vertex] = set()
+        histogram: Dict[Label, int] = {}
+        for shard in self.shards:
+            graph = shard.graph
+            for vertex in graph.vertices():
+                if vertex in counted:
+                    continue
+                counted.add(vertex)
+                label = graph.label_of(vertex)
+                histogram[label] = histogram.get(label, 0) + 1
+        return histogram
+
+    def shards_for_pair(self, lu: Label, lv: Label) -> Tuple[int, ...]:
+        """Shard ids whose core edges realize the unordered label pair."""
+        return self._pair_shards.get(_label_pair_key(lu, lv), ())
+
+    def label_pair_directory(self) -> Dict[LabelPair, Tuple[int, ...]]:
+        """Canonical label pair -> shard ids (do not mutate)."""
+        return self._pair_shards
+
+    def shard_index(self, shard_id: int) -> GraphIndex:
+        """The (cached) :class:`GraphIndex` of one shard's core graph."""
+        return get_index(self.shards[shard_id].graph)
+
+    def boundary_vertices(self) -> Set[Vertex]:
+        """All vertices replicated into more than one shard."""
+        boundary: Set[Vertex] = set()
+        for shard in self.shards:
+            boundary |= shard.halo_vertices
+        return boundary
+
+    def replication_factor(self) -> float:
+        """``sum_i |V_i| / |V|`` — 1.0 means no vertex is replicated."""
+        total = sum(shard.num_vertices for shard in self.shards)
+        return total / max(1, self.graph.num_vertices)
+
+    # ------------------------------------------------------------------
+    # halo-expanded views
+    # ------------------------------------------------------------------
+    def expanded_shard(self, shard_id: int, depth: int) -> LabeledGraph:
+        """The induced subgraph within ``depth`` hops of a shard's vertices.
+
+        Depth 0 is the induced subgraph on the shard's own vertex set
+        (which may pick up non-core edges between boundary vertices —
+        exactly the cross-shard edges halo-aware evaluation must see).
+        Views are cached per (shard, depth); when the ball swallows the
+        whole graph the source graph itself is returned, so its cached
+        global index is reused instead of duplicated.
+        """
+        key = (shard_id, depth)
+        cached = self._expanded.get(key)
+        if cached is not None:
+            return cached
+        frontier = set(self.shards[shard_id].graph.vertices())
+        keep = set(frontier)
+        for _ in range(depth):
+            if not frontier:
+                break
+            frontier = {
+                neighbor
+                for vertex in frontier
+                for neighbor in self.graph.neighbors(vertex)
+                if neighbor not in keep
+            }
+            keep |= frontier
+        if len(keep) == self.graph.num_vertices:
+            expanded = self.graph
+        else:
+            expanded = self.graph.subgraph(keep)
+            expanded.name = f"{self.graph.name or 'graph'}[shard {shard_id}+{depth}]"
+        self._expanded[key] = expanded
+        return expanded
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ShardedIndex shards={self.num_shards} "
+            f"method={self.partition.method!r} |V|={self.graph.num_vertices} "
+            f"|E|={self.graph.num_edges} "
+            f"replication={self.replication_factor():.2f} v{self.version}>"
+        )

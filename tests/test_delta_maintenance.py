@@ -239,3 +239,55 @@ class TestRebuildFallbacks:
         assert first is second
         assert maintainer.patches_applied == 0
         assert maintainer.rebuilds == 0
+
+
+class TestRebuildCoalescing:
+    def test_removal_burst_coalesces_into_one_rebuild(self):
+        graph = build_graph(("er", 13, 14, 0.4))
+        maintainer = IndexMaintainer(graph)
+        removed = 0
+        for u, v in list(graph.edges())[:10]:
+            graph.remove_edge(u, v)
+            removed += 1
+            assert maintainer.rebuild_pending
+            assert not maintainer._buffer  # O(1) state during the burst
+        assert maintainer.deltas_coalesced == removed
+        assert_patched_equals_rebuilt(maintainer, graph)
+        assert maintainer.rebuilds == 1  # one deferred rebuild, not ten
+        assert not maintainer.rebuild_pending
+
+    def test_pending_rebuild_absorbs_interleaved_insertions(self):
+        graph = build_graph(("er", 14, 12, 0.3))
+        maintainer = IndexMaintainer(graph)
+        graph.add_vertex("pre", "A")  # buffered insertion...
+        u, v = graph.edges()[0]
+        graph.remove_edge(u, v)  # ...superseded by the pending rebuild
+        graph.add_vertex("post", "B")  # absorbed, not buffered
+        graph.add_edge("pre", "post")
+        assert not maintainer._buffer
+        assert maintainer.deltas_coalesced == 4  # pre + removal + post + edge
+        assert_patched_equals_rebuilt(maintainer, graph)
+        assert maintainer.rebuilds == 1
+
+    def test_patching_resumes_after_coalesced_rebuild(self):
+        graph = build_graph(("er", 15, 12, 0.3))
+        maintainer = IndexMaintainer(graph)
+        for u, v in list(graph.edges())[:5]:
+            graph.remove_edge(u, v)
+        assert_patched_equals_rebuilt(maintainer, graph)
+        grow_randomly(graph, random.Random(9), steps=6, alphabet="ABC", tag="c")
+        assert_patched_equals_rebuilt(maintainer, graph)
+        assert maintainer.rebuilds == 1
+        assert maintainer.patches_applied == 6
+
+    def test_adoption_clears_pending_rebuild(self):
+        graph = build_graph(("er", 16, 12, 0.3))
+        maintainer = IndexMaintainer(graph)
+        u, v = graph.edges()[0]
+        graph.remove_edge(u, v)
+        assert maintainer.rebuild_pending
+        interloper = get_index(graph)  # someone else pays for the rebuild
+        adopted = maintainer.index()
+        assert adopted is interloper
+        assert maintainer.rebuilds == 0
+        assert not maintainer.rebuild_pending

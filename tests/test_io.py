@@ -161,3 +161,49 @@ class TestUpdateStreams:
             parse_update_stream("e 1\n")
         with pytest.raises(DatasetError):
             parse_update_stream("q 1 2\n")
+
+    def test_blank_and_whitespace_lines_are_skipped(self):
+        from repro.graph.io import parse_update_stream
+
+        text = "\n   \n\t\nv 1 A\n  \n# note\ne 1 2\n\n"
+        assert parse_update_stream(text) == [("v", 1, "A"), ("e", 1, 2)]
+
+    def test_duplicate_edge_insertion_rejected_with_line_numbers(self):
+        from repro.graph.io import parse_update_stream
+
+        with pytest.raises(DatasetError) as excinfo:
+            parse_update_stream("v 1 A\nv 2 B\ne 1 2\ne 1 2\n")
+        assert "line 4" in str(excinfo.value)
+        assert "first inserted at line 3" in str(excinfo.value)
+        # Both endpoint orders name the same undirected edge.
+        with pytest.raises(DatasetError):
+            parse_update_stream("e 1 2\ne 2 1\n")
+
+    def test_self_loop_insertion_rejected(self):
+        from repro.graph.io import parse_update_stream
+
+        with pytest.raises(DatasetError) as excinfo:
+            parse_update_stream("v 7 A\ne 7 7\n")
+        assert "line 2" in str(excinfo.value)
+        assert "self loop" in str(excinfo.value)
+
+    def test_conflicting_vertex_relabel_rejected(self):
+        from repro.graph.io import parse_update_stream
+
+        with pytest.raises(DatasetError) as excinfo:
+            parse_update_stream("v 1 A\nv 1 B\n")
+        assert "line 2" in str(excinfo.value)
+        # Re-declaring with the same label stays legal (concatenated .lg
+        # fragments repeat their vertex preambles).
+        assert parse_update_stream("v 1 A\nv 1 A\n") == [
+            ("v", 1, "A"),
+            ("v", 1, "A"),
+        ]
+
+    def test_errors_are_repro_errors(self):
+        from repro.errors import ReproError
+        from repro.graph.io import parse_update_stream
+
+        for text in ("e 1 1\n", "e 1 2\ne 2 1\n", "v 1 A\nv 1 B\n", "x\n"):
+            with pytest.raises(ReproError):
+                parse_update_stream(text)

@@ -1,0 +1,265 @@
+"""Randomized equivalence: sharded evaluation == unsharded, byte for byte.
+
+The partition layer (repro.partition) reroutes support evaluation through
+per-shard enumeration of halo-expanded shard views.  Every rerouted path
+must produce results *identical* to the flat single-graph path — support
+values, occurrence counts, frequent-pattern certificates, mining
+statistics — for every shard count, every partitioner, eager and lazy,
+with and without the acceleration index, serial and pooled.  This suite
+pins that on ~30 seeded random graphs spanning sparse/dense and
+label-poor/label-rich regimes (style and scope mirror
+``tests/test_index_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import (
+    planted_pattern_graph,
+    preferential_attachment_graph,
+    random_labeled_graph,
+)
+from repro.graph.builders import path_pattern, star_pattern, triangle_pattern
+from repro.isomorphism.matcher import find_occurrences
+from repro.measures.lazy_mni import lazy_mni_support
+from repro.mining.miner import mine_frequent_patterns
+from repro.mining.parallel import evaluate_support
+from repro.partition import (
+    PARTITION_METHODS,
+    ShardedIndex,
+    sharded_evaluate_support,
+    sharded_lazy_mni,
+    sharded_occurrences,
+)
+
+PATTERNS = [
+    path_pattern(["A", "B"]),
+    path_pattern(["A", "B", "A"]),
+    path_pattern(["B", "A", "C"]),
+    star_pattern("A", ["B", "B"]),
+    triangle_pattern("A"),
+]
+
+#: ~30 seeded random graphs: (generator-kind, seed, size, density-ish knob).
+GRAPH_SPECS = (
+    [("er", seed, 14, 0.25) for seed in range(8)]
+    + [("er", seed, 20, 0.15) for seed in range(8, 15)]
+    + [("er", seed, 16, 0.35) for seed in range(15, 20)]
+    + [("ba", seed, 20, 2) for seed in range(20, 26)]
+    + [("planted", seed, 8, 0.5) for seed in range(26, 31)]
+)
+
+MINE_KWARGS = dict(
+    measure="mni", min_support=2, max_pattern_nodes=4, max_pattern_edges=4
+)
+
+
+def build_graph(spec):
+    kind, seed, size, knob = spec
+    if kind == "er":
+        alphabet = ("A", "B", "C") if seed % 2 else ("A", "B", "C", "D")
+        return random_labeled_graph(size, knob, alphabet=alphabet, seed=seed)
+    if kind == "ba":
+        return preferential_attachment_graph(
+            size, knob, alphabet=("A", "B", "C", "D"), seed=seed, label_skew=0.3
+        )
+    return planted_pattern_graph(
+        star_pattern("A", ["B", "C"]),
+        num_copies=size,
+        overlap_fraction=knob,
+        background_vertices=4,
+        background_edge_probability=0.3,
+        seed=seed,
+    )
+
+
+def assert_mining_identical(sharded_result, flat_result):
+    """Byte identity of everything a mining run reports."""
+    assert sharded_result.certificates() == flat_result.certificates()
+    assert [fp.support for fp in sharded_result.frequent] == [
+        fp.support for fp in flat_result.frequent
+    ]
+    assert [fp.num_occurrences for fp in sharded_result.frequent] == [
+        fp.num_occurrences for fp in flat_result.frequent
+    ]
+    assert sharded_result.stats.as_dict() == flat_result.stats.as_dict()
+
+
+@pytest.fixture(params=GRAPH_SPECS, ids=lambda spec: f"{spec[0]}-s{spec[1]}")
+def graph(request):
+    return build_graph(request.param)
+
+
+class TestShardedMiningEquivalence:
+    def test_mining_identical_across_all_graphs(self, graph):
+        """Every seeded graph, eager MNI, three shards."""
+        flat = mine_frequent_patterns(graph, **MINE_KWARGS)
+        sharded = mine_frequent_patterns(graph, shards=3, **MINE_KWARGS)
+        assert_mining_identical(sharded, flat)
+
+
+@pytest.mark.parametrize("method", PARTITION_METHODS)
+@pytest.mark.parametrize("shards", [2, 3, 4])
+@pytest.mark.parametrize("seed", [1, 9, 22, 27])
+def test_mining_identical_per_partitioner(seed, shards, method):
+    """k in {2, 3, 4} x all three partitioners (the acceptance matrix)."""
+    graph = build_graph(GRAPH_SPECS[seed])
+    flat = mine_frequent_patterns(graph, **MINE_KWARGS)
+    sharded = mine_frequent_patterns(
+        graph, shards=shards, partition_method=method, **MINE_KWARGS
+    )
+    assert_mining_identical(sharded, flat)
+
+
+@pytest.mark.parametrize("measure", ["mni", "mi", "mis"])
+@pytest.mark.parametrize("seed", [4, 12, 28])
+def test_measures_mine_identically(seed, measure):
+    graph = build_graph(GRAPH_SPECS[seed])
+    kwargs = {**MINE_KWARGS, "measure": measure}
+    flat = mine_frequent_patterns(graph, **kwargs)
+    sharded = mine_frequent_patterns(
+        graph, shards=3, partition_method="label", **kwargs
+    )
+    assert_mining_identical(sharded, flat)
+
+
+@pytest.mark.parametrize("method", ["hash", "edgecut"])
+@pytest.mark.parametrize("seed", [0, 6, 10, 17, 21, 24, 29])
+def test_lazy_mining_identical(seed, method):
+    graph = build_graph(GRAPH_SPECS[seed])
+    kwargs = {**MINE_KWARGS, "lazy": True}
+    flat = mine_frequent_patterns(graph, **kwargs)
+    sharded = mine_frequent_patterns(
+        graph, shards=4, partition_method=method, **kwargs
+    )
+    assert_mining_identical(sharded, flat)
+
+
+@pytest.mark.parametrize("seed", [2, 13, 25])
+def test_brute_force_sharded_identical(seed):
+    """index=False stays the reference path shard-by-shard too."""
+    graph = build_graph(GRAPH_SPECS[seed])
+    kwargs = {**MINE_KWARGS, "use_index": False}
+    flat = mine_frequent_patterns(graph, **kwargs)
+    sharded = mine_frequent_patterns(graph, shards=2, **kwargs)
+    assert_mining_identical(sharded, flat)
+
+
+@pytest.mark.parametrize("seed", [5, 16, 23])
+def test_pooled_sharded_identical(seed):
+    """shards=k composed with workers=N matches the flat serial run."""
+    graph = build_graph(GRAPH_SPECS[seed])
+    flat = mine_frequent_patterns(graph, **MINE_KWARGS)
+    pooled = mine_frequent_patterns(graph, shards=3, workers=2, **MINE_KWARGS)
+    assert_mining_identical(pooled, flat)
+
+
+@pytest.mark.parametrize("seed", [7, 18])
+def test_pooled_lazy_sharded_identical(seed):
+    """The lazy fanout branch (per-node image partials merged in the parent).
+
+    hash partitioning spreads footprints across shards, so multi-shard
+    candidates actually exercise shard_node_images + merge_lazy_partials
+    rather than collapsing to solo tasks.
+    """
+    graph = build_graph(GRAPH_SPECS[seed])
+    kwargs = {**MINE_KWARGS, "lazy": True}
+    flat = mine_frequent_patterns(graph, **kwargs)
+    pooled = mine_frequent_patterns(
+        graph, shards=3, workers=2, partition_method="hash", **kwargs
+    )
+    assert_mining_identical(pooled, flat)
+
+
+@pytest.mark.parametrize("seed", [6, 20])
+def test_max_occurrences_sharded_deterministic(seed):
+    """max_occurrences + shards: truncation is deterministic and pool-stable.
+
+    The truncated subset may legitimately differ from the flat
+    enumeration prefix (documented), but serial sharded, repeated serial
+    sharded, and pooled sharded runs must all agree exactly.
+    """
+    graph = build_graph(GRAPH_SPECS[seed])
+    kwargs = {**MINE_KWARGS, "max_occurrences": 5}
+    first = mine_frequent_patterns(graph, shards=3, **kwargs)
+    again = mine_frequent_patterns(graph, shards=3, **kwargs)
+    pooled = mine_frequent_patterns(graph, shards=3, workers=2, **kwargs)
+    assert_mining_identical(again, first)
+    assert_mining_identical(pooled, first)
+
+
+@pytest.mark.parametrize("seed", [3, 11, 19])
+def test_single_shard_session_is_the_flat_path(seed):
+    """shards=1 must not even build a ShardedIndex — today's path, untouched."""
+    from repro.mining.miner import FrequentSubgraphMiner
+
+    graph = build_graph(GRAPH_SPECS[seed])
+    miner = FrequentSubgraphMiner(graph, **MINE_KWARGS)
+    assert miner._sharded is None
+    assert_mining_identical(
+        mine_frequent_patterns(graph, shards=1, **MINE_KWARGS),
+        miner.mine(),
+    )
+
+
+class TestShardedSupportEquivalence:
+    @pytest.mark.parametrize("seed", [0, 7, 9, 18, 20, 26])
+    @pytest.mark.parametrize("method", PARTITION_METHODS)
+    def test_occurrence_sets_identical(self, seed, method):
+        graph = build_graph(GRAPH_SPECS[seed])
+        sharded = ShardedIndex.build(graph, 3, method)
+        for pattern in PATTERNS:
+            flat = find_occurrences(pattern, graph)
+            merged = sharded_occurrences(pattern, sharded)
+            assert {occ.mapping_items for occ in merged} == {
+                occ.mapping_items for occ in flat
+            }
+            assert len(merged) == len(flat)
+
+    @pytest.mark.parametrize("seed", [1, 8, 15, 21, 28])
+    @pytest.mark.parametrize("measure", ["mni", "mi", "mis"])
+    def test_support_values_identical(self, seed, measure):
+        graph = build_graph(GRAPH_SPECS[seed])
+        sharded = ShardedIndex.build(graph, 4, "hash")
+        common = dict(
+            lazy=False,
+            lazy_cap=2,
+            max_occurrences=None,
+            index_arg=None,
+            histogram=graph.label_histogram(),
+            prune_below=None,
+        )
+        for pattern in PATTERNS:
+            assert sharded_evaluate_support(
+                pattern, sharded, measure, **common
+            ) == evaluate_support(pattern, graph, measure, **common)
+
+    @pytest.mark.parametrize("seed", [2, 14, 24])
+    def test_prune_decisions_identical(self, seed):
+        graph = build_graph(GRAPH_SPECS[seed])
+        sharded = ShardedIndex.build(graph, 3, "edgecut")
+        histogram = sharded.label_histogram()
+        for pattern in PATTERNS:
+            for threshold in (2.0, 4.0, 100.0):
+                common = dict(
+                    lazy=False,
+                    lazy_cap=2,
+                    max_occurrences=None,
+                    index_arg=None,
+                    histogram=histogram,
+                    prune_below=threshold,
+                )
+                assert sharded_evaluate_support(
+                    pattern, sharded, "mni", **common
+                ) == evaluate_support(pattern, graph, "mni", **common)
+
+    @pytest.mark.parametrize("seed", [4, 10, 16, 27])
+    def test_lazy_capped_values_identical(self, seed):
+        graph = build_graph(GRAPH_SPECS[seed])
+        sharded = ShardedIndex.build(graph, 3, "hash")
+        for pattern in PATTERNS[:3]:
+            for cap in (1, 2, 4, None):
+                assert sharded_lazy_mni(pattern, sharded, cap) == lazy_mni_support(
+                    pattern, graph, cap=cap
+                )
