@@ -24,7 +24,11 @@ from repro.measures.mvc import (
 
 WORKLOADS = [
     ("fan/triangle", lambda: zoo_graph("triangle_fan"), triangle_pattern("a")),
-    ("disjoint/triangle", lambda: zoo_graph("disjoint_triangles"), triangle_pattern("a")),
+    (
+        "disjoint/triangle",
+        lambda: zoo_graph("disjoint_triangles"),
+        triangle_pattern("a"),
+    ),
     ("star/edge", lambda: zoo_graph("star"), Pattern.single_edge("a", "a")),
     (
         "er/path3",

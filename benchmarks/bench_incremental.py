@@ -1,6 +1,6 @@
 """tab9 (ablation) — incremental machinery vs recomputing from scratch.
 
-Two ablations share this module:
+Three ablations share this module:
 
 * **tab9** — embedding propagation (:mod:`repro.mining.incremental`) vs
   the recomputing miner: extending the parent's embedding list avoids
@@ -10,9 +10,13 @@ Two ablations share this module:
   insertion stream: patching the `GraphIndex` in O(delta) and re-evaluating
   only footprint-affected patterns avoids paying the whole search again
   for every batch.  The speedup gate here is an acceptance criterion —
-  the delta path must beat rebuild-per-batch on the medium stream.
+  the delta path must beat rebuild-per-batch on the medium stream;
+* **tab9c** — the same discipline over a **deletion-heavy mixed stream**:
+  removals patch the index (splice-out) and shrink supports, so the
+  delta path must keep beating rebuild-per-batch when most updates are
+  deletions — the gate that pins the O(delta) deletion support.
 
-Results must be identical in both ablations; wall time and enumeration /
+Results must be identical in all ablations; wall time and enumeration /
 evaluation counts are the ablation.
 """
 
@@ -33,9 +37,7 @@ from repro.mining.miner import mine_frequent_patterns
 @pytest.fixture(scope="module")
 def workload():
     pattern = star_pattern("A", ["B", "B"])
-    graph = planted_pattern_graph(
-        pattern, num_copies=12, overlap_fraction=0.5, seed=19
-    )
+    graph = planted_pattern_graph(pattern, num_copies=12, overlap_fraction=0.5, seed=19)
     chain = path_pattern(["B", "A", "B", "A"])
     welded = planted_pattern_graph(chain, num_copies=6, overlap_fraction=0.4, seed=7)
     offset = graph.num_vertices + 50
@@ -106,7 +108,9 @@ def test_tab9_benchmark_recompute(workload, benchmark):
 # tab9b — delta-maintained dynamic mining vs full re-mine per batch
 # ----------------------------------------------------------------------
 
-STREAM_PARAMS = dict(measure="mni", min_support=3, max_pattern_nodes=4, max_pattern_edges=4)
+STREAM_PARAMS = dict(
+    measure="mni", min_support=3, max_pattern_nodes=4, max_pattern_edges=4
+)
 
 
 @pytest.fixture(scope="module")
@@ -213,8 +217,18 @@ def test_tab9b_delta_stream_vs_rebuild_per_batch(stream_workload, benchmark, emi
         format_table(
             ["pipeline", "time ms", "batches", "final frequent"],
             [
-                ["rebuild per batch", f"{best_rebuild*1e3:.1f}", len(batches), len(rebuild_keys[-1])],
-                ["delta-maintained", f"{best_delta*1e3:.1f}", len(batches), len(delta_keys[-1])],
+                [
+                    "rebuild per batch",
+                    f"{best_rebuild*1e3:.1f}",
+                    len(batches),
+                    len(rebuild_keys[-1]),
+                ],
+                [
+                    "delta-maintained",
+                    f"{best_delta*1e3:.1f}",
+                    len(batches),
+                    len(delta_keys[-1]),
+                ],
                 ["speedup", f"{speedup:.2f}x", "", ""],
             ],
             title="tab9b: delta-maintained dynamic mining vs rebuild-per-batch",
@@ -238,3 +252,119 @@ def test_tab9b_benchmark_rebuild_per_batch(stream_workload, benchmark):
         return results
 
     benchmark(rebuild_run)
+
+
+# ----------------------------------------------------------------------
+# tab9c — deletion-heavy mixed stream: delta maintenance vs rebuild
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def churn_workload(stream_workload):
+    """A deletion-heavy mixed stream over the tab9b two-region graph.
+
+    Reuses the stream workload's base (expensive welded A/B/C bulk plus a
+    sparse D/E growth region) but the updates now churn: a short growth
+    phase inserts new D/E leaves, then the stream deletes twice as many
+    edges as it inserted — every leaf edge it grew plus pre-existing
+    edges of the D/E region (leaf-first, so removals never strand a
+    vertex with unseen incident edges).  All touched label pairs stay in
+    the sparse region, so the delta path re-evaluates a small slice per
+    batch while rebuild-per-batch re-mines the welded bulk every time.
+    """
+    import random
+
+    base, _ = stream_workload
+    graph = base.copy()
+    rng = random.Random(83)
+    growth_vertices = [v for v in graph.vertices() if graph.label_of(v) in ("D", "E")]
+    updates = []
+    inserted = []
+    serial = 0
+    for _ in range(12):
+        vertex = f"c{serial}"
+        serial += 1
+        parent = rng.choice(growth_vertices)
+        updates.append(("v", vertex, rng.choice("DE")))
+        updates.append(("e", parent, vertex))
+        inserted.append((parent, vertex))
+        growth_vertices.append(vertex)
+    # Deletion phase: drop every inserted leaf edge (newest first), then
+    # prune pre-existing D/E region edges leaf-first.
+    for parent, vertex in reversed(inserted):
+        updates.append(("de", parent, vertex))
+        updates.append(("dv", vertex))
+    region = {v for v in graph.vertices() if graph.label_of(v) in ("D", "E")}
+    region_edges = [(u, v) for u, v in graph.edges() if u in region and v in region]
+    for u, v in region_edges[: len(inserted)]:
+        updates.append(("de", u, v))
+    deletions = sum(1 for update in updates if update[0] in ("de", "dv"))
+    assert deletions > len(updates) // 2  # deletion-heavy by construction
+    return graph, updates
+
+
+def test_tab9c_deletion_stream_vs_rebuild_per_batch(churn_workload, benchmark, emit):
+    """Acceptance gate: O(delta) deletions beat rebuild-per-batch.
+
+    Same interleaved min-of-3 discipline as tab9b; per-batch results must
+    be identical between the delta-maintained miner and a full re-mine.
+    """
+    base, updates = churn_workload
+    batches = _batches(updates, 6)
+
+    def delta_run():
+        graph = base.copy()
+        miner = DynamicMiner(graph, **STREAM_PARAMS)
+        keys = [miner.refresh().certificates()]
+        for batch in batches:
+            _apply_batch(graph, batch)
+            keys.append(miner.refresh().certificates())
+        return keys
+
+    def rebuild_run():
+        graph = base.copy()
+        keys = [mine_frequent_patterns(graph, **STREAM_PARAMS).certificates()]
+        for batch in batches:
+            _apply_batch(graph, batch)
+            keys.append(mine_frequent_patterns(graph, **STREAM_PARAMS).certificates())
+        return keys
+
+    best_delta = best_rebuild = float("inf")
+    delta_keys = rebuild_keys = None
+    for _ in range(3):
+        start = time.perf_counter()
+        rebuild_keys = rebuild_run()
+        best_rebuild = min(best_rebuild, time.perf_counter() - start)
+        start = time.perf_counter()
+        delta_keys = delta_run()
+        best_delta = min(best_delta, time.perf_counter() - start)
+
+    assert delta_keys == rebuild_keys  # identical after every batch
+    speedup = best_rebuild / max(best_delta, 1e-9)
+    deletions = sum(1 for update in updates if update[0] in ("de", "dv"))
+    emit(
+        format_table(
+            ["pipeline", "time ms", "batches", "deletions", "final frequent"],
+            [
+                [
+                    "rebuild per batch",
+                    f"{best_rebuild * 1e3:.1f}",
+                    len(batches),
+                    deletions,
+                    len(rebuild_keys[-1]),
+                ],
+                [
+                    "delta-maintained",
+                    f"{best_delta * 1e3:.1f}",
+                    len(batches),
+                    deletions,
+                    len(delta_keys[-1]),
+                ],
+                ["speedup", f"{speedup:.2f}x", "", "", ""],
+            ],
+            title="tab9c: delta maintenance vs rebuild on a deletion-heavy stream",
+        )
+    )
+    assert speedup >= 1.3, f"delta path only {speedup:.2f}x over rebuild-per-batch"
+
+    benchmark(delta_run)

@@ -15,7 +15,10 @@ from collections import deque
 import pytest
 
 from repro.analysis.report import format_table
-from repro.datasets.synthetic import planted_pattern_graph, preferential_attachment_graph
+from repro.datasets.synthetic import (
+    planted_pattern_graph,
+    preferential_attachment_graph,
+)
 from repro.graph.builders import path_pattern, star_pattern
 from repro.mining.miner import mine_frequent_patterns
 
@@ -212,8 +215,16 @@ def test_tab4_medium_indexed_speedup(medium_mining_graph, benchmark, emit):
         format_table(
             ["pipeline", "time ms", "frequent"],
             [
-                ["seed-style baseline", f"{t_baseline*1e3:.1f}", len(baseline_certificates)],
-                ["indexed (1 process)", f"{t_indexed*1e3:.1f}", indexed_result.num_frequent],
+                [
+                    "seed-style baseline",
+                    f"{t_baseline*1e3:.1f}",
+                    len(baseline_certificates),
+                ],
+                [
+                    "indexed (1 process)",
+                    f"{t_indexed*1e3:.1f}",
+                    indexed_result.num_frequent,
+                ],
                 ["speedup", f"{speedup:.2f}x", ""],
             ],
             title="tab4c: indexed mining vs seed-style baseline (medium dataset)",

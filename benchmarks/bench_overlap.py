@@ -89,9 +89,7 @@ def test_tab6_sparsified_mis(benchmark, emit):
         # Sparser conflicts can only admit larger independent sets.
         assert values["harmful"] >= values["simple"]
         assert values["structural"] >= values["simple"]
-        rows.append(
-            [name, values["simple"], values["harmful"], values["structural"]]
-        )
+        rows.append([name, values["simple"], values["harmful"], values["structural"]])
     emit(
         format_table(
             ["workload", "MIS simple", "MIS harmful", "MIS structural"],
@@ -107,14 +105,16 @@ def test_tab6_sparsified_mis(benchmark, emit):
 
 
 def test_tab6_benchmark_statistics(benchmark):
-    pattern, graph = _load("welded-path", None, (path_pattern(["A", "B", "B"]), 0.5, 10))
+    pattern, graph = _load(
+        "welded-path", None, (path_pattern(["A", "B", "B"]), 0.5, 10)
+    )
     occurrences = find_occurrences(pattern, graph)
     benchmark(lambda: overlap_statistics(pattern, occurrences))
 
 
 def test_tab6_benchmark_structural_graph(benchmark):
-    pattern, graph = _load("welded-path", None, (path_pattern(["A", "B", "B"]), 0.5, 10))
-    occurrences = find_occurrences(pattern, graph)
-    benchmark(
-        lambda: occurrence_overlap_graph(pattern, occurrences, kind="structural")
+    pattern, graph = _load(
+        "welded-path", None, (path_pattern(["A", "B", "B"]), 0.5, 10)
     )
+    occurrences = find_occurrences(pattern, graph)
+    benchmark(lambda: occurrence_overlap_graph(pattern, occurrences, kind="structural"))

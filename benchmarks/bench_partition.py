@@ -198,8 +198,16 @@ def test_tab10c_sharded_parallel_speedup(partition_workload, benchmark, emit):
         format_table(
             ["pipeline", "time ms", "frequent"],
             [
-                ["flat (1 shard, 1 worker)", f"{t_flat*1e3:.1f}", flat_result.num_frequent],
-                ["sharded (4 shards, 4 workers)", f"{t_sharded*1e3:.1f}", sharded_result.num_frequent],
+                [
+                    "flat (1 shard, 1 worker)",
+                    f"{t_flat*1e3:.1f}",
+                    flat_result.num_frequent,
+                ],
+                [
+                    "sharded (4 shards, 4 workers)",
+                    f"{t_sharded*1e3:.1f}",
+                    sharded_result.num_frequent,
+                ],
                 ["speedup", f"{speedup:.2f}x", ""],
             ],
             title="tab10c: sharded parallel mining vs flat serial (medium dataset)",

@@ -28,7 +28,9 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     data = load_graph(args.graph)
     pattern = load_pattern(args.pattern)
     spectrum = measure_spectrum(pattern, data)
-    print(spectrum_report(spectrum, title=f"{pattern.name or 'pattern'} in {data.name}"))
+    print(
+        spectrum_report(spectrum, title=f"{pattern.name or 'pattern'} in {data.name}")
+    )
     return 0
 
 
@@ -75,7 +77,11 @@ def _cmd_mine_stream(args: argparse.Namespace) -> int:
     from .mining.dynamic import mine_stream
 
     data = load_graph(args.graph)
-    updates = load_update_stream(args.updates)
+    # Validate the stream against the base graph it is about to mutate;
+    # malformed records and impossible deletions fail here with a line
+    # number instead of halfway through the replay.  window=True relaxes
+    # only the checks sliding-window expiry can falsify.
+    updates = load_update_stream(args.updates, base=data, window=bool(args.window))
     rows = []
     last = None
     for step in mine_stream(
@@ -87,6 +93,7 @@ def _cmd_mine_stream(args: argparse.Namespace) -> int:
         min_support=args.min_support,
         max_pattern_nodes=args.max_nodes,
         max_pattern_edges=args.max_edges,
+        window=args.window,
     ):
         last = step
         stats = step.result.stats
@@ -94,6 +101,7 @@ def _cmd_mine_stream(args: argparse.Namespace) -> int:
             [
                 step.batch,
                 step.updates_applied,
+                step.edges_expired,
                 step.num_vertices,
                 step.num_edges,
                 step.result.num_frequent,
@@ -102,14 +110,26 @@ def _cmd_mine_stream(args: argparse.Namespace) -> int:
                 stats.patterns_skipped_unaffected,
             ]
         )
+    window_note = f", window={args.window}" if args.window else ""
     print(
         format_table(
-            ["batch", "updates", "|V|", "|E|", "frequent", "evaluated", "reused", "skipped"],
+            [
+                "batch",
+                "updates",
+                "expired",
+                "|V|",
+                "|E|",
+                "frequent",
+                "evaluated",
+                "reused",
+                "skipped",
+            ],
             rows,
             title=(
                 f"mine-stream over {len(updates)} updates "
                 f"(mode={args.mode}, measure={args.measure}, "
-                f"min_support={args.min_support:g}, batch_size={args.batch_size})"
+                f"min_support={args.min_support:g}, "
+                f"batch_size={args.batch_size}{window_note})"
             ),
         )
     )
@@ -208,7 +228,9 @@ def _cmd_overlap(args: argparse.Namespace) -> int:
     data = load_graph(args.graph)
     pattern = load_pattern(args.pattern)
     occurrences = find_occurrences(pattern, data, limit=args.limit)
-    print(f"{len(occurrences)} occurrences of {pattern.name or 'pattern'} in {data.name}\n")
+    print(
+        f"{len(occurrences)} occurrences of {pattern.name or 'pattern'} in {data.name}\n"
+    )
     rows = []
     for i, first in enumerate(occurrences):
         for second in occurrences[i + 1:]:
@@ -304,12 +326,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="maintain frequent patterns while replaying a graph-update stream",
     )
     stream.add_argument("graph", help="base data graph (.lg file)")
-    stream.add_argument("updates", help="update stream (v/e lines, applied in order)")
+    stream.add_argument(
+        "updates", help="update stream (v/e/de/dv lines, applied in order)"
+    )
     stream.add_argument(
         "--batch-size",
         type=int,
         default=1,
         help="updates applied between refreshes of the frequent-pattern set",
+    )
+    stream.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "sliding window: after each batch, expire the oldest live "
+            "stream-inserted edges until at most N remain (base-graph edges "
+            "never expire; re-inserting an expired edge restarts its age)"
+        ),
     )
     stream.add_argument(
         "--mode",

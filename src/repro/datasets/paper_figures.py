@@ -132,7 +132,9 @@ def figure3() -> FigureExample:
     ]
     edges = set()
     for a, b, c in triangles:
-        edges.update({tuple(sorted((a, b))), tuple(sorted((b, c))), tuple(sorted((a, c)))})
+        edges.update(
+            {tuple(sorted((a, b))), tuple(sorted((b, c))), tuple(sorted((a, c)))}
+        )
     # Sparse extra structure that creates no new A-B-C triangle.
     edges.update({(4, 7), (11, 12), (13, 14), (18, 19), (19, 20)})
     data = LabeledGraph(

@@ -68,12 +68,18 @@ def two_label_bipartite(left: int = 3, right: int = 3) -> LabeledGraph:
 
 def long_chain(length: int = 10, labels: Tuple[str, ...] = ("a", "b")) -> LabeledGraph:
     """A path of the given length with cyclically repeating labels."""
-    return path_graph([labels[i % len(labels)] for i in range(length)], name=f"chain{length}")
+    return path_graph(
+        [labels[i % len(labels)] for i in range(length)], name=f"chain{length}"
+    )
 
 
-def labeled_cycle(length: int = 6, labels: Tuple[str, ...] = ("a", "b", "c")) -> LabeledGraph:
+def labeled_cycle(
+    length: int = 6, labels: Tuple[str, ...] = ("a", "b", "c")
+) -> LabeledGraph:
     """A cycle with cyclically repeating labels."""
-    return cycle_graph([labels[i % len(labels)] for i in range(length)], name=f"ring{length}")
+    return cycle_graph(
+        [labels[i % len(labels)] for i in range(length)], name=f"ring{length}"
+    )
 
 
 def small_clique(size: int = 4, label: str = "a") -> LabeledGraph:

@@ -94,7 +94,9 @@ def grid_graph(
     return graph
 
 
-def binary_tree_graph(depth: int, labels: Sequence[Label], name: str = "") -> LabeledGraph:
+def binary_tree_graph(
+    depth: int, labels: Sequence[Label], name: str = ""
+) -> LabeledGraph:
     """A complete binary tree of the given depth (root depth 0)."""
     if depth < 0:
         raise GraphError("depth must be non-negative")
@@ -121,7 +123,9 @@ def path_pattern(labels: Sequence[Label], name: str = "") -> Pattern:
     """The path pattern ``v1 - v2 - ... - vk``."""
     names = _node_names(len(labels))
     edges = [(names[i], names[i + 1]) for i in range(len(names) - 1)]
-    return Pattern.from_edges(list(zip(names, labels)), edges, name=name or f"path{len(labels)}")
+    return Pattern.from_edges(
+        list(zip(names, labels)), edges, name=name or f"path{len(labels)}"
+    )
 
 
 def cycle_pattern(labels: Sequence[Label], name: str = "") -> Pattern:
@@ -130,7 +134,9 @@ def cycle_pattern(labels: Sequence[Label], name: str = "") -> Pattern:
         raise GraphError("a cycle pattern needs at least three nodes")
     names = _node_names(len(labels))
     edges = [(names[i], names[(i + 1) % len(names)]) for i in range(len(names))]
-    return Pattern.from_edges(list(zip(names, labels)), edges, name=name or f"cycle{len(labels)}")
+    return Pattern.from_edges(
+        list(zip(names, labels)), edges, name=name or f"cycle{len(labels)}"
+    )
 
 
 def triangle_pattern(
@@ -142,7 +148,9 @@ def triangle_pattern(
     return cycle_pattern([label_a, label_b, label_c], name="triangle")
 
 
-def star_pattern(center_label: Label, leaf_labels: Sequence[Label], name: str = "") -> Pattern:
+def star_pattern(
+    center_label: Label, leaf_labels: Sequence[Label], name: str = ""
+) -> Pattern:
     """A star pattern: ``v1`` is the center, leaves ``v2..``."""
     names = _node_names(len(leaf_labels) + 1)
     nodes = [(names[0], center_label)] + list(zip(names[1:], leaf_labels))
@@ -158,4 +166,6 @@ def clique_pattern(labels: Sequence[Label], name: str = "") -> Pattern:
         for i in range(len(names))
         for j in range(i + 1, len(names))
     ]
-    return Pattern.from_edges(list(zip(names, labels)), edges, name=name or f"clique{len(labels)}")
+    return Pattern.from_edges(
+        list(zip(names, labels)), edges, name=name or f"clique{len(labels)}"
+    )

@@ -20,12 +20,12 @@ from .labeled_graph import LabeledGraph, Vertex
 
 def _initial_classes(graph: LabeledGraph) -> Dict[Vertex, Tuple]:
     """Per-vertex invariant: (label, degree)."""
-    return {
-        v: (repr(graph.label_of(v)), graph.degree(v)) for v in graph.vertices()
-    }
+    return {v: (repr(graph.label_of(v)), graph.degree(v)) for v in graph.vertices()}
 
 
-def _refine_classes(graph: LabeledGraph, classes: Dict[Vertex, Tuple]) -> Dict[Vertex, Tuple]:
+def _refine_classes(
+    graph: LabeledGraph, classes: Dict[Vertex, Tuple]
+) -> Dict[Vertex, Tuple]:
     """Iteratively refine vertex classes by multiset of neighbor classes.
 
     This is 1-dimensional Weisfeiler-Leman color refinement; it converges in
@@ -41,7 +41,10 @@ def _refine_classes(graph: LabeledGraph, classes: Dict[Vertex, Tuple]) -> Dict[V
             refined[v] = (current[v], neighbor_signature)
         if len(set(refined.values())) == len(set(current.values())):
             # No new splits; compress back to stable ranks.
-            ranks = {sig: i for i, sig in enumerate(sorted(set(map(repr, current.values()))))}
+            ranks = {
+                sig: i
+                for i, sig in enumerate(sorted(set(map(repr, current.values()))))
+            }
             return {v: (ranks[repr(current[v])],) for v in graph.vertices()}
         current = refined
     ranks = {sig: i for i, sig in enumerate(sorted(set(map(repr, current.values()))))}

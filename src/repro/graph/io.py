@@ -48,7 +48,9 @@ def parse_lg(text: str, name: str = "") -> LabeledGraph:
         kind = parts[0]
         if kind == "v":
             if len(parts) < 3:
-                raise DatasetError(f"line {line_number}: vertex line needs 'v id label'")
+                raise DatasetError(
+                    f"line {line_number}: vertex line needs 'v id label'"
+                )
             graph.add_vertex(_parse_vertex_id(parts[1]), parts[2])
         elif kind == "e":
             if len(parts) < 3:
@@ -102,35 +104,113 @@ def save_pattern(pattern: Pattern, path: PathLike) -> None:
     save_graph(pattern.graph, path)
 
 
-def parse_update_stream(text: str) -> List[tuple]:
-    """Parse a graph-update stream (``.lg``-style ``v`` / ``e`` lines).
+class _StreamState:
+    """Simulated graph state while validating an update stream.
+
+    Without a ``base`` graph the simulation has partial knowledge: a
+    vertex or edge the stream never mentioned *may* exist in whatever
+    base graph the stream will be applied to, so first mentions are
+    trusted ("assumed from base") and only stream-internal contradictions
+    are rejected.  With ``base`` provided the initial state is known
+    exactly and every check becomes strict.
+    """
+
+    def __init__(self, base) -> None:
+        self.strict = base is not None
+        # vertex -> label for known-present vertices.
+        self.labels: dict = {}
+        # edge -> True (known present) / False (known absent).
+        self.edges: dict = {}
+        # vertex -> set of known-present incident edges.
+        self.incident: dict = {}
+        # Vertices known absent (deleted and not re-added).
+        self.absent: set = set()
+        # edge -> line of the insertion / deletion that set its state.
+        self.edge_line: dict = {}
+        # Edges the base graph owns (a sliding window never expires these).
+        self.base_edges: frozenset = frozenset()
+        if base is not None:
+            for vertex in base.vertices():
+                self.labels[vertex] = base.label_of(vertex)
+                self.incident[vertex] = set()
+            for u, v in base.edges():
+                edge = normalize_edge(u, v)
+                self.edges[edge] = True
+                self.incident[u].add(edge)
+                self.incident[v].add(edge)
+            self.base_edges = frozenset(self.edges)
+
+    def set_edge(self, edge, present: bool, line: int) -> None:
+        self.edges[edge] = present
+        self.edge_line[edge] = line
+        for endpoint in edge:
+            bucket = self.incident.setdefault(endpoint, set())
+            if present:
+                bucket.add(edge)
+            else:
+                bucket.discard(edge)
+
+
+def parse_update_stream(text: str, base=None, window: bool = False) -> List[tuple]:
+    """Parse a graph-update stream (``.lg``-style mutation lines).
 
     Each line is one update op, applied in file order by the dynamic
     mining layer (:mod:`repro.mining.dynamic`):
 
-        v <vertex-id> <label>     -> ("v", vertex, label)
-        e <vertex-id> <vertex-id> -> ("e", u, v)
+        v <vertex-id> <label>      -> ("v", vertex, label)    insert vertex
+        e <vertex-id> <vertex-id>  -> ("e", u, v)             insert edge
+        de <vertex-id> <vertex-id> -> ("de", u, v)            delete edge
+        dv <vertex-id>             -> ("dv", vertex)          delete vertex
 
     Blank lines, ``#`` comments and ``t`` headers are skipped, exactly as
     in :func:`parse_lg` — so any well-formed ``.lg`` file is also a valid
     update stream that replays the graph it describes.
 
-    The stream is validated eagerly, so malformed input fails here with a
-    line-numbered :class:`~repro.errors.DatasetError` instead of a raw
-    exception (or silent no-op) halfway through replay:
+    The stream is validated eagerly by simulating the graph state it
+    implies, so malformed input fails here with a line-numbered
+    :class:`~repro.errors.DatasetError` instead of a raw exception (or
+    silent no-op) halfway through replay:
 
     * malformed records — missing tokens, unknown record kinds;
-    * self-loop edge insertions (``e x x`` — outside the graph model);
-    * duplicate edge insertions (``e u v`` twice, in either endpoint
-      order — the stream protocol is insertion-only, so the second
-      insertion can only be a mistake);
+    * self-loop edges (``e x x`` / ``de x x`` — outside the graph model);
+    * duplicate insertions of a live edge (either endpoint order — legal
+      again once the edge has been deleted in between);
     * conflicting re-declarations of a vertex with a different label
       (re-declaring with the *same* label stays legal, so concatenated
-      ``.lg`` fragments that repeat their vertex preamble still parse).
+      ``.lg`` fragments that repeat their vertex preamble still parse);
+    * deleting an edge or vertex the stream knows to be absent, touching
+      a deleted vertex, and **vertex deletion with live incident edges**
+      (the stream protocol requires the explicit ``de`` records first).
+
+    Pass the ``base`` graph the stream will be applied to and the
+    simulation starts from its exact vertex/edge state, upgrading every
+    check to strict: inserting an edge the base already has, deleting
+    anything the base never had, or referencing an unknown vertex all
+    fail with the offending line.  Without ``base``, facts the stream
+    never established are trusted (assumed to come from the base graph).
+
+    ``window=True`` declares that the replay runs under a sliding window
+    (:func:`repro.mining.dynamic.mine_stream` with ``window=N``), which
+    may expire stream-inserted edges at any point the static simulation
+    cannot see.  Exactly the checks expiry can falsify are relaxed:
+    re-inserting a present edge (it may have expired) and deleting a
+    vertex whose only live incident edges are stream-inserted (they may
+    have expired; base-graph edges never expire, so those still block).
+    Everything window-independent — unknown vertices, relabels, deleting
+    an edge that never existed, double deletions — stays enforced.
     """
     updates: List[tuple] = []
-    declared_labels: dict = {}
-    inserted_edges: dict = {}
+    state = _StreamState(base)
+
+    def fail(line_number: int, message: str) -> None:
+        raise DatasetError(f"line {line_number}: {message}")
+
+    def endpoint_check(line_number: int, vertex) -> None:
+        if vertex in state.absent:
+            fail(line_number, f"vertex {vertex!r} was deleted earlier in the stream")
+        if state.strict and vertex not in state.labels:
+            fail(line_number, f"unknown vertex {vertex!r} (not in the base graph)")
+
     for line_number, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line or line.startswith("#") or line.startswith("t "):
@@ -139,48 +219,93 @@ def parse_update_stream(text: str) -> List[tuple]:
         kind = parts[0]
         if kind == "v":
             if len(parts) < 3:
-                raise DatasetError(f"line {line_number}: vertex line needs 'v id label'")
+                fail(line_number, "vertex line needs 'v id label'")
             vertex, label = _parse_vertex_id(parts[1]), parts[2]
-            previous = declared_labels.get(vertex)
+            previous = state.labels.get(vertex)
             if previous is not None and previous != label:
-                raise DatasetError(
-                    f"line {line_number}: vertex {vertex!r} re-declared with "
-                    f"label {label!r} (was {previous!r})"
+                fail(
+                    line_number,
+                    f"vertex {vertex!r} re-declared with label {label!r} "
+                    f"(was {previous!r})",
                 )
-            declared_labels[vertex] = label
+            state.labels[vertex] = label
+            state.absent.discard(vertex)  # re-adding a deleted vertex is legal
             updates.append(("v", vertex, label))
-        elif kind == "e":
+        elif kind in ("e", "de"):
             if len(parts) < 3:
-                raise DatasetError(f"line {line_number}: edge line needs 'e u v'")
+                fail(line_number, f"edge line needs '{kind} u v'")
             u = _parse_vertex_id(parts[1])
             v = _parse_vertex_id(parts[2])
             if u == v:
-                raise DatasetError(
-                    f"line {line_number}: self loop on vertex {u!r} "
-                    "(the graph model requires u != v)"
+                fail(
+                    line_number,
+                    f"self loop on vertex {u!r} (the graph model requires u != v)",
                 )
+            endpoint_check(line_number, u)
+            endpoint_check(line_number, v)
             edge = normalize_edge(u, v)
-            first = inserted_edges.get(edge)
-            if first is not None:
-                raise DatasetError(
-                    f"line {line_number}: duplicate insertion of edge "
-                    f"({u!r}, {v!r}) (first inserted at line {first})"
+            present = state.edges.get(edge)
+            if kind == "e":
+                if present is True and not window:
+                    where = state.edge_line.get(edge)
+                    origin = f"at line {where}" if where else "in the base graph"
+                    fail(
+                        line_number,
+                        f"duplicate insertion of edge ({u!r}, {v!r}) "
+                        f"(already present {origin})",
+                    )
+                state.set_edge(edge, True, line_number)
+                updates.append(("e", u, v))
+            else:
+                if present is False or (present is None and state.strict):
+                    where = state.edge_line.get(edge)
+                    origin = f"deleted at line {where}" if where else "never inserted"
+                    fail(
+                        line_number,
+                        f"deletion of absent edge ({u!r}, {v!r}) ({origin})",
+                    )
+                state.set_edge(edge, False, line_number)
+                updates.append(("de", u, v))
+        elif kind == "dv":
+            if len(parts) < 2:
+                fail(line_number, "vertex deletion line needs 'dv id'")
+            vertex = _parse_vertex_id(parts[1])
+            if vertex in state.absent:
+                fail(line_number, f"vertex {vertex!r} was already deleted")
+            if state.strict and vertex not in state.labels:
+                fail(line_number, f"unknown vertex {vertex!r} (not in the base graph)")
+            live = state.incident.get(vertex) or set()
+            if window:
+                # Stream-inserted edges may have expired by now; only
+                # base-graph edges (which never expire) still block.
+                live = {e for e in live if e in state.base_edges}
+            if live:
+                edge = sorted(live, key=repr)[0]
+                fail(
+                    line_number,
+                    f"vertex {vertex!r} still has {len(live)} live incident "
+                    f"edge(s), e.g. {edge!r}; delete them first with 'de'",
                 )
-            inserted_edges[edge] = line_number
-            updates.append(("e", u, v))
+            state.labels.pop(vertex, None)
+            state.absent.add(vertex)
+            updates.append(("dv", vertex))
         else:
-            raise DatasetError(
-                f"line {line_number}: unknown update kind {kind!r} (expected v/e)"
-            )
+            fail(line_number, f"unknown update kind {kind!r} (expected v/e/de/dv)")
     return updates
 
 
-def load_update_stream(path: PathLike) -> List[tuple]:
-    """Load an update stream from a ``v``/``e`` line file."""
+def load_update_stream(path: PathLike, base=None, window: bool = False) -> List[tuple]:
+    """Load an update stream from a mutation-line file.
+
+    ``base`` (a :class:`LabeledGraph`) enables strict validation against
+    the graph the stream will be applied to; ``window`` relaxes exactly
+    the checks a sliding-window replay can falsify — see
+    :func:`parse_update_stream`.
+    """
     path = Path(path)
     if not path.exists():
         raise DatasetError(f"update stream file not found: {path}")
-    return parse_update_stream(path.read_text())
+    return parse_update_stream(path.read_text(), base=base, window=window)
 
 
 def parse_edge_list(

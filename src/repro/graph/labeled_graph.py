@@ -122,7 +122,9 @@ class LabeledGraph:
         if self._observers:
             from ..index.delta import VertexAdded
 
-            self._publish(VertexAdded(version=self._version, vertex=vertex, label=label))
+            self._publish(
+                VertexAdded(version=self._version, vertex=vertex, label=label)
+            )
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add the undirected edge ``(u, v)``.  Idempotent for existing edges."""
@@ -187,7 +189,9 @@ class LabeledGraph:
         if self._observers:
             from ..index.delta import VertexRemoved
 
-            self._publish(VertexRemoved(version=self._version, vertex=vertex, label=label))
+            self._publish(
+                VertexRemoved(version=self._version, vertex=vertex, label=label)
+            )
 
     # ------------------------------------------------------------------
     # queries

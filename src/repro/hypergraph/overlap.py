@@ -139,9 +139,7 @@ class OverlapGraph:
     def complement_adjacency(self) -> Dict[int, Set[int]]:
         """Adjacency of the complement graph (used by clique-based solvers)."""
         node_set = set(self.nodes)
-        return {
-            node: node_set - self.adjacency[node] - {node} for node in self.nodes
-        }
+        return {node: node_set - self.adjacency[node] - {node} for node in self.nodes}
 
 
 def _candidate_pairs_from_incidence(
@@ -172,7 +170,9 @@ def occurrence_overlap_graph(
     candidate pairs (both semantics imply a shared vertex).
     """
     if kind not in OVERLAP_KINDS:
-        raise ValueError(f"unknown overlap kind {kind!r}; expected one of {OVERLAP_KINDS}")
+        raise ValueError(
+            f"unknown overlap kind {kind!r}; expected one of {OVERLAP_KINDS}"
+        )
     adjacency: Dict[int, Set[int]] = {occ.index: set() for occ in occurrences}
     by_index = {occ.index: occ for occ in occurrences}
 

@@ -6,6 +6,8 @@ See :mod:`repro.index.graph_index` for the design notes,
 """
 
 from .delta import (
+    INSERTION_DELTAS,
+    PATCHABLE_DELTAS,
     EdgeAdded,
     EdgeRemoved,
     GraphDelta,
@@ -25,5 +27,7 @@ __all__ = [
     "EdgeAdded",
     "EdgeRemoved",
     "VertexRemoved",
+    "INSERTION_DELTAS",
+    "PATCHABLE_DELTAS",
     "IndexMaintainer",
 ]

@@ -3,10 +3,12 @@
 PR 1's :class:`~repro.index.graph_index.GraphIndex` treated every graph
 mutation as total invalidation: the version counter moved, so the next
 ``get_index`` call rebuilt the whole index from scratch.  For a dynamic
-data graph receiving a stream of edge insertions that is O(|V| + |E|)
-work per update.  This module follows the dynamic query-evaluation
-direction (Berkholz et al., arXiv:1702.08764): maintain the materialized
-structure *under* the update stream instead of recomputing it.
+data graph receiving a stream of updates that is O(|V| + |E|) work per
+update.  This module follows the dynamic query-evaluation direction
+(Berkholz et al., arXiv:1702.08764): maintain the materialized structure
+*under* the update stream instead of recomputing it — and, as that work
+argues, handle deletions symmetrically to insertions, or real update
+streams (which mix both) degenerate back to recomputation.
 
 Three pieces cooperate:
 
@@ -17,18 +19,21 @@ Three pieces cooperate:
   stamped with the post-mutation version, so a contiguous delta run is a
   faithful replay of the version counter;
 * **O(delta) patching** — ``GraphIndex.apply_delta`` splices a single
-  insertion into the inverted lists, label-pair edge lists, and
-  degree/neighbor-label signatures, preserving the canonical (``repr``)
-  orders, so a patched index is structurally identical to one rebuilt
-  from scratch (pinned by ``tests/test_delta_maintenance.py``);
+  update into the inverted lists, label-pair edge lists, and
+  degree/neighbor-label signatures: insertions splice *in* at the
+  canonical (``repr``) position, removals splice *out* (deleting entries
+  that empty), so a patched index is structurally identical to one
+  rebuilt from scratch either way (pinned by
+  ``tests/test_delta_maintenance.py``);
 * **:class:`IndexMaintainer`** — subscribes to a graph, buffers its
   deltas, and on :meth:`IndexMaintainer.index` brings the maintained
-  index current: patching when the buffered run is contiguous and
-  insertion-only, falling back to a full rebuild for removals or any
-  observation gap (e.g. after :meth:`IndexMaintainer.detach`).  Bursts
-  of rebuild-triggering deltas coalesce into one deferred rebuild: the
-  first removal drops the buffer and later deltas are absorbed without
-  being stored, so N removals cost O(1) state and a single rebuild.
+  index current: patching when the buffered run is contiguous, falling
+  back to a full rebuild only for observation gaps (e.g. after
+  :meth:`IndexMaintainer.detach`) or bursts larger than the graph itself,
+  where a rebuild is the cheaper move.  Oversized bursts coalesce into
+  one deferred rebuild: crossing the patch limit drops the buffer and
+  later deltas are absorbed without being stored, so an arbitrarily long
+  burst costs O(1) maintained state and a single rebuild.
 
 The maintainer re-caches the patched index on the graph itself, so every
 hot path that resolves indexes through ``get_index`` transparently sees
@@ -39,10 +44,10 @@ own rebuild-on-stale behavior remains the reference path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from ..graph.labeled_graph import Label, LabeledGraph, Vertex
-from .graph_index import GraphIndex, get_index
+from .graph_index import GraphIndex, _label_pair_key, get_index
 
 
 @dataclass(frozen=True)
@@ -66,8 +71,8 @@ class VertexAdded(GraphDelta):
 
 
 @dataclass(frozen=True)
-class EdgeAdded(GraphDelta):
-    """A new undirected edge joined the graph (endpoint labels included)."""
+class _EdgeDelta(GraphDelta):
+    """Shared shape of the edge deltas (endpoint labels included)."""
 
     u: Vertex
     v: Vertex
@@ -75,20 +80,18 @@ class EdgeAdded(GraphDelta):
     label_v: Label
 
     def label_pair(self) -> Tuple[Label, Label]:
-        """Canonical unordered label pair of the new edge's endpoints."""
-        from .graph_index import _label_pair_key
-
+        """Canonical unordered label pair of the touched edge's endpoints."""
         return _label_pair_key(self.label_u, self.label_v)
 
 
 @dataclass(frozen=True)
-class EdgeRemoved(GraphDelta):
-    """An undirected edge left the graph."""
+class EdgeAdded(_EdgeDelta):
+    """A new undirected edge joined the graph."""
 
-    u: Vertex
-    v: Vertex
-    label_u: Label
-    label_v: Label
+
+@dataclass(frozen=True)
+class EdgeRemoved(_EdgeDelta):
+    """An undirected edge left the graph."""
 
 
 @dataclass(frozen=True)
@@ -99,12 +102,16 @@ class VertexRemoved(GraphDelta):
     label: Label
 
 
-#: Delta kinds a GraphIndex can absorb in O(delta).  Removals are not in
-#: this set by design: under the paper's anti-monotone support measures an
-#: insertion-only stream keeps every maintained quantity monotone, while a
-#: removal may shrink arbitrary derived state — the maintainer answers
-#: removals with a full rebuild instead (see :class:`IndexMaintainer`).
+#: Insertion-shaped delta kinds.  Kept as a named subset because the
+#: growing direction still has special structure (supports are monotone
+#: under it); the index itself patches the full :data:`PATCHABLE_DELTAS`.
 INSERTION_DELTAS = (VertexAdded, EdgeAdded)
+
+#: Delta kinds a GraphIndex can absorb in O(delta).  Removals patch as
+#: the exact inverse splices of insertions — ``remove_vertex`` publishes
+#: the incident ``EdgeRemoved`` deltas before its ``VertexRemoved``, so a
+#: contiguous replay only ever removes isolated vertices from the index.
+PATCHABLE_DELTAS = (VertexAdded, EdgeAdded, EdgeRemoved, VertexRemoved)
 
 AnyDelta = Union[VertexAdded, EdgeAdded, EdgeRemoved, VertexRemoved]
 
@@ -121,19 +128,20 @@ class IndexMaintainer:
     2. adopting the graph's cached index when some other caller already
        rebuilt it (interleaved reads through ``get_index`` stay cheap);
     3. **patching** the maintained index in O(delta) when the buffered
-       deltas form a contiguous, insertion-only run up to the graph's
-       current version;
-    4. rebuilding from scratch otherwise — a removal in the run, an
-       observation gap (attached late, detached in between), or a buffer
-       that cannot replay the version counter exactly.
+       deltas form a contiguous run up to the graph's current version —
+       insertions and removals alike;
+    4. rebuilding from scratch otherwise — an observation gap (attached
+       late, detached in between, a buffer that cannot replay the version
+       counter exactly) or a burst that outgrew the patch limit.
 
-    Rebuild-triggering deltas are **coalesced at observation time**: the
-    first removal in a run marks a single deferred rebuild, drops the now
-    superseded buffer, and every further delta of the burst is absorbed
-    into that pending rebuild without being buffered at all — so a stream
-    of N removals costs O(1) maintained state and exactly one rebuild at
-    the next :meth:`index` call, never one per delta
-    (``deltas_coalesced`` counts the absorbed deltas).
+    The **patch limit** bounds buffered state: once a run grows past
+    ``patch_limit`` deltas (default: ``max(64, |V| + |E|)``, the point
+    where replaying the run stops being cheaper than one rebuild), the
+    buffer is dropped, a single rebuild is deferred, and every further
+    delta of the burst is absorbed without being stored — so an
+    arbitrarily long burst costs O(1) maintained state and exactly one
+    rebuild at the next :meth:`index` call (``deltas_coalesced`` counts
+    the absorbed deltas).
 
     The returned index is re-cached on the graph, so subsequent
     ``get_index`` calls (matcher, miner, overlap graphs …) reuse it.
@@ -146,40 +154,51 @@ class IndexMaintainer:
         "_observer",
         "_attached",
         "_index",
+        "_patch_limit",
         "_rebuild_pending",
         "patches_applied",
         "rebuilds",
         "deltas_coalesced",
     )
 
-    def __init__(self, graph: LabeledGraph) -> None:
+    def __init__(self, graph: LabeledGraph, patch_limit: Optional[int] = None) -> None:
+        if patch_limit is not None and patch_limit < 1:
+            raise ValueError("patch_limit must be a positive delta count")
         self.graph = graph
         self._buffer: List[AnyDelta] = []
         self._observer = graph.subscribe(self._observe)
         self._attached = True
         self._index = get_index(graph)
+        self._patch_limit = patch_limit
         self._rebuild_pending = False
         self.patches_applied = 0
         self.rebuilds = 0
         self.deltas_coalesced = 0
 
-    def _observe(self, delta: AnyDelta) -> None:
-        """Buffer one published delta, folding rebuild bursts into one.
+    def _effective_patch_limit(self) -> int:
+        if self._patch_limit is not None:
+            return self._patch_limit
+        return max(64, self.graph.num_vertices + self.graph.num_edges)
 
-        Once a rebuild is pending, every subsequent delta — removal or
-        insertion — is already covered by that rebuild (it reads the
-        graph's final state), so nothing further is buffered until the
-        rebuild is served.
+    def _observe(self, delta: AnyDelta) -> None:
+        """Buffer one published delta, folding oversized bursts into one rebuild.
+
+        Once a rebuild is pending, every subsequent delta is already
+        covered by that rebuild (it reads the graph's final state), so
+        nothing further is buffered until the rebuild is served.
         """
         if self._rebuild_pending:
             self.deltas_coalesced += 1
             return
-        if isinstance(delta, INSERTION_DELTAS):
+        if isinstance(delta, PATCHABLE_DELTAS):
             self._buffer.append(delta)
-            return
-        # First removal of a burst: the buffered insertions are superseded
-        # by the deferred rebuild along with the removal itself.
-        self.deltas_coalesced += len(self._buffer) + 1
+            if len(self._buffer) <= self._effective_patch_limit():
+                return
+        # Unknown delta kind, or the burst outgrew the patch limit: the
+        # buffered run is superseded by one deferred rebuild.
+        self.deltas_coalesced += len(self._buffer) + (
+            0 if isinstance(delta, PATCHABLE_DELTAS) else 1
+        )
         self._buffer.clear()
         self._rebuild_pending = True
 
@@ -232,7 +251,7 @@ class IndexMaintainer:
         self._rebuild_pending = False
 
     def _patchable(self, deltas: List[AnyDelta], target: int) -> bool:
-        """True when ``deltas`` is a contiguous insertion-only replay to ``target``."""
+        """True when ``deltas`` is a contiguous patchable replay to ``target``."""
         if not self._attached or not deltas:
             return False
         if deltas[0].version != self._index.version + 1:
@@ -241,7 +260,7 @@ class IndexMaintainer:
             return False
         if any(b.version != a.version + 1 for a, b in zip(deltas, deltas[1:])):
             return False
-        return all(isinstance(d, INSERTION_DELTAS) for d in deltas)
+        return all(isinstance(d, PATCHABLE_DELTAS) for d in deltas)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "attached" if self._attached else "detached"

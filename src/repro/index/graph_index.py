@@ -21,9 +21,10 @@ Each :class:`LabeledGraph` carries a version counter bumped on every
 mutation; :func:`get_index` caches the index on the graph itself and
 transparently rebuilds after mutations, so "build once per mining session,
 reuse across all candidates" is automatic.  Indexes never drift from their
-graph: they either match its version exactly or are replaced.  Under a
-stream of *insertions* a full rebuild is avoidable — :meth:`apply_delta`
-patches the index in O(delta) per update, and
+graph: they either match its version exactly or are replaced.  Under an
+update stream — insertions *and* deletions — a full rebuild is avoidable:
+:meth:`apply_delta` patches the index in O(delta) per update (canonical
+splice-in for additions, the inverse splice-out for removals), and
 :class:`repro.index.delta.IndexMaintainer` drives that from the graph's
 mutation-observer hook.
 
@@ -48,6 +49,17 @@ def _insert_canonical(members: Tuple, item) -> Tuple:
     return members[:position] + (item,) + members[position:]
 
 
+def _remove_canonical(members: Tuple, item) -> Tuple:
+    """Splice ``item`` out of a repr-sorted tuple, preserving canonical order."""
+    position = bisect_left(members, repr(item), key=repr)
+    while position < len(members) and members[position] != item:
+        # repr ties (distinct items with equal repr) are broken linearly.
+        position += 1
+    if position == len(members):
+        raise KeyError(item)
+    return members[:position] + members[position + 1 :]
+
+
 def _label_pair_key(lu: Label, lv: Label) -> Tuple[Label, Label]:
     """Canonical (repr-sorted) form of an unordered label pair."""
     return (lu, lv) if repr(lu) <= repr(lv) else (lv, lu)
@@ -59,8 +71,8 @@ class GraphIndex:
     Build with :meth:`build` (or the cached :func:`get_index`).  The index
     never mutates the graph; :meth:`is_current` reports whether the graph
     has changed since the snapshot was taken.  A stale index can be
-    brought current either by rebuilding or — for insertion deltas — by
-    :meth:`apply_delta` patching in O(delta).
+    brought current either by rebuilding or by :meth:`apply_delta`
+    patching one typed delta — insertion or removal — in O(delta).
     """
 
     __slots__ = (
@@ -144,20 +156,35 @@ class GraphIndex:
         a vertex splices into its label's inverted list, an edge splices
         into its label-pair edge list and both endpoints' neighbor-label
         buckets — all at the canonical (``repr``-sorted) position, so the
-        patched index is structurally identical to a rebuilt one.  The
-        index version advances to the delta's version; callers must apply
-        deltas contiguously (:class:`~repro.index.delta.IndexMaintainer`
-        enforces this).
+        patched index is structurally identical to a rebuilt one.
 
-        Returns ``False`` for removal deltas, which this index does not
-        patch — the caller falls back to :meth:`build`.
+        Removals (:class:`~repro.index.delta.EdgeRemoved`,
+        :class:`~repro.index.delta.VertexRemoved`) are the exact inverse
+        splices: an edge leaves its label-pair edge list and both
+        endpoints' neighbor-label buckets (entries that empty are deleted
+        outright, exactly as a rebuild would never create them); a vertex
+        leaves its label's inverted list and drops its signature state.
+        A ``VertexRemoved`` delta is only sound once the vertex is
+        isolated — the publisher emits the incident ``EdgeRemoved`` deltas
+        first, so a contiguous replay is always in that order.
+
+        The index version advances to the delta's version; callers must
+        apply deltas contiguously
+        (:class:`~repro.index.delta.IndexMaintainer` enforces this).
+
+        Returns ``False`` for delta kinds this index cannot patch — the
+        caller falls back to :meth:`build`.
         """
-        from .delta import EdgeAdded, VertexAdded
+        from .delta import EdgeAdded, EdgeRemoved, VertexAdded, VertexRemoved
 
         if isinstance(delta, VertexAdded):
             self._apply_vertex_added(delta.vertex, delta.label)
         elif isinstance(delta, EdgeAdded):
             self._apply_edge_added(delta.u, delta.v, delta.label_u, delta.label_v)
+        elif isinstance(delta, EdgeRemoved):
+            self._apply_edge_removed(delta.u, delta.v, delta.label_u, delta.label_v)
+        elif isinstance(delta, VertexRemoved):
+            self._apply_vertex_removed(delta.vertex, delta.label)
         else:
             return False
         self.version = delta.version
@@ -189,6 +216,46 @@ class GraphIndex:
         signature_v[lu] = signature_v.get(lu, 0) + 1
         self._degrees[u] += 1
         self._degrees[v] += 1
+
+    def _apply_edge_removed(self, u: Vertex, v: Vertex, lu: Label, lv: Label) -> None:
+        pair = _label_pair_key(lu, lv)
+        remaining = _remove_canonical(self._edges_by_pair[pair], normalize_edge(u, v))
+        if remaining:
+            self._edges_by_pair[pair] = remaining
+        else:
+            # A rebuild never materializes empty entries: the pair leaves
+            # the edge map and (both orders of) the adjacency set.
+            del self._edges_by_pair[pair]
+            self._label_pairs = self._label_pairs - {(lu, lv), (lv, lu)}
+        for vertex, other, other_label in ((u, v, lv), (v, u, lu)):
+            buckets = self._neighbors_by_label[vertex]
+            shrunk = _remove_canonical(buckets[other_label], other)
+            signature = self._signatures[vertex]
+            if shrunk:
+                buckets[other_label] = shrunk
+                signature[other_label] -= 1
+            else:
+                del buckets[other_label]
+                del signature[other_label]
+            self._degrees[vertex] -= 1
+
+    def _apply_vertex_removed(self, vertex: Vertex, label: Label) -> None:
+        if self._degrees[vertex] != 0:
+            raise ValueError(
+                f"VertexRemoved({vertex!r}) patched while the vertex still has "
+                f"{self._degrees[vertex]} indexed edges; the publisher must emit "
+                "the incident EdgeRemoved deltas first"
+            )
+        remaining = _remove_canonical(self._label_list[label], vertex)
+        if remaining:
+            self._label_list[label] = remaining
+            self._histogram[label] -= 1
+        else:
+            del self._label_list[label]
+            del self._histogram[label]
+        del self._neighbors_by_label[vertex]
+        del self._signatures[vertex]
+        del self._degrees[vertex]
 
     # ------------------------------------------------------------------
     # inverted lists

@@ -51,7 +51,9 @@ def _matching_order(pattern: Pattern, data: Optional[LabeledGraph]) -> List[Vert
     graph = pattern.graph
     if data is not None:
         histogram = data.label_histogram()
-        rarity = {node: histogram.get(graph.label_of(node), 0) for node in graph.vertices()}
+        rarity = {
+            node: histogram.get(graph.label_of(node), 0) for node in graph.vertices()
+        }
     else:
         rarity = {node: 0 for node in graph.vertices()}
 

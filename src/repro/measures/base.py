@@ -46,7 +46,9 @@ def register_measure(
     anti_monotonic: bool,
     complexity: str,
     description: str,
-) -> Callable[[Callable[[HypergraphBundle], float]], Callable[[HypergraphBundle], float]]:
+) -> Callable[
+    [Callable[[HypergraphBundle], float]], Callable[[HypergraphBundle], float]
+]:
     """Decorator registering a bundle-based measure function under ``name``."""
 
     def decorator(func: Callable[[HypergraphBundle], float]):
@@ -100,4 +102,14 @@ def compute_support(
 
 def _ensure_loaded() -> None:
     """Import all measure modules so their registrations run."""
-    from . import counts, mni, mi, mvc, mis, mies, mcp, relaxations, extensions  # noqa: F401
+    from . import (  # noqa: F401
+        counts,
+        extensions,
+        mcp,
+        mi,
+        mies,
+        mis,
+        mni,
+        mvc,
+        relaxations,
+    )

@@ -33,9 +33,7 @@ def greedy_independent_edge_set(hypergraph: Hypergraph) -> List[EdgeLabel]:
     return kept
 
 
-def _packing_upper_bound(
-    edges: Sequence[Tuple[EdgeLabel, FrozenSet[HVertex]]]
-) -> int:
+def _packing_upper_bound(edges: Sequence[Tuple[EdgeLabel, FrozenSet[HVertex]]]) -> int:
     """Cheap bound: a fractional-style cap via vertex multiplicities.
 
     Each vertex can serve at most one selected edge, so the packing size is
@@ -122,7 +120,9 @@ def mies_support_of(hypergraph: Hypergraph, budget: int = 2_000_000) -> int:
     return len(maximum_independent_edge_set(hypergraph, budget=budget))
 
 
-def is_independent_edge_set(hypergraph: Hypergraph, labels: Sequence[EdgeLabel]) -> bool:
+def is_independent_edge_set(
+    hypergraph: Hypergraph, labels: Sequence[EdgeLabel]
+) -> bool:
     """Check pairwise disjointness of the edges named by ``labels``."""
     used: Set[HVertex] = set()
     for label in labels:

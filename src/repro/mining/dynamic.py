@@ -6,50 +6,78 @@ answer *under a stream of updates*: mutate the data graph, call
 :meth:`DynamicMiner.refresh`, and the frequent-pattern set is brought
 current — without re-evaluating patterns the updates cannot have touched.
 
-Two observations make that sound for an **insertion-only** stream under
-the paper's anti-monotone support measures:
+Two observations make that sound for a **mixed insert/delete** stream
+under the paper's anti-monotone support measures:
 
-* every *new* occurrence of a pattern ``P`` must map at least one pattern
-  edge onto a newly inserted data edge, so the labels of that data edge
-  form a pair in ``P``'s **label-pair footprint** — a pattern whose
-  footprint is disjoint from the batch's delta pairs has an unchanged
-  occurrence set, and every measure in this library is a pure function of
-  the occurrence set, so its support (and occurrence count) is unchanged;
-* a pattern that was *not* frequent before and has an unaffected footprint
-  cannot be frequent now: unchanged occurrences mean unchanged support,
-  and by anti-monotonicity its parents' supports bound it exactly as they
-  did before.  (This is why the miner refuses non-anti-monotone measures.)
+* every occurrence of a pattern ``P`` *gained or lost* by the batch must
+  map at least one pattern edge onto an inserted or deleted data edge, so
+  the labels of that data edge form a pair in ``P``'s **label-pair
+  footprint** — a pattern whose footprint is disjoint from the batch's
+  touched pairs (inserted and deleted alike) has an unchanged occurrence
+  set, and every measure in this library is a pure function of the
+  occurrence set, so its support (and occurrence count) is unchanged;
+* a pattern that was *not* frequent before and has an unaffected
+  footprint cannot be frequent now: sub-patterns only ever shed edges, so
+  an ancestor's footprint is contained in ``P``'s — an unaffected ``P``
+  has unaffected ancestors, its whole chain of supports is unchanged, and
+  by anti-monotonicity it stays exactly as infrequent as it was.  (This
+  is why the miner refuses non-anti-monotone measures.)
 
 So the refresh re-runs the pattern-growth search but, per candidate:
 known-frequent + unaffected footprint -> **reuse** the cached result;
 unknown + unaffected -> **skip** (provably infrequent); affected ->
 re-evaluate through the shared :func:`repro.mining.parallel.evaluate_support`
-path.  Results are byte-identical to a from-scratch mine of the current
-graph (certificates, supports, occurrence counts — pinned by
-``tests/test_dynamic_mining.py``); only the work differs, which
-``stats.patterns_reused`` / ``stats.patterns_skipped_unaffected`` report.
+path.  Deletions can only shrink supports, so an affected pattern may
+drop out of the frequent set — and its pruned descendants may *resurface*
+after later insertions: the lattice walk regenerates candidates from
+frequent parents each refresh, so revival is automatically bounded to the
+touched footprint (``stats.patterns_revived`` counts patterns that
+re-entered the frequent set on a delta refresh).  Results are
+byte-identical to a from-scratch mine of the current graph (certificates,
+supports, occurrence counts — pinned by ``tests/test_dynamic_mining.py``);
+only the work differs, which ``stats.patterns_reused`` /
+``stats.patterns_skipped_unaffected`` report.
 
-Removals (or an observation gap after :meth:`DynamicMiner.detach`) are
-answered with a full re-mine — the anti-monotone reuse argument only runs
-in the growing direction.  The data graph's index rides along through an
+Observation gaps (e.g. after :meth:`DynamicMiner.detach`) are answered
+with a full re-mine.  The data graph's index rides along through an
 :class:`~repro.index.delta.IndexMaintainer`, so the ``GraphIndex`` is
-patched in O(delta) rather than rebuilt per batch; ``use_index=False``
-keeps the brute-force reference path alive, and rebuild-per-batch via
+patched in O(delta) — insertions and deletions alike — rather than
+rebuilt per batch; ``use_index=False`` keeps the brute-force reference
+path alive, and rebuild-per-batch via
 :func:`repro.mining.miner.mine_frequent_patterns` is the reference mode of
-:func:`mine_stream` (CLI: ``repro-graph mine-stream``).
+:func:`mine_stream` (CLI: ``repro-graph mine-stream``, including the
+sliding-window workload ``--window N`` that expires the oldest live
+stream edges).
 """
 
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..errors import MiningError
 from ..graph.canonical import canonical_certificate
-from ..graph.labeled_graph import Label, LabeledGraph
+from ..graph.labeled_graph import Label, LabeledGraph, normalize_edge
 from ..graph.pattern import Pattern
-from ..index.delta import INSERTION_DELTAS, AnyDelta, EdgeAdded, IndexMaintainer
+from ..index.delta import (
+    PATCHABLE_DELTAS,
+    AnyDelta,
+    EdgeAdded,
+    EdgeRemoved,
+    IndexMaintainer,
+)
 from ..index.graph_index import _label_pair_key
 from ..measures.base import measure_info
 from .extension import adjacent_label_pairs, all_extensions, single_edge_patterns
@@ -59,8 +87,8 @@ from .results import FrequentPattern, MiningResult, MiningStats
 LabelPair = Tuple[Label, Label]
 
 #: A graph update as parsed from an update stream (see
-#: :func:`repro.graph.io.parse_update_stream`): ``("v", vertex, label)``
-#: or ``("e", u, v)``.
+#: :func:`repro.graph.io.parse_update_stream`): ``("v", vertex, label)``,
+#: ``("e", u, v)``, ``("de", u, v)`` or ``("dv", vertex)``.
 GraphUpdate = Tuple
 
 
@@ -71,8 +99,14 @@ def apply_update(graph: LabeledGraph, update: GraphUpdate) -> None:
         graph.add_vertex(update[1], update[2])
     elif kind == "e":
         graph.add_edge(update[1], update[2])
+    elif kind == "de":
+        graph.remove_edge(update[1], update[2])
+    elif kind == "dv":
+        graph.remove_vertex(update[1])
     else:
-        raise MiningError(f"unknown update kind {kind!r} (expected 'v' or 'e')")
+        raise MiningError(
+            f"unknown update kind {kind!r} (expected 'v', 'e', 'de' or 'dv')"
+        )
 
 
 def pattern_footprint(pattern: Pattern) -> FrozenSet[LabelPair]:
@@ -131,6 +165,10 @@ class DynamicMiner:
         self._observer = data.subscribe(self._buffer.append)
         self._attached = True
         self._frequent: Dict[str, FrequentPattern] = {}
+        # Certificates that were frequent in *some* earlier refresh; a
+        # pattern re-entering the frequent set after deletions pruned it
+        # is a revival (stats.patterns_revived), a first appearance not.
+        self._ever_frequent: Set[str] = set()
         self._footprints: Dict[str, FrozenSet[LabelPair]] = {}
         # Candidate generation re-creates literally identical pattern
         # objects every refresh; their canonical certificates are the
@@ -179,6 +217,7 @@ class DynamicMiner:
         delta_pairs = self._consume_deltas(target)
         result = self._mine(delta_pairs)
         self._frequent = {fp.certificate: fp for fp in result.frequent}
+        self._ever_frequent.update(self._frequent)
         self._synced_version = target
         self._last_result = result
         return result
@@ -189,8 +228,15 @@ class DynamicMiner:
     def _consume_deltas(self, target: int) -> Optional[Set[LabelPair]]:
         """Canonical label pairs touched since the last refresh.
 
-        ``None`` means "treat everything as affected" — first refresh, a
-        removal in the stream, or any gap in observation (detached, or a
+        Inserted and deleted edges both contribute their pair: any
+        occurrence gained *or* lost must use a touched data edge.  Vertex
+        deltas touch no pair — an added or removed isolated vertex cannot
+        appear in any occurrence (patterns have no isolated nodes), and a
+        ``VertexRemoved`` is always preceded by its incident
+        ``EdgeRemoved`` deltas, which carry the pairs.
+
+        ``None`` means "treat everything as affected" — first refresh, an
+        unknown delta kind, or any gap in observation (detached, or a
         buffer that cannot replay the version counter contiguously).
         """
         # The subscribed observer is this list's bound .append — clear in
@@ -208,9 +254,11 @@ class DynamicMiner:
             return None
         if any(b.version != a.version + 1 for a, b in zip(deltas, deltas[1:])):
             return None
-        if not all(isinstance(d, INSERTION_DELTAS) for d in deltas):
+        if not all(isinstance(d, PATCHABLE_DELTAS) for d in deltas):
             return None
-        return {d.label_pair() for d in deltas if isinstance(d, EdgeAdded)}
+        return {
+            d.label_pair() for d in deltas if isinstance(d, (EdgeAdded, EdgeRemoved))
+        }
 
     def _certificate(self, pattern: Pattern) -> str:
         key = pattern.graph.signature()
@@ -272,7 +320,9 @@ class DynamicMiner:
         index = self._maintainer.index() if self._maintainer is not None else None
         label_pairs = adjacent_label_pairs(self.data, index=index)
         histogram = (
-            index.label_histogram() if index is not None else self.data.label_histogram()
+            index.label_histogram()
+            if index is not None
+            else self.data.label_histogram()
         )
         stats = MiningStats()
         frequent: List[FrequentPattern] = []
@@ -298,6 +348,15 @@ class DynamicMiner:
                     continue
                 if evaluated.support >= self.min_support:
                     stats.patterns_frequent += 1
+                    if (
+                        delta_pairs is not None
+                        and certificate not in self._frequent
+                        and certificate in self._ever_frequent
+                    ):
+                        # Frequent again after an earlier refresh pruned
+                        # it — a deletion pushed it out, an insertion
+                        # revived it.
+                        stats.patterns_revived += 1
                     frequent.append(evaluated)
                     for extension in all_extensions(
                         pattern,
@@ -334,6 +393,68 @@ class StreamBatch:
     num_vertices: int
     num_edges: int
     result: MiningResult
+    edges_expired: int = 0
+
+
+class _SlidingWindow:
+    """Expire the oldest live stream-inserted edges beyond a size cap.
+
+    The window tracks edges inserted *by the stream* (base-graph edges
+    never expire) in insertion order.  An explicit ``("de", u, v)`` update
+    retires the edge from the window; re-inserting an edge restarts its
+    age.  :meth:`expire` removes the oldest live edges from the graph
+    until at most ``size`` remain, publishing ordinary ``EdgeRemoved``
+    deltas — so the delta-maintained index and miner see window churn as
+    plain deletions.
+    """
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self._queue: deque = deque()  # (edge, insertion serial)
+        self._live: Dict[Tuple, int] = {}  # edge -> latest insertion serial
+        self._expired: set = set()  # expired, not (yet) re-inserted
+        self._serial = 0
+
+    def supersedes(self, update: GraphUpdate) -> bool:
+        """True when expiry already satisfied this explicit deletion.
+
+        A stream written against the un-windowed replay may delete an
+        edge the window expired first; the record is then vacuously done
+        (the edge is gone) rather than an error — without this, a valid
+        stream could crash mid-replay purely because of the window size.
+        """
+        return update[0] == "de" and (
+            normalize_edge(update[1], update[2]) in self._expired
+        )
+
+    def observe(self, update: GraphUpdate) -> None:
+        kind = update[0]
+        if kind == "e":
+            edge = normalize_edge(update[1], update[2])
+            self._serial += 1
+            self._live[edge] = self._serial
+            self._expired.discard(edge)
+            self._queue.append((edge, self._serial))
+        elif kind == "de":
+            edge = normalize_edge(update[1], update[2])
+            self._live.pop(edge, None)
+            self._expired.discard(edge)
+        elif kind == "dv":
+            vertex = update[1]
+            for edge in [e for e in self._live if vertex in e]:
+                del self._live[edge]
+            self._expired = {e for e in self._expired if vertex not in e}
+
+    def expire(self, graph: LabeledGraph) -> int:
+        expired = 0
+        while len(self._live) > self.size:
+            edge, serial = self._queue.popleft()
+            if self._live.get(edge) == serial:
+                del self._live[edge]
+                self._expired.add(edge)
+                graph.remove_edge(*edge)
+                expired += 1
+        return expired
 
 
 def mine_stream(
@@ -347,10 +468,12 @@ def mine_stream(
     max_pattern_nodes: int = 5,
     max_pattern_edges: int = 6,
     lazy: bool = False,
+    window: Optional[int] = None,
 ) -> Iterator[StreamBatch]:
-    """Mine a growing graph: apply ``updates`` in batches, yield per-batch results.
+    """Mine a live graph: apply ``updates`` in batches, yield per-batch results.
 
-    ``mode`` selects the maintenance strategy:
+    Updates may mix insertions (``v`` / ``e``) and deletions (``de`` /
+    ``dv``).  ``mode`` selects the maintenance strategy:
 
     * ``"delta"`` — :class:`DynamicMiner` with the delta-maintained index
       (the fast path);
@@ -359,6 +482,15 @@ def mine_stream(
     * ``"brute"`` — full re-mine per batch with ``use_index=False``
       (brute-force reference path).
 
+    ``window=N`` turns the replay into a **sliding-window** workload: after
+    each batch, the oldest live stream-inserted edges are removed until at
+    most ``N`` remain (base-graph edges never expire; explicit deletions
+    retire an edge from the window, re-insertions restart its age, and a
+    ``de`` record for an edge the window already expired is vacuously
+    satisfied instead of failing).  Expiry mutates the graph through the
+    ordinary ``remove_edge`` path, so every mode sees identical graphs
+    and ``StreamBatch.edges_expired`` reports the churn per batch.
+
     Batch 0 is the base graph before any update; all three modes yield
     byte-identical results per batch (pinned by the test suite).
     """
@@ -366,6 +498,8 @@ def mine_stream(
         raise MiningError("batch_size must be >= 1")
     if mode not in ("delta", "rebuild", "brute"):
         raise MiningError(f"unknown mine-stream mode {mode!r}")
+    if window is not None and window < 1:
+        raise MiningError("window must be >= 1 (or None for no expiry)")
 
     kwargs = dict(
         measure=measure,
@@ -377,6 +511,7 @@ def mine_stream(
     miner: Optional[DynamicMiner] = None
     if mode == "delta":
         miner = DynamicMiner(data, **kwargs)
+    sliding = _SlidingWindow(window) if window is not None else None
 
     def evaluate() -> MiningResult:
         if miner is not None:
@@ -387,12 +522,31 @@ def mine_stream(
 
     try:
         yield StreamBatch(0, 0, data.num_vertices, data.num_edges, evaluate())
-        for batch_number, start in enumerate(range(0, len(updates), batch_size), start=1):
+        starts = range(0, len(updates), batch_size)
+        for batch_number, start in enumerate(starts, start=1):
             chunk = updates[start : start + batch_size]
             for update in chunk:
+                if sliding is None:
+                    apply_update(data, update)
+                    continue
+                if sliding.supersedes(update):
+                    sliding.observe(update)  # the record is vacuously done
+                    continue
+                # An insertion of an edge the graph already has is an
+                # idempotent no-op; the window must not claim it (it
+                # belongs to the base graph, or keeps its original age).
+                redundant = update[0] == "e" and data.has_edge(update[1], update[2])
                 apply_update(data, update)
+                if not redundant:
+                    sliding.observe(update)
+            expired = sliding.expire(data) if sliding is not None else 0
             yield StreamBatch(
-                batch_number, len(chunk), data.num_vertices, data.num_edges, evaluate()
+                batch_number,
+                len(chunk),
+                data.num_vertices,
+                data.num_edges,
+                evaluate(),
+                expired,
             )
     finally:
         # The miner (and its IndexMaintainer) subscribed to the caller's

@@ -65,9 +65,7 @@ def single_edge_patterns(
     patterns in the same order.
     """
     if index is not None:
-        seeds = [
-            _seed_pattern(lu, lv) for lu, lv in index.distinct_edge_label_pairs()
-        ]
+        seeds = [_seed_pattern(lu, lv) for lu, lv in index.distinct_edge_label_pairs()]
         return sorted(
             seeds, key=lambda p: repr(sorted(p.graph.labels().values(), key=repr))
         )
@@ -80,7 +78,9 @@ def single_edge_patterns(
             continue
         seen.add(key)
         seeds.append(_seed_pattern(lu, lv))
-    return sorted(seeds, key=lambda p: repr(sorted(p.graph.labels().values(), key=repr)))
+    return sorted(
+        seeds, key=lambda p: repr(sorted(p.graph.labels().values(), key=repr))
+    )
 
 
 def forward_extensions(

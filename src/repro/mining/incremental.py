@@ -157,7 +157,8 @@ class IncrementalMiner:
                 for b in nodes[i + 1:]:
                     if pattern.graph.has_edge(a, b):
                         continue
-                    if (pattern.label_of(a), pattern.label_of(b)) not in self._label_pairs:
+                    pair = (pattern.label_of(a), pattern.label_of(b))
+                    if pair not in self._label_pairs:
                         continue
                     child = pattern.extend_with_edge(a, b)
                     children.append(

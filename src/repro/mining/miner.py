@@ -365,7 +365,9 @@ class FrequentSubgraphMiner:
                     )
                 )
             else:
-                shard_partials = [next(partials) for _ in range(payload)]  # type: ignore[arg-type]
+                shard_partials = [
+                    next(partials) for _ in range(payload)
+                ]  # type: ignore[arg-type]
                 if self.lazy:
                     support = float(
                         merge_lazy_partials(shard_partials, cap=self._lazy_cap)

@@ -46,6 +46,7 @@ class MiningStats:
     # Dynamic (delta-maintained) mining only — see repro.mining.dynamic:
     patterns_reused: int = 0
     patterns_skipped_unaffected: int = 0
+    patterns_revived: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -58,6 +59,7 @@ class MiningStats:
             "occurrence_enumerations": self.occurrence_enumerations,
             "patterns_reused": self.patterns_reused,
             "patterns_skipped_unaffected": self.patterns_skipped_unaffected,
+            "patterns_revived": self.patterns_revived,
         }
 
 

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.analysis.report import format_hypergraph, format_occurrence_table, format_table
+from repro.analysis.report import (
+    format_hypergraph,
+    format_occurrence_table,
+    format_table,
+)
 from repro.analysis.spectrum import measure_spectrum, spectrum_report
 from repro.hypergraph.construction import HypergraphBundle
 from repro.isomorphism.matcher import find_occurrences
@@ -61,7 +65,9 @@ class TestSpectrum:
             spectrum.value("bogus")
 
     def test_include_filter(self, fig6):
-        spectrum = measure_spectrum(fig6.pattern, fig6.data_graph, include=["mni", "mi"])
+        spectrum = measure_spectrum(
+            fig6.pattern, fig6.data_graph, include=["mni", "mi"]
+        )
         assert set(spectrum.as_dict()) == {"mni", "mi"}
 
     def test_entries_in_chain_order(self, fig6):

@@ -94,6 +94,82 @@ class TestMineStreamCommand:
         )
         assert f"mode={mode}" in capsys.readouterr().out
 
+    @pytest.fixture()
+    def mixed_stream_files(self, tmp_path):
+        graph_path = tmp_path / "base.lg"
+        updates_path = tmp_path / "mixed.lg"
+        save_graph(path_graph(["a", "b", "a", "b", "a"]), graph_path)
+        updates_path.write_text(
+            "# mixed churn\n"
+            "v 6 b\n"
+            "e 5 6\n"
+            "de 1 2\n"
+            "v 7 a\n"
+            "e 6 7\n"
+            "de 5 6\n"
+            "de 6 7\n"
+            "dv 6\n"
+        )
+        return str(graph_path), str(updates_path)
+
+    def test_mixed_stream_with_deletions(self, mixed_stream_files, capsys):
+        graph_path, updates_path = mixed_stream_files
+        assert (
+            main(
+                [
+                    "mine-stream",
+                    graph_path,
+                    updates_path,
+                    "--batch-size",
+                    "3",
+                    "--min-support",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mine-stream over 8 updates" in out
+        assert "expired" in out
+
+    def test_invalid_deletion_stream_fails_with_line_number(self, tmp_path, capsys):
+        from repro.errors import DatasetError
+
+        graph_path = tmp_path / "base.lg"
+        updates_path = tmp_path / "bad.lg"
+        save_graph(path_graph(["a", "b", "a"]), graph_path)
+        updates_path.write_text("de 1 3\n")  # not an edge of the path 1-2-3
+        with pytest.raises(DatasetError) as excinfo:
+            main(["mine-stream", str(graph_path), str(updates_path)])
+        assert "line 1" in str(excinfo.value)
+        # Windowed runs keep the window-independent checks: deleting an
+        # edge that never existed still fails up front with the line.
+        with pytest.raises(DatasetError) as excinfo:
+            main(["mine-stream", str(graph_path), str(updates_path), "--window", "3"])
+        assert "line 1" in str(excinfo.value)
+
+    def test_sliding_window(self, stream_files, capsys):
+        graph_path, updates_path = stream_files
+        assert (
+            main(
+                [
+                    "mine-stream",
+                    graph_path,
+                    updates_path,
+                    "--batch-size",
+                    "2",
+                    "--window",
+                    "1",
+                    "--min-support",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "window=1" in out
+        assert "frequent patterns after the stream" in out
+
 
 class TestFigureCommand:
     @pytest.mark.parametrize("figure_id", ["fig2", "fig4", "fig6"])

@@ -105,10 +105,10 @@ class TestCommunityGraph:
         assert g.num_vertices == 15
 
     def test_intra_denser_than_inter(self):
-        g = community_graph(2, 10, intra_probability=0.8, inter_probability=0.02, seed=1)
-        intra = sum(
-            1 for u, v in g.edges() if (u // 10) == (v // 10)
+        g = community_graph(
+            2, 10, intra_probability=0.8, inter_probability=0.02, seed=1
         )
+        intra = sum(1 for u, v in g.edges() if (u // 10) == (v // 10))
         inter = g.num_edges - intra
         assert intra > inter
 

@@ -1,13 +1,15 @@
 """Randomized equivalence: delta-patched GraphIndex == rebuilt-from-scratch.
 
 The delta layer (repro.index.delta) patches a cached GraphIndex in
-O(delta) per insertion instead of rebuilding it.  A patched index must be
-*structurally identical* to one rebuilt from scratch — same inverted
-lists in the same canonical order, same label-pair edge lists, same
-degree/neighbor-label signatures, same version — after every batch of a
-randomized update sequence.  Removals, observation gaps, and detached
-observers must fall back to a rebuild and still land on the identical
-structure.  Style and scope mirror ``tests/test_index_equivalence.py``.
+O(delta) per update — insertions *and* removals — instead of rebuilding
+it.  A patched index must be *structurally identical* to one rebuilt
+from scratch — same inverted lists in the same canonical order, same
+label-pair edge lists, same degree/neighbor-label signatures, same
+version — after every batch of a randomized update sequence, mixed
+insert/delete churn included.  Observation gaps, detached observers, and
+bursts past the patch limit must fall back to a (single) rebuild and
+still land on the identical structure.  Style and scope mirror
+``tests/test_index_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from repro.datasets.synthetic import (
     random_labeled_graph,
 )
 from repro.graph.builders import path_pattern
+from repro.graph.labeled_graph import LabeledGraph
 from repro.index import (
     EdgeAdded,
     EdgeRemoved,
@@ -79,6 +82,30 @@ def grow_randomly(graph, rng: random.Random, steps: int, alphabet, tag: str):
                 added += 1
 
 
+def churn_randomly(graph, rng: random.Random, steps: int, alphabet, tag: str):
+    """Apply ``steps`` random mixed mutations: inserts *and* deletes."""
+    applied = 0
+    serial = 0
+    while applied < steps:
+        roll = rng.random()
+        if roll < 0.25:
+            graph.add_vertex(f"{tag}-{serial}", rng.choice(alphabet))
+            serial += 1
+            applied += 1
+        elif roll < 0.5 and graph.num_edges > 2:
+            graph.remove_edge(*rng.choice(graph.edges()))
+            applied += 1
+        elif roll < 0.6 and graph.num_vertices > 4:
+            # remove_vertex cascades: EdgeRemoved deltas then VertexRemoved.
+            graph.remove_vertex(rng.choice(graph.vertices()))
+            applied += 1
+        else:
+            u, v = rng.sample(graph.vertices(), 2)
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+                applied += 1
+
+
 #: Randomized update-sequence scenarios: (generator-kind, seed, size, knob).
 SEQUENCE_SPECS = (
     [("er", seed, 12, 0.25) for seed in range(8)]
@@ -107,6 +134,20 @@ class TestRandomizedPatchEquivalence:
         maintainer = IndexMaintainer(graph)
         for batch in range(5):
             grow_randomly(graph, rng, steps=6, alphabet="ABCD", tag=f"b{batch}")
+            assert_patched_equals_rebuilt(maintainer, graph)
+        assert maintainer.rebuilds == 0
+        assert maintainer.patches_applied >= 5
+
+    @pytest.mark.parametrize(
+        "spec", SEQUENCE_SPECS, ids=lambda spec: f"{spec[0]}-s{spec[1]}"
+    )
+    def test_patched_index_identical_under_mixed_churn(self, spec):
+        """Insertions and deletions interleave; every batch still patches."""
+        graph = build_graph(spec)
+        rng = random.Random(spec[1] * 211 + 13)
+        maintainer = IndexMaintainer(graph)
+        for batch in range(5):
+            churn_randomly(graph, rng, steps=6, alphabet="ABCD", tag=f"c{batch}")
             assert_patched_equals_rebuilt(maintainer, graph)
         assert maintainer.rebuilds == 0
         assert maintainer.patches_applied >= 5
@@ -144,7 +185,8 @@ class TestDeltaPublication:
         graph.remove_edge("x", "y")
         graph.remove_vertex("x")
         kinds = [type(delta) for delta in received]
-        assert kinds == [VertexAdded, VertexAdded, EdgeAdded, EdgeRemoved, VertexRemoved]
+        expected = [VertexAdded, VertexAdded, EdgeAdded, EdgeRemoved, VertexRemoved]
+        assert kinds == expected
         assert [delta.version for delta in received] == list(
             range(before + 1, before + 6)
         )
@@ -181,28 +223,60 @@ class TestDeltaPublication:
         assert clone == graph
 
 
-class TestRebuildFallbacks:
-    def test_edge_removal_falls_back_to_rebuild(self):
+class TestRemovalPatching:
+    def test_edge_removal_patches_in_place(self):
         graph = build_graph(("er", 8, 12, 0.3))
         maintainer = IndexMaintainer(graph)
         grow_randomly(graph, random.Random(1), steps=4, alphabet="ABC", tag="r")
         u, v = graph.edges()[0]
         graph.remove_edge(u, v)
         assert_patched_equals_rebuilt(maintainer, graph)
-        assert maintainer.rebuilds == 1
+        assert maintainer.rebuilds == 0
+        assert maintainer.patches_applied == 5  # 4 insertions + 1 removal
 
-    def test_vertex_removal_falls_back_to_rebuild(self):
+    def test_vertex_removal_patches_with_cascaded_edges(self):
         graph = build_graph(("er", 9, 12, 0.3))
         maintainer = IndexMaintainer(graph)
         graph.add_vertex("gone", "A")
-        graph.remove_vertex(graph.vertices()[0])
+        victim = graph.vertices()[0]
+        degree = graph.degree(victim)
+        graph.remove_vertex(victim)  # EdgeRemoved x degree, then VertexRemoved
         assert_patched_equals_rebuilt(maintainer, graph)
-        assert maintainer.rebuilds == 1
-        # Maintenance keeps working (patching again) after the rebuild.
+        assert maintainer.rebuilds == 0
+        assert maintainer.patches_applied == degree + 2
+        # Maintenance keeps patching afterwards.
         grow_randomly(graph, random.Random(2), steps=4, alphabet="ABC", tag="after")
         assert_patched_equals_rebuilt(maintainer, graph)
-        assert maintainer.rebuilds == 1
+        assert maintainer.rebuilds == 0
 
+    def test_label_and_pair_state_shrinks_like_a_rebuild(self):
+        """Emptied inverted lists / pair lists vanish, as a rebuild never has them."""
+        graph = LabeledGraph([(1, "A"), (2, "B"), (3, "Z")], [(1, 2), (2, 3)])
+        maintainer = IndexMaintainer(graph)
+        graph.remove_edge(2, 3)
+        graph.remove_vertex(3)  # last Z vertex: the label leaves the alphabet
+        patched = assert_patched_equals_rebuilt(maintainer, graph)
+        assert maintainer.rebuilds == 0
+        assert patched.label_histogram() == {"A": 1, "B": 1}
+        assert patched.vertices_with_label("Z") == ()
+        assert not patched.has_label_pair("B", "Z")
+        assert patched.edges_with_labels("B", "Z") == ()
+
+    def test_remove_then_reinsert_round_trips(self):
+        graph = build_graph(("er", 17, 12, 0.3))
+        maintainer = IndexMaintainer(graph)
+        baseline = index_structure(maintainer.index(), graph)
+        u, v = graph.edges()[0]
+        graph.remove_edge(u, v)
+        assert_patched_equals_rebuilt(maintainer, graph)
+        graph.add_edge(u, v)
+        restored = assert_patched_equals_rebuilt(maintainer, graph)
+        roundtrip = dict(index_structure(restored, graph), version=baseline["version"])
+        assert roundtrip == baseline
+        assert maintainer.rebuilds == 0
+
+
+class TestRebuildFallbacks:
     def test_interleaved_reads_between_deltas(self):
         """A get_index call mid-stream rebuilds; the maintainer adopts it."""
         graph = build_graph(("er", 10, 12, 0.25))
@@ -241,53 +315,117 @@ class TestRebuildFallbacks:
         assert maintainer.rebuilds == 0
 
 
-class TestRebuildCoalescing:
-    def test_removal_burst_coalesces_into_one_rebuild(self):
+class TestPatchLimitCoalescing:
+    def test_oversized_burst_coalesces_into_one_rebuild(self):
         graph = build_graph(("er", 13, 14, 0.4))
-        maintainer = IndexMaintainer(graph)
-        removed = 0
+        maintainer = IndexMaintainer(graph, patch_limit=4)
+        mutated = 0
         for u, v in list(graph.edges())[:10]:
             graph.remove_edge(u, v)
-            removed += 1
-            assert maintainer.rebuild_pending
-            assert not maintainer._buffer  # O(1) state during the burst
-        assert maintainer.deltas_coalesced == removed
+            mutated += 1
+            if mutated > 4:
+                assert maintainer.rebuild_pending
+                assert not maintainer._buffer  # O(1) state past the limit
+        assert maintainer.deltas_coalesced == mutated
         assert_patched_equals_rebuilt(maintainer, graph)
         assert maintainer.rebuilds == 1  # one deferred rebuild, not ten
         assert not maintainer.rebuild_pending
 
-    def test_pending_rebuild_absorbs_interleaved_insertions(self):
+    def test_burst_within_limit_patches(self):
         graph = build_graph(("er", 14, 12, 0.3))
-        maintainer = IndexMaintainer(graph)
-        graph.add_vertex("pre", "A")  # buffered insertion...
+        maintainer = IndexMaintainer(graph, patch_limit=4)
+        graph.add_vertex("pre", "A")
         u, v = graph.edges()[0]
-        graph.remove_edge(u, v)  # ...superseded by the pending rebuild
-        graph.add_vertex("post", "B")  # absorbed, not buffered
+        graph.remove_edge(u, v)
+        graph.add_vertex("post", "B")
         graph.add_edge("pre", "post")
-        assert not maintainer._buffer
-        assert maintainer.deltas_coalesced == 4  # pre + removal + post + edge
+        assert not maintainer.rebuild_pending
         assert_patched_equals_rebuilt(maintainer, graph)
-        assert maintainer.rebuilds == 1
+        assert maintainer.rebuilds == 0
+        assert maintainer.patches_applied == 4
 
     def test_patching_resumes_after_coalesced_rebuild(self):
         graph = build_graph(("er", 15, 12, 0.3))
-        maintainer = IndexMaintainer(graph)
+        maintainer = IndexMaintainer(graph, patch_limit=3)
         for u, v in list(graph.edges())[:5]:
             graph.remove_edge(u, v)
         assert_patched_equals_rebuilt(maintainer, graph)
-        grow_randomly(graph, random.Random(9), steps=6, alphabet="ABC", tag="c")
+        grow_randomly(graph, random.Random(9), steps=3, alphabet="ABC", tag="c")
         assert_patched_equals_rebuilt(maintainer, graph)
         assert maintainer.rebuilds == 1
-        assert maintainer.patches_applied == 6
+        assert maintainer.patches_applied == 3
+        assert maintainer.deltas_coalesced == 5
 
     def test_adoption_clears_pending_rebuild(self):
         graph = build_graph(("er", 16, 12, 0.3))
-        maintainer = IndexMaintainer(graph)
+        maintainer = IndexMaintainer(graph, patch_limit=1)
         u, v = graph.edges()[0]
         graph.remove_edge(u, v)
+        w, x = graph.edges()[0]
+        graph.remove_edge(w, x)
         assert maintainer.rebuild_pending
         interloper = get_index(graph)  # someone else pays for the rebuild
         adopted = maintainer.index()
         assert adopted is interloper
         assert maintainer.rebuilds == 0
         assert not maintainer.rebuild_pending
+
+    def test_default_limit_scales_with_graph_size(self):
+        graph = build_graph(("er", 18, 12, 0.3))
+        maintainer = IndexMaintainer(graph)
+        # Well under max(64, |V|+|E|): a long-ish run still patches.
+        grow_randomly(graph, random.Random(4), steps=30, alphabet="ABC", tag="d")
+        assert_patched_equals_rebuilt(maintainer, graph)
+        assert maintainer.rebuilds == 0
+        assert maintainer.patches_applied == 30
+
+    def test_rejects_non_positive_patch_limit(self):
+        graph = build_graph(("er", 19, 10, 0.3))
+        with pytest.raises(ValueError):
+            IndexMaintainer(graph, patch_limit=0)
+
+
+class TestMaintainerRemovalStats:
+    """patches_applied vs rebuilds bookkeeping across deletion-shaped streams."""
+
+    def test_pure_deletion_stream_is_all_patches(self):
+        graph = build_graph(("er", 20, 14, 0.4))
+        maintainer = IndexMaintainer(graph)
+        served = 0
+        for u, v in list(graph.edges())[:6]:
+            graph.remove_edge(u, v)
+            assert_patched_equals_rebuilt(maintainer, graph)
+            served += 1
+        assert maintainer.patches_applied == served
+        assert maintainer.rebuilds == 0
+        assert maintainer.deltas_coalesced == 0
+
+    def test_mixed_stream_is_all_patches(self):
+        graph = build_graph(("er", 21, 14, 0.3))
+        maintainer = IndexMaintainer(graph)
+        rng = random.Random(31)
+        for batch in range(4):
+            churn_randomly(graph, rng, steps=5, alphabet="ABC", tag=f"mx{batch}")
+            assert_patched_equals_rebuilt(maintainer, graph)
+        assert maintainer.rebuilds == 0
+        assert maintainer.patches_applied >= 20  # cascades may add more
+
+    def test_gap_then_delete_rebuilds_then_patches(self):
+        graph = build_graph(("er", 22, 14, 0.3))
+        unobserved = IndexMaintainer(graph)
+        unobserved.detach()
+        graph.add_vertex("gap", "A")  # mutation the maintainer never saw
+        assert_patched_equals_rebuilt(unobserved, graph)
+        assert (unobserved.patches_applied, unobserved.rebuilds) == (0, 1)
+        # A maintainer observing from here patches the deletions that follow.
+        maintainer = IndexMaintainer(graph)
+        for u, v in list(graph.edges())[:4]:
+            graph.remove_edge(u, v)
+        assert_patched_equals_rebuilt(maintainer, graph)
+        assert (maintainer.patches_applied, maintainer.rebuilds) == (4, 0)
+        # The detached one keeps rebuilding: the gap never heals.  (Drop
+        # the cached index first or it would adopt the patcher's work.)
+        graph.remove_edge(*graph.edges()[0])
+        graph.cache_index(None)
+        assert_patched_equals_rebuilt(unobserved, graph)
+        assert (unobserved.patches_applied, unobserved.rebuilds) == (0, 2)

@@ -1,12 +1,12 @@
 """Randomized equivalence: DynamicMiner == re-mined-from-scratch, per batch.
 
 The dynamic mining subsystem (repro.mining.dynamic) maintains the
-frequent-pattern set under a stream of insertions, re-evaluating only
-patterns whose label-pair footprint intersects the batch's delta.  After
-*every* batch its results must be byte-identical — certificates, support
-values, occurrence counts — to a full re-mine of the current graph, both
-through a freshly built index and through the ``use_index=False``
-brute-force reference path.
+frequent-pattern set under a stream of mixed insertions and deletions,
+re-evaluating only patterns whose label-pair footprint intersects the
+batch's touched pairs.  After *every* batch its results must be
+byte-identical — certificates, support values, occurrence counts — to a
+full re-mine of the current graph, both through a freshly built index
+and through the ``use_index=False`` brute-force reference path.
 """
 
 from __future__ import annotations
@@ -18,7 +18,12 @@ import pytest
 from repro.datasets.synthetic import planted_pattern_graph, random_labeled_graph
 from repro.errors import MiningError
 from repro.graph.builders import star_pattern
-from repro.mining.dynamic import DynamicMiner, StreamBatch, mine_stream, pattern_footprint
+from repro.mining.dynamic import (
+    DynamicMiner,
+    StreamBatch,
+    mine_stream,
+    pattern_footprint,
+)
 from repro.mining.miner import mine_frequent_patterns
 
 MINE_KWARGS = dict(
@@ -55,6 +60,29 @@ def grow_randomly(graph, rng, steps, alphabet, tag):
             if not graph.has_edge(u, v):
                 graph.add_edge(u, v)
                 added += 1
+
+
+def churn_randomly(graph, rng, steps, alphabet, tag):
+    """Mixed mutations: insertions, edge removals, vertex removals."""
+    applied = 0
+    serial = 0
+    while applied < steps:
+        roll = rng.random()
+        if roll < 0.25:
+            graph.add_vertex(f"{tag}-{serial}", rng.choice(alphabet))
+            serial += 1
+            applied += 1
+        elif roll < 0.5 and graph.num_edges > 3:
+            graph.remove_edge(*rng.choice(graph.edges()))
+            applied += 1
+        elif roll < 0.6 and graph.num_vertices > 6:
+            graph.remove_vertex(rng.choice(graph.vertices()))
+            applied += 1
+        else:
+            u, v = rng.sample(graph.vertices(), 2)
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+                applied += 1
 
 
 class TestRandomizedStreamEquivalence:
@@ -107,6 +135,125 @@ class TestRandomizedStreamEquivalence:
         assert result_key(miner.refresh()) == reference_keys(graph, **MINE_KWARGS)
 
 
+class TestMixedStreamEquivalence:
+    """Deletions ride the same footprint shortcut as insertions."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 5, 8, 13])
+    def test_identical_after_every_mixed_batch(self, seed):
+        alphabet = ("A", "B", "C") if seed % 2 else ("A", "B", "C", "D")
+        graph = random_labeled_graph(14, 0.25, alphabet=alphabet, seed=seed)
+        rng = random.Random(seed * 53 + 11)
+        miner = DynamicMiner(graph, **MINE_KWARGS)
+        assert result_key(miner.refresh()) == reference_keys(graph, **MINE_KWARGS)
+        for batch in range(4):
+            churn_randomly(graph, rng, steps=5, alphabet="ABCD", tag=f"x{seed}b{batch}")
+            assert result_key(miner.refresh()) == reference_keys(graph, **MINE_KWARGS)
+
+    @pytest.mark.parametrize("measure", ["mni", "mi", "mis"])
+    def test_measure_generality_under_churn(self, measure):
+        kwargs = dict(MINE_KWARGS, measure=measure)
+        graph = planted_pattern_graph(
+            star_pattern("A", ["B", "C"]),
+            num_copies=8,
+            overlap_fraction=0.5,
+            background_vertices=4,
+            background_edge_probability=0.3,
+            seed=43,
+        )
+        rng = random.Random(77)
+        miner = DynamicMiner(graph, **kwargs)
+        miner.refresh()
+        for batch in range(3):
+            churn_randomly(graph, rng, steps=4, alphabet="ABC", tag=f"g{batch}")
+            assert result_key(miner.refresh()) == reference_keys(graph, **kwargs)
+
+    def test_lazy_mni_under_churn(self):
+        kwargs = dict(MINE_KWARGS, lazy=True)
+        graph = random_labeled_graph(14, 0.28, alphabet=("A", "B", "C"), seed=47)
+        rng = random.Random(19)
+        miner = DynamicMiner(graph, **kwargs)
+        miner.refresh()
+        for batch in range(3):
+            churn_randomly(graph, rng, steps=4, alphabet="ABC", tag=f"z{batch}")
+            assert result_key(miner.refresh()) == reference_keys(graph, **kwargs)
+
+    def test_pure_deletion_batches(self):
+        graph = random_labeled_graph(16, 0.3, alphabet=("A", "B", "C"), seed=51)
+        rng = random.Random(23)
+        miner = DynamicMiner(graph, **MINE_KWARGS)
+        miner.refresh()
+        for batch in range(4):
+            for _ in range(3):
+                if graph.num_edges:
+                    graph.remove_edge(*rng.choice(graph.edges()))
+            assert result_key(miner.refresh()) == reference_keys(graph, **MINE_KWARGS)
+
+    def test_localized_deletion_reuses_unaffected_patterns(self):
+        """Deletions confined to one label region leave the rest reused."""
+        graph = planted_pattern_graph(
+            star_pattern("A", ["B", "B"]), num_copies=8, overlap_fraction=0.4, seed=3
+        )
+        offset = graph.num_vertices + 100
+        right = planted_pattern_graph(
+            star_pattern("C", ["D", "D"]), num_copies=8, overlap_fraction=0.4, seed=4
+        )
+        for vertex in right.vertices():
+            graph.add_vertex(vertex + offset, right.label_of(vertex))
+        for u, v in right.edges():
+            graph.add_edge(u + offset, v + offset)
+        miner = DynamicMiner(graph, **MINE_KWARGS)
+        initial = miner.refresh()
+        # Delete only C-D edges; every A/B pattern must be reused verbatim.
+        cd_edges = [
+            (u, v)
+            for u, v in graph.edges()
+            if {graph.label_of(u), graph.label_of(v)} == {"C", "D"}
+        ]
+        for edge in cd_edges[:2]:
+            graph.remove_edge(*edge)
+        refreshed = miner.refresh()
+        stats = refreshed.stats
+        assert stats.patterns_reused > 0
+        assert stats.patterns_evaluated < initial.stats.patterns_evaluated
+        assert result_key(refreshed) == reference_keys(graph, **MINE_KWARGS)
+
+    def test_deleted_pattern_resurfaces_after_reinsert(self):
+        """A pattern killed by deletions revives when insertions restore it."""
+        graph = planted_pattern_graph(
+            star_pattern("A", ["B", "B"]), num_copies=3, overlap_fraction=0.0, seed=9
+        )
+        miner = DynamicMiner(graph, measure="mni", min_support=3, max_pattern_nodes=3)
+        initial = miner.refresh()
+        star_cert = next(fp.certificate for fp in initial.frequent if fp.num_edges == 2)
+        # Break one planted star: support drops from 3 below min_support.
+        a_vertex = sorted(graph.vertices_with_label("A"), key=repr)[0]
+        b_neighbor = sorted(graph.neighbors_with_label(a_vertex, "B"), key=repr)[0]
+        graph.remove_edge(a_vertex, b_neighbor)
+        shrunk = miner.refresh()
+        assert star_cert not in {fp.certificate for fp in shrunk.frequent}
+        assert shrunk.stats.patterns_revived == 0  # pruning revives nothing
+        assert result_key(shrunk) == reference_keys(
+            graph, measure="mni", min_support=3, max_pattern_nodes=3
+        )
+        # Repair it: the pruned pattern must resurface, counted as revived.
+        graph.add_edge(a_vertex, b_neighbor)
+        revived = miner.refresh()
+        assert star_cert in {fp.certificate for fp in revived.frequent}
+        assert revived.stats.patterns_revived >= 1
+        assert result_key(revived) == result_key(initial)
+
+    def test_isolated_vertex_removal_evaluates_nothing(self):
+        graph = random_labeled_graph(14, 0.25, alphabet=("A", "B"), seed=55)
+        graph.add_vertex("loner", "A")
+        miner = DynamicMiner(graph, **MINE_KWARGS)
+        initial = miner.refresh()
+        graph.remove_vertex("loner")
+        refreshed = miner.refresh()
+        assert refreshed.stats.patterns_evaluated == 0
+        assert refreshed.stats.patterns_reused == initial.num_frequent
+        assert result_key(refreshed) == result_key(initial)
+
+
 class TestDeltaSavings:
     def test_localized_delta_reuses_unaffected_patterns(self):
         """Insertions confined to one label region leave the rest untouched."""
@@ -133,6 +280,8 @@ class TestDeltaSavings:
         stats = refreshed.stats
         assert stats.patterns_reused > 0
         assert stats.patterns_evaluated < initial.stats.patterns_evaluated
+        # First appearances on a growth-only refresh are not "revivals".
+        assert stats.patterns_revived == 0
         assert result_key(refreshed) == reference_keys(graph, **MINE_KWARGS)
 
     def test_vertex_only_batch_evaluates_nothing(self):
@@ -153,20 +302,25 @@ class TestDeltaSavings:
 
 
 class TestFallbacks:
-    def test_removal_falls_back_to_full_remine(self):
+    def test_edge_removal_stays_on_the_delta_path(self):
+        """A deletion is a delta, not a fallback: unaffected patterns reuse."""
         graph = random_labeled_graph(14, 0.3, alphabet=("A", "B", "C"), seed=9)
         miner = DynamicMiner(graph, **MINE_KWARGS)
         miner.refresh()
         u, v = graph.edges()[0]
         graph.remove_edge(u, v)
-        assert result_key(miner.refresh()) == reference_keys(graph, **MINE_KWARGS)
+        refreshed = miner.refresh()
+        assert refreshed.stats.patterns_reused > 0
+        assert result_key(refreshed) == reference_keys(graph, **MINE_KWARGS)
 
-    def test_vertex_removal_falls_back_to_full_remine(self):
+    def test_vertex_removal_stays_on_the_delta_path(self):
         graph = random_labeled_graph(14, 0.3, alphabet=("A", "B", "C"), seed=10)
         miner = DynamicMiner(graph, **MINE_KWARGS)
         miner.refresh()
         graph.remove_vertex(graph.vertices()[0])
-        assert result_key(miner.refresh()) == reference_keys(graph, **MINE_KWARGS)
+        refreshed = miner.refresh()
+        assert refreshed.stats.patterns_reused > 0
+        assert result_key(refreshed) == reference_keys(graph, **MINE_KWARGS)
 
     def test_detached_miner_stays_correct_via_full_remine(self):
         graph = random_labeled_graph(12, 0.25, alphabet=("A", "B"), seed=11)
@@ -241,6 +395,25 @@ class TestMineStream:
         stream.close()
         assert not graph.has_observers()
 
+    def test_modes_agree_on_mixed_stream(self):
+        """Insert/delete updates (de/dv records) keep all modes identical."""
+        updates = self._updates("u", 5) + [
+            ("de", "u-0", "u-1"),
+            ("de", "u-1", "u-2"),
+            ("dv", "u-1"),
+            ("v", "u-1", "B"),
+            ("e", "u-0", "u-1"),
+        ]
+        keys = {}
+        for mode in ("delta", "rebuild", "brute"):
+            graph = random_labeled_graph(10, 0.25, alphabet=("A", "B"), seed=26)
+            steps = list(
+                mine_stream(graph, updates, batch_size=3, mode=mode, **MINE_KWARGS)
+            )
+            keys[mode] = [result_key(step.result) for step in steps]
+            assert graph.num_vertices == 10 + 5 - 1 + 1
+        assert keys["delta"] == keys["rebuild"] == keys["brute"]
+
     def test_rejects_bad_mode_and_batch_size(self):
         graph = random_labeled_graph(8, 0.3, alphabet=("A", "B"), seed=23)
         with pytest.raises(MiningError):
@@ -249,6 +422,108 @@ class TestMineStream:
             list(mine_stream(graph, [], batch_size=0))
         with pytest.raises(MiningError):
             list(mine_stream(graph, [("x", 1, 2)]))
+
+
+class TestSlidingWindow:
+    def _chain_updates(self, graph, count):
+        """A growing chain of new vertices, one edge per new vertex."""
+        anchor = graph.vertices()[0]
+        updates = []
+        for i in range(count):
+            updates.append(("v", f"w-{i}", "AB"[i % 2]))
+            updates.append(("e", f"w-{i - 1}" if i else anchor, f"w-{i}"))
+        return updates
+
+    def test_window_caps_live_stream_edges(self):
+        graph = random_labeled_graph(8, 0.25, alphabet=("A", "B"), seed=29)
+        base_edges = graph.num_edges
+        updates = self._chain_updates(graph, 10)
+        steps = list(mine_stream(graph, updates, batch_size=4, window=3, **MINE_KWARGS))
+        # Once saturated, every batch expires as many edges as it inserts.
+        assert [step.edges_expired for step in steps] == [0, 0, 1, 2, 2, 2]
+        assert graph.num_edges == base_edges + 3  # exactly the window remains
+        assert sum(step.edges_expired for step in steps) == 10 - 3
+
+    def test_window_modes_agree_per_batch(self):
+        updates = None
+        keys = {}
+        for mode in ("delta", "rebuild", "brute"):
+            graph = random_labeled_graph(8, 0.25, alphabet=("A", "B"), seed=33)
+            updates = updates or self._chain_updates(graph, 8)
+            steps = list(
+                mine_stream(
+                    graph, updates, batch_size=3, window=4, mode=mode, **MINE_KWARGS
+                )
+            )
+            keys[mode] = [
+                (result_key(step.result), step.edges_expired) for step in steps
+            ]
+        assert keys["delta"] == keys["rebuild"] == keys["brute"]
+
+    def test_explicit_deletion_retires_edge_from_window(self):
+        """A de record frees window budget; the expiry skips dead entries."""
+        graph = random_labeled_graph(8, 0.25, alphabet=("A", "B"), seed=35)
+        updates = self._chain_updates(graph, 4) + [("de", "w-2", "w-3")]
+        steps = list(
+            mine_stream(
+                graph, updates, batch_size=len(updates), window=3, **MINE_KWARGS
+            )
+        )
+        # 4 inserted, 1 explicitly deleted -> 3 live: nothing left to expire.
+        assert steps[-1].edges_expired == 0
+        assert graph.has_edge("w-0", "w-1")
+
+    def test_base_graph_edges_never_expire(self):
+        graph = random_labeled_graph(8, 0.4, alphabet=("A", "B"), seed=37)
+        base = set(map(tuple, graph.edges()))
+        updates = self._chain_updates(graph, 6)
+        list(mine_stream(graph, updates, batch_size=2, window=1, **MINE_KWARGS))
+        assert base <= set(map(tuple, graph.edges()))
+
+    def test_redundant_reinsert_does_not_hand_base_edge_to_window(self):
+        """A stream re-inserting an existing base edge must not make it expire.
+
+        The insertion is an idempotent no-op on the graph, so the window
+        may not claim the edge as stream-owned (lax validation — no base
+        graph — is exactly the windowed CLI configuration).
+        """
+        graph = random_labeled_graph(8, 0.4, alphabet=("A", "B"), seed=45)
+        u, v = graph.edges()[0]
+        updates = [("e", u, v)] + self._chain_updates(graph, 5)
+        list(mine_stream(graph, updates, batch_size=3, window=2, **MINE_KWARGS))
+        assert graph.has_edge(u, v)
+
+    def test_window_supersedes_explicit_deletion_of_expired_edge(self):
+        """A de record for an edge the window already expired is a no-op.
+
+        The stream is valid un-windowed; a small window must not make it
+        crash mid-replay just because expiry got to the edge first.
+        """
+        graph = random_labeled_graph(8, 0.25, alphabet=("A", "B"), seed=43)
+        updates = self._chain_updates(graph, 6) + [
+            ("de", graph.vertices()[0], "w-0"),  # oldest edge: expired by then
+            ("v", "w-6", "A"),
+            ("e", "w-5", "w-6"),
+        ]
+        for mode in ("delta", "rebuild"):
+            replay = random_labeled_graph(8, 0.25, alphabet=("A", "B"), seed=43)
+            steps = list(
+                mine_stream(
+                    replay, updates, batch_size=4, window=2, mode=mode, **MINE_KWARGS
+                )
+            )
+            assert steps[-1].num_edges == replay.num_edges
+            assert not replay.has_edge(replay.vertices()[0], "w-0")
+
+    def test_rejects_bad_window(self):
+        graph = random_labeled_graph(8, 0.3, alphabet=("A", "B"), seed=39)
+        with pytest.raises(MiningError):
+            list(mine_stream(graph, [], window=0))
+
+    def test_stream_batch_expired_default(self):
+        graph = random_labeled_graph(8, 0.3, alphabet=("A", "B"), seed=41)
+        steps = list(mine_stream(graph, [("v", "s-0", "A")], **MINE_KWARGS))
+        assert all(step.edges_expired == 0 for step in steps)
 
 
 def test_pattern_footprint_is_canonical():

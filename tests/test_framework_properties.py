@@ -20,7 +20,9 @@ from repro.measures.mvc import mvc_support_of
 from repro.measures.relaxations import lp_mies_support_of, lp_mvc_support_of
 
 
-def random_hypergraph(seed: int, max_vertices: int = 9, max_edges: int = 8) -> Hypergraph:
+def random_hypergraph(
+    seed: int, max_vertices: int = 9, max_edges: int = 8
+) -> Hypergraph:
     rng = random.Random(seed)
     k = rng.randint(2, 3)
     num_vertices = rng.randint(k, max_vertices)
@@ -55,9 +57,7 @@ class TestLPDualityProperty:
     @given(seed=st.integers(min_value=0, max_value=10_000))
     def test_cover_packing_duality(self, seed):
         h = random_hypergraph(seed)
-        assert lp_mvc_support_of(h) == pytest.approx(
-            lp_mies_support_of(h), abs=1e-5
-        )
+        assert lp_mvc_support_of(h) == pytest.approx(lp_mies_support_of(h), abs=1e-5)
 
     @settings(max_examples=20, deadline=None)
     @given(seed=st.integers(min_value=0, max_value=10_000))
@@ -82,7 +82,9 @@ class TestSpectrumDispatch:
         from repro.analysis.spectrum import measure_spectrum
 
         pattern = Pattern.single_edge("A", "B")
-        graph = planted_pattern_graph(pattern, num_copies=80, overlap_fraction=0.2, seed=3)
+        graph = planted_pattern_graph(
+            pattern, num_copies=80, overlap_fraction=0.2, seed=3
+        )
         spectrum = measure_spectrum(
             pattern, graph, include=["mis", "mies", "mvc", "mni"]
         )
@@ -104,9 +106,7 @@ class TestMinerDepth2Oracle:
         result = mine_frequent_patterns(
             graph, measure="mni", min_support=threshold, max_pattern_edges=2
         )
-        mined = {
-            fp.certificate for fp in result.frequent if fp.num_edges == 2
-        }
+        mined = {fp.certificate for fp in result.frequent if fp.num_edges == 2}
 
         pairs = adjacent_label_pairs(graph)
         labels = sorted({l for pair in pairs for l in pair})
@@ -138,9 +138,7 @@ class TestMeasureMonotoneInData:
         rng = random.Random(seed)
         graph = random_labeled_graph(8, 0.2, alphabet=("A",), seed=seed)
         pattern = path_pattern(["A", "A"])
-        before = mni_support_from_occurrences(
-            pattern, find_occurrences(pattern, graph)
-        )
+        before = mni_support_from_occurrences(pattern, find_occurrences(pattern, graph))
         # Add one random non-edge.
         vertices = graph.vertices()
         for _ in range(20):
@@ -148,7 +146,5 @@ class TestMeasureMonotoneInData:
             if not graph.has_edge(u, v):
                 graph.add_edge(u, v)
                 break
-        after = mni_support_from_occurrences(
-            pattern, find_occurrences(pattern, graph)
-        )
+        after = mni_support_from_occurrences(pattern, find_occurrences(pattern, graph))
         assert after >= before

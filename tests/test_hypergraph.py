@@ -3,7 +3,12 @@
 import pytest
 
 from repro.errors import HypergraphError
-from repro.hypergraph.hypergraph import DualHypergraph, Hyperedge, Hypergraph, dual_hypergraph
+from repro.hypergraph.hypergraph import (
+    DualHypergraph,
+    Hyperedge,
+    Hypergraph,
+    dual_hypergraph,
+)
 
 
 def build_sample() -> Hypergraph:

@@ -40,9 +40,7 @@ class TestExtensionPrimitives:
         assert sorted(map(repr, extended)) == sorted(map(repr, expected))
 
     def test_forward_respects_injectivity(self):
-        graph = LabeledGraph(
-            vertices=[(1, "A"), (2, "B")], edges=[(1, 2)]
-        )
+        graph = LabeledGraph(vertices=[(1, "A"), (2, "B")], edges=[(1, 2)])
         parent = path_pattern(["A", "B"])
         maps = [o.mapping for o in find_occurrences(parent, graph)]
         # Extending v2 with an 'A' neighbor can only reuse vertex 1 — blocked.
@@ -62,9 +60,7 @@ class TestMinerEquivalence:
             max_pattern_edges=3,
         )
         assert baseline.certificates() == incremental.certificates()
-        baseline_supports = {
-            fp.certificate: fp.support for fp in baseline.frequent
-        }
+        baseline_supports = {fp.certificate: fp.support for fp in baseline.frequent}
         for fp in incremental.frequent:
             assert fp.support == baseline_supports[fp.certificate]
 
@@ -84,7 +80,9 @@ class TestMinerEquivalence:
 
     def test_occurrence_counts_match_baseline(self):
         pattern = star_pattern("A", ["B", "B"])
-        graph = planted_pattern_graph(pattern, num_copies=6, overlap_fraction=0.4, seed=2)
+        graph = planted_pattern_graph(
+            pattern, num_copies=6, overlap_fraction=0.4, seed=2
+        )
         baseline = mine_frequent_patterns(
             graph, measure="mni", min_support=2, max_pattern_nodes=3
         )

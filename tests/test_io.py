@@ -174,10 +174,16 @@ class TestUpdateStreams:
         with pytest.raises(DatasetError) as excinfo:
             parse_update_stream("v 1 A\nv 2 B\ne 1 2\ne 1 2\n")
         assert "line 4" in str(excinfo.value)
-        assert "first inserted at line 3" in str(excinfo.value)
+        assert "already present at line 3" in str(excinfo.value)
         # Both endpoint orders name the same undirected edge.
         with pytest.raises(DatasetError):
             parse_update_stream("e 1 2\ne 2 1\n")
+        # Deleting in between makes the re-insertion legal again.
+        assert parse_update_stream("e 1 2\nde 1 2\ne 2 1\n") == [
+            ("e", 1, 2),
+            ("de", 1, 2),
+            ("e", 2, 1),
+        ]
 
     def test_self_loop_insertion_rejected(self):
         from repro.graph.io import parse_update_stream
@@ -207,3 +213,165 @@ class TestUpdateStreams:
         for text in ("e 1 1\n", "e 1 2\ne 2 1\n", "v 1 A\nv 1 B\n", "x\n"):
             with pytest.raises(ReproError):
                 parse_update_stream(text)
+
+
+class TestUpdateStreamDeletions:
+    def test_parse_deletion_records(self):
+        from repro.graph.io import parse_update_stream
+
+        updates = parse_update_stream("v 1 A\nv 2 B\ne 1 2\nde 1 2\ndv 2\nv 2 B\n")
+        assert updates == [
+            ("v", 1, "A"),
+            ("v", 2, "B"),
+            ("e", 1, 2),
+            ("de", 1, 2),
+            ("dv", 2),
+            ("v", 2, "B"),
+        ]
+
+    def test_deletion_stream_replays_onto_a_graph(self):
+        from repro.graph.io import parse_update_stream
+        from repro.graph.labeled_graph import LabeledGraph
+        from repro.mining.dynamic import apply_update
+
+        graph = LabeledGraph([(1, "A"), (2, "B"), (3, "A")], [(1, 2), (2, 3)])
+        for update in parse_update_stream("de 2 3\ndv 3\nv 4 C\ne 1 4\n"):
+            apply_update(graph, update)
+        assert not graph.has_vertex(3)
+        assert graph.has_edge(1, 4)
+        assert graph.num_edges == 2
+
+    def test_malformed_deletion_lines(self):
+        from repro.graph.io import parse_update_stream
+
+        with pytest.raises(DatasetError):
+            parse_update_stream("de 1\n")
+        with pytest.raises(DatasetError):
+            parse_update_stream("dv\n")
+        with pytest.raises(DatasetError) as excinfo:
+            parse_update_stream("de 3 3\n")
+        assert "self loop" in str(excinfo.value)
+
+    def test_double_edge_deletion_rejected(self):
+        from repro.graph.io import parse_update_stream
+
+        with pytest.raises(DatasetError) as excinfo:
+            parse_update_stream("e 1 2\nde 1 2\nde 2 1\n")
+        assert "line 3" in str(excinfo.value)
+        assert "deleted at line 2" in str(excinfo.value)
+
+    def test_vertex_deletion_with_live_edges_rejected(self):
+        from repro.graph.io import parse_update_stream
+
+        with pytest.raises(DatasetError) as excinfo:
+            parse_update_stream("v 1 A\nv 2 B\ne 1 2\ndv 2\n")
+        assert "line 4" in str(excinfo.value)
+        assert "live incident" in str(excinfo.value)
+        # Deleting the edge first makes it legal.
+        parse_update_stream("v 1 A\nv 2 B\ne 1 2\nde 1 2\ndv 2\n")
+
+    def test_touching_a_deleted_vertex_rejected(self):
+        from repro.graph.io import parse_update_stream
+
+        with pytest.raises(DatasetError) as excinfo:
+            parse_update_stream("dv 5\ne 5 6\n")
+        assert "line 2" in str(excinfo.value)
+        assert "deleted earlier" in str(excinfo.value)
+        with pytest.raises(DatasetError):
+            parse_update_stream("dv 5\ndv 5\n")
+
+    def test_unknown_facts_are_trusted_without_base(self):
+        """First mentions may refer to the (unseen) base graph."""
+        from repro.graph.io import parse_update_stream
+
+        assert parse_update_stream("de 8 9\ndv 8\n") == [("de", 8, 9), ("dv", 8)]
+
+
+class TestUpdateStreamBaseValidation:
+    @pytest.fixture()
+    def base(self):
+        from repro.graph.labeled_graph import LabeledGraph
+
+        return LabeledGraph([(1, "A"), (2, "B"), (3, "A")], [(1, 2), (2, 3)])
+
+    def test_valid_stream_against_base(self, base):
+        from repro.graph.io import parse_update_stream
+
+        updates = parse_update_stream("de 1 2\nv 4 C\ne 2 4\nde 2 3\ndv 3\n", base=base)
+        assert len(updates) == 5
+
+    def test_inserting_an_existing_base_edge_rejected(self, base):
+        from repro.graph.io import parse_update_stream
+
+        with pytest.raises(DatasetError) as excinfo:
+            parse_update_stream("e 2 1\n", base=base)
+        assert "already present in the base graph" in str(excinfo.value)
+
+    def test_deleting_an_absent_edge_rejected(self, base):
+        from repro.graph.io import parse_update_stream
+
+        with pytest.raises(DatasetError) as excinfo:
+            parse_update_stream("de 1 3\n", base=base)
+        assert "never inserted" in str(excinfo.value)
+
+    def test_unknown_vertex_rejected(self, base):
+        from repro.graph.io import parse_update_stream
+
+        with pytest.raises(DatasetError):
+            parse_update_stream("e 1 99\n", base=base)
+        with pytest.raises(DatasetError):
+            parse_update_stream("dv 99\n", base=base)
+
+    def test_vertex_deletion_sees_base_edges(self, base):
+        from repro.graph.io import parse_update_stream
+
+        with pytest.raises(DatasetError) as excinfo:
+            parse_update_stream("dv 2\n", base=base)
+        assert "live incident" in str(excinfo.value)
+        parse_update_stream("de 1 2\nde 2 3\ndv 2\n", base=base)
+
+    def test_conflicting_relabel_of_base_vertex_rejected(self, base):
+        from repro.graph.io import parse_update_stream
+
+        with pytest.raises(DatasetError):
+            parse_update_stream("v 1 Z\n", base=base)
+        # Same label re-declaration stays legal, as without a base.
+        parse_update_stream("v 1 A\n", base=base)
+
+    def test_window_mode_relaxes_only_expiry_dependent_checks(self, base):
+        from repro.graph.io import parse_update_stream
+
+        # Re-inserting a present edge: rejected normally, legal windowed
+        # (the window may have expired it between the two records).
+        stream = "v 9 C\ne 1 9\ne 1 9\n"
+        with pytest.raises(DatasetError):
+            parse_update_stream(stream, base=base)
+        parse_update_stream(stream, base=base, window=True)
+        # Deleting a vertex whose only live edges are stream-inserted:
+        # they may have expired, so windowed validation lets it through.
+        stream = "v 9 C\ne 1 9\ndv 9\n"
+        with pytest.raises(DatasetError):
+            parse_update_stream(stream, base=base)
+        parse_update_stream(stream, base=base, window=True)
+        # Base-graph edges never expire: dv still blocks on them.
+        with pytest.raises(DatasetError):
+            parse_update_stream("dv 2\n", base=base, window=True)
+        # Window-independent checks stay strict: an edge that never
+        # existed cannot have expired.
+        with pytest.raises(DatasetError) as excinfo:
+            parse_update_stream("de 1 99\n", base=base, window=True)
+        assert "line 1" in str(excinfo.value)
+        with pytest.raises(DatasetError):
+            parse_update_stream("e 1 9\n", base=base, window=True)  # unknown vertex
+        with pytest.raises(DatasetError):
+            parse_update_stream("v 1 Z\n", base=base, window=True)  # relabel
+
+    def test_load_update_stream_forwards_base(self, base, tmp_path):
+        from repro.graph.io import load_update_stream
+
+        path = tmp_path / "mixed.lg"
+        path.write_text("de 1 2\n")
+        assert load_update_stream(path, base=base) == [("de", 1, 2)]
+        path.write_text("de 1 3\n")
+        with pytest.raises(DatasetError):
+            load_update_stream(path, base=base)

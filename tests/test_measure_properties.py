@@ -30,7 +30,11 @@ from repro.isomorphism.matcher import find_occurrences
 from repro.measures.base import compute_support
 from repro.measures.bounds import verify_bounding_chain
 from repro.measures.lazy_mni import lazy_mni_support
-from repro.mining.extension import adjacent_label_pairs, all_extensions, single_edge_patterns
+from repro.mining.extension import (
+    adjacent_label_pairs,
+    all_extensions,
+    single_edge_patterns,
+)
 from repro.mining.miner import mine_frequent_patterns
 from repro.mining.parallel import label_frequency_bound
 
@@ -171,9 +175,7 @@ class TestFractionalThresholds:
 
         from repro.mining.miner import FrequentSubgraphMiner
 
-        graph = planted_pattern_graph(
-            path_pattern(["A", "B"]), num_copies=4, seed=1
-        )
+        graph = planted_pattern_graph(path_pattern(["A", "B"]), num_copies=4, seed=1)
         for threshold in (0.4, 1.0, 2.5, 3.0, 7.2):
             miner = FrequentSubgraphMiner(
                 graph, measure="mni", min_support=threshold, lazy=True

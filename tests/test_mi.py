@@ -1,7 +1,12 @@
 """Unit tests for the MI measure (Section 3.2)."""
 
 from repro.datasets.paper_figures import load_figure
-from repro.graph.builders import path_pattern, star_graph, star_pattern, triangle_pattern
+from repro.graph.builders import (
+    path_pattern,
+    star_graph,
+    star_pattern,
+    triangle_pattern,
+)
 from repro.graph.labeled_graph import LabeledGraph
 from repro.isomorphism.matcher import Occurrence, find_occurrences
 from repro.measures.base import compute_support

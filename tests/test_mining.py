@@ -120,12 +120,16 @@ class TestMiningResults:
         assert set(mis_result.certificates()) <= set(mni_result.certificates())
 
     def test_results_sorted_by_size(self, disjoint_tri_graph):
-        result = mine_frequent_patterns(disjoint_tri_graph, measure="mni", min_support=2)
+        result = mine_frequent_patterns(
+            disjoint_tri_graph, measure="mni", min_support=2
+        )
         sizes = [fp.num_edges for fp in result.frequent]
         assert sizes == sorted(sizes)
 
     def test_stats_are_consistent(self, disjoint_tri_graph):
-        result = mine_frequent_patterns(disjoint_tri_graph, measure="mni", min_support=2)
+        result = mine_frequent_patterns(
+            disjoint_tri_graph, measure="mni", min_support=2
+        )
         stats = result.stats
         assert stats.patterns_frequent == result.num_frequent
         assert stats.patterns_evaluated == (
@@ -134,7 +138,9 @@ class TestMiningResults:
         assert stats.patterns_generated >= stats.patterns_evaluated
 
     def test_by_size_grouping(self, disjoint_tri_graph):
-        result = mine_frequent_patterns(disjoint_tri_graph, measure="mni", min_support=2)
+        result = mine_frequent_patterns(
+            disjoint_tri_graph, measure="mni", min_support=2
+        )
         grouped = result.by_size()
         assert sum(len(v) for v in grouped.values()) == result.num_frequent
 

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.errors import MeasureError
-from repro.graph.builders import complete_graph, path_graph, path_pattern, triangle_pattern
+from repro.graph.builders import (
+    complete_graph,
+    path_graph,
+    path_pattern,
+    triangle_pattern,
+)
 from repro.isomorphism.matcher import find_occurrences
 from repro.measures.base import compute_support
 from repro.measures.mni import (
