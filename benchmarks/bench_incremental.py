@@ -25,11 +25,19 @@ from __future__ import annotations
 import time
 
 import pytest
+from stream_workloads import (
+    STREAM_PARAMS,
+    apply_batch,
+    batches,
+    churn_stream,
+    insertion_stream,
+    two_region_base,
+)
 
 from repro.analysis.report import format_table
-from repro.datasets.synthetic import planted_pattern_graph, random_labeled_graph
+from repro.datasets.synthetic import planted_pattern_graph
 from repro.graph.builders import path_pattern, star_pattern
-from repro.mining.dynamic import DynamicMiner, apply_update
+from repro.mining.dynamic import DynamicMiner
 from repro.mining.incremental import mine_frequent_patterns_incremental
 from repro.mining.miner import mine_frequent_patterns
 
@@ -106,72 +114,22 @@ def test_tab9_benchmark_recompute(workload, benchmark):
 
 # ----------------------------------------------------------------------
 # tab9b — delta-maintained dynamic mining vs full re-mine per batch
+# (search parameters: stream_workloads.STREAM_PARAMS, shared with tab10d)
 # ----------------------------------------------------------------------
-
-STREAM_PARAMS = dict(
-    measure="mni", min_support=3, max_pattern_nodes=4, max_pattern_edges=4
-)
 
 
 @pytest.fixture(scope="module")
 def stream_workload():
-    """A medium insertion stream over a two-region graph.
+    """A medium insertion stream over the shared two-region graph.
 
-    The stable region (heavily welded planted A-(B,C) stars plus welded
-    A-B-A-C chains) carries the expensive bulk of the frequent patterns;
-    the stream only ever touches a sparse D/E region growing as a tree,
-    so the delta path re-evaluates a small, cheap footprint-affected
-    slice per batch while rebuild-per-batch re-enumerates the whole
-    welded bulk every time.
+    The stream only ever touches the sparse D/E region growing as a
+    tree, so the delta path re-evaluates a small, cheap
+    footprint-affected slice per batch while rebuild-per-batch
+    re-enumerates the whole welded bulk every time (generators shared
+    with ``bench_partition.py`` via ``stream_workloads``).
     """
-    import random
-
-    base = planted_pattern_graph(
-        star_pattern("A", ["B", "C"]),
-        num_copies=60,
-        overlap_fraction=0.55,
-        background_vertices=40,
-        background_edge_probability=0.05,
-        seed=61,
-        name="stream-base",
-    )
-    chain = path_pattern(["A", "B", "A", "C"])
-    welded = planted_pattern_graph(chain, num_copies=40, overlap_fraction=0.45, seed=57)
-    offset = base.num_vertices + 1000
-    for vertex in welded.vertices():
-        base.add_vertex(vertex + offset, welded.label_of(vertex))
-    for u, v in welded.edges():
-        base.add_edge(u + offset, v + offset)
-    growth = random_labeled_graph(8, 0.25, alphabet=("D", "E"), seed=67)
-    offset2 = offset + 10000
-    for vertex in growth.vertices():
-        base.add_vertex(vertex + offset2, growth.label_of(vertex))
-    for u, v in growth.edges():
-        base.add_edge(u + offset2, v + offset2)
-    base.add_edge(0, offset2)  # stitch the regions
-
-    rng = random.Random(71)
-    growth_vertices = [vertex + offset2 for vertex in growth.vertices()]
-    updates = []
-    serial = 0
-    while len(updates) < 48:
-        # Tree-shaped growth: every new D/E vertex hangs off an existing
-        # one, keeping the affected region sparse (cheap to re-evaluate).
-        vertex = f"g{serial}"
-        serial += 1
-        updates.append(("v", vertex, rng.choice("DE")))
-        updates.append(("e", rng.choice(growth_vertices), vertex))
-        growth_vertices.append(vertex)
-    return base, updates
-
-
-def _batches(updates, size):
-    return [updates[start : start + size] for start in range(0, len(updates), size)]
-
-
-def _apply_batch(graph, batch):
-    for update in batch:
-        apply_update(graph, update)
+    base = two_region_base()
+    return base, insertion_stream(base)
 
 
 def test_tab9b_delta_stream_vs_rebuild_per_batch(stream_workload, benchmark, emit):
@@ -182,22 +140,22 @@ def test_tab9b_delta_stream_vs_rebuild_per_batch(stream_workload, benchmark, emi
     instead of flipping their ratio.  Per-batch results must be identical.
     """
     base, updates = stream_workload
-    batches = _batches(updates, 6)
+    update_batches = batches(updates, 6)
 
     def delta_run():
         graph = base.copy()
         miner = DynamicMiner(graph, **STREAM_PARAMS)
         keys = [miner.refresh().certificates()]
-        for batch in batches:
-            _apply_batch(graph, batch)
+        for batch in update_batches:
+            apply_batch(graph, batch)
             keys.append(miner.refresh().certificates())
         return keys
 
     def rebuild_run():
         graph = base.copy()
         keys = [mine_frequent_patterns(graph, **STREAM_PARAMS).certificates()]
-        for batch in batches:
-            _apply_batch(graph, batch)
+        for batch in update_batches:
+            apply_batch(graph, batch)
             keys.append(mine_frequent_patterns(graph, **STREAM_PARAMS).certificates())
         return keys
 
@@ -220,13 +178,13 @@ def test_tab9b_delta_stream_vs_rebuild_per_batch(stream_workload, benchmark, emi
                 [
                     "rebuild per batch",
                     f"{best_rebuild*1e3:.1f}",
-                    len(batches),
+                    len(update_batches),
                     len(rebuild_keys[-1]),
                 ],
                 [
                     "delta-maintained",
                     f"{best_delta*1e3:.1f}",
-                    len(batches),
+                    len(update_batches),
                     len(delta_keys[-1]),
                 ],
                 ["speedup", f"{speedup:.2f}x", "", ""],
@@ -241,13 +199,13 @@ def test_tab9b_delta_stream_vs_rebuild_per_batch(stream_workload, benchmark, emi
 
 def test_tab9b_benchmark_rebuild_per_batch(stream_workload, benchmark):
     base, updates = stream_workload
-    batches = _batches(updates, 6)
+    update_batches = batches(updates, 6)
 
     def rebuild_run():
         graph = base.copy()
         results = [mine_frequent_patterns(graph, **STREAM_PARAMS)]
-        for batch in batches:
-            _apply_batch(graph, batch)
+        for batch in update_batches:
+            apply_batch(graph, batch)
             results.append(mine_frequent_patterns(graph, **STREAM_PARAMS))
         return results
 
@@ -264,43 +222,12 @@ def churn_workload(stream_workload):
     """A deletion-heavy mixed stream over the tab9b two-region graph.
 
     Reuses the stream workload's base (expensive welded A/B/C bulk plus a
-    sparse D/E growth region) but the updates now churn: a short growth
-    phase inserts new D/E leaves, then the stream deletes twice as many
-    edges as it inserted — every leaf edge it grew plus pre-existing
-    edges of the D/E region (leaf-first, so removals never strand a
-    vertex with unseen incident edges).  All touched label pairs stay in
-    the sparse region, so the delta path re-evaluates a small slice per
-    batch while rebuild-per-batch re-mines the welded bulk every time.
+    sparse D/E growth region) but the updates now churn: growth then
+    twice as many deletions, all confined to the sparse region — see
+    ``stream_workloads.churn_stream`` (shared with the tab10d gate).
     """
-    import random
-
     base, _ = stream_workload
-    graph = base.copy()
-    rng = random.Random(83)
-    growth_vertices = [v for v in graph.vertices() if graph.label_of(v) in ("D", "E")]
-    updates = []
-    inserted = []
-    serial = 0
-    for _ in range(12):
-        vertex = f"c{serial}"
-        serial += 1
-        parent = rng.choice(growth_vertices)
-        updates.append(("v", vertex, rng.choice("DE")))
-        updates.append(("e", parent, vertex))
-        inserted.append((parent, vertex))
-        growth_vertices.append(vertex)
-    # Deletion phase: drop every inserted leaf edge (newest first), then
-    # prune pre-existing D/E region edges leaf-first.
-    for parent, vertex in reversed(inserted):
-        updates.append(("de", parent, vertex))
-        updates.append(("dv", vertex))
-    region = {v for v in graph.vertices() if graph.label_of(v) in ("D", "E")}
-    region_edges = [(u, v) for u, v in graph.edges() if u in region and v in region]
-    for u, v in region_edges[: len(inserted)]:
-        updates.append(("de", u, v))
-    deletions = sum(1 for update in updates if update[0] in ("de", "dv"))
-    assert deletions > len(updates) // 2  # deletion-heavy by construction
-    return graph, updates
+    return churn_stream(base)
 
 
 def test_tab9c_deletion_stream_vs_rebuild_per_batch(churn_workload, benchmark, emit):
@@ -310,22 +237,22 @@ def test_tab9c_deletion_stream_vs_rebuild_per_batch(churn_workload, benchmark, e
     be identical between the delta-maintained miner and a full re-mine.
     """
     base, updates = churn_workload
-    batches = _batches(updates, 6)
+    update_batches = batches(updates, 6)
 
     def delta_run():
         graph = base.copy()
         miner = DynamicMiner(graph, **STREAM_PARAMS)
         keys = [miner.refresh().certificates()]
-        for batch in batches:
-            _apply_batch(graph, batch)
+        for batch in update_batches:
+            apply_batch(graph, batch)
             keys.append(miner.refresh().certificates())
         return keys
 
     def rebuild_run():
         graph = base.copy()
         keys = [mine_frequent_patterns(graph, **STREAM_PARAMS).certificates()]
-        for batch in batches:
-            _apply_batch(graph, batch)
+        for batch in update_batches:
+            apply_batch(graph, batch)
             keys.append(mine_frequent_patterns(graph, **STREAM_PARAMS).certificates())
         return keys
 
@@ -349,14 +276,14 @@ def test_tab9c_deletion_stream_vs_rebuild_per_batch(churn_workload, benchmark, e
                 [
                     "rebuild per batch",
                     f"{best_rebuild * 1e3:.1f}",
-                    len(batches),
+                    len(update_batches),
                     deletions,
                     len(rebuild_keys[-1]),
                 ],
                 [
                     "delta-maintained",
                     f"{best_delta * 1e3:.1f}",
-                    len(batches),
+                    len(update_batches),
                     deletions,
                     len(delta_keys[-1]),
                 ],

@@ -1,6 +1,6 @@
 """tab10 — partitioned (sharded) mining vs the flat single-graph miner.
 
-Three experiments share this module:
+Four experiments share this module:
 
 * **tab10a** — partitioner quality: per-method shard balance, boundary
   vertex count, and replication factor on the clustered medium dataset
@@ -15,7 +15,13 @@ Three experiments share this module:
   single-relevant-shard ("solo") pool task whose worker returns just
   ``(support, num_occurrences)``, so enumeration *and* measure
   computation parallelize with near-zero IPC.  Skipped below 4 CPUs,
-  where the 4-worker fan-out has nowhere to run.
+  where the 4-worker fan-out has nowhere to run;
+* **tab10d** — the dynamic-partition gate: over a deletion-heavy mixed
+  update stream (shared with tab9c via ``stream_workloads``), the
+  delta-maintained sharded miner — one partition kept current in
+  O(delta) per update, per-shard state patched, untouched expansions
+  cached — must beat re-partitioning + re-mining per batch by
+  **>= 1.3x**, with byte-identical per-batch results.
 
 Results must be identical in every configuration; wall time is the
 experiment.
@@ -27,6 +33,13 @@ import os
 import time
 
 import pytest
+from stream_workloads import (
+    STREAM_PARAMS,
+    apply_batch,
+    batches,
+    churn_stream,
+    two_region_base,
+)
 
 from repro.analysis.report import format_table
 from repro.datasets.synthetic import (
@@ -34,6 +47,7 @@ from repro.datasets.synthetic import (
     preferential_attachment_graph,
 )
 from repro.graph.builders import path_pattern, star_pattern
+from repro.mining.dynamic import DynamicMiner
 from repro.mining.miner import mine_frequent_patterns
 from repro.partition import PARTITION_METHODS, ShardedIndex
 
@@ -220,3 +234,124 @@ def test_tab10c_sharded_parallel_speedup(partition_workload, benchmark, emit):
 
 def test_tab10_benchmark_flat_mining(partition_workload, benchmark):
     benchmark(lambda: mine_frequent_patterns(partition_workload, **MINE_PARAMS))
+
+
+# ----------------------------------------------------------------------
+# tab10d — delta-maintained sharded streaming vs re-partition per batch
+# (search parameters: stream_workloads.STREAM_PARAMS, shared with tab9b/c)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def sharded_stream_workload():
+    """The shared deletion-heavy mixed stream over the two-region graph."""
+    return churn_stream(two_region_base())
+
+
+def test_tab10d_sharded_delta_stream_vs_repartition_per_batch(
+    sharded_stream_workload, benchmark, emit
+):
+    """Acceptance gate: dynamic partitions beat re-partition-per-batch >= 1.3x.
+
+    The delta pipeline maintains **one** partition across the whole
+    stream: every update is routed to its owning shard(s) in O(delta),
+    halos are patched in place, and only the footprint-affected
+    candidates re-evaluate (over expansions whose caches survive in the
+    untouched shards).  The reference pipeline re-partitions the graph
+    and re-mines every batch — the pre-dynamic-partitions behavior.
+    Same interleaved min-of-3 discipline as tab9b/tab9c; per-batch
+    results must be identical.
+    """
+    base, updates = sharded_stream_workload
+    update_batches = batches(updates, 6)
+    sharding = dict(shards=2, partition_method="label")
+
+    def delta_run():
+        graph = base.copy()
+        miner = DynamicMiner(graph, **sharding, **STREAM_PARAMS)
+        try:
+            keys = [miner.refresh().certificates()]
+            for batch in update_batches:
+                apply_batch(graph, batch)
+                keys.append(miner.refresh().certificates())
+        finally:
+            miner.detach()
+        return keys
+
+    def repartition_run():
+        graph = base.copy()
+        mined = mine_frequent_patterns(graph, **sharding, **STREAM_PARAMS)
+        keys = [mined.certificates()]
+        for batch in update_batches:
+            apply_batch(graph, batch)
+            mined = mine_frequent_patterns(graph, **sharding, **STREAM_PARAMS)
+            keys.append(mined.certificates())
+        return keys
+
+    best_delta = best_repartition = float("inf")
+    delta_keys = repartition_keys = None
+    for _ in range(3):
+        start = time.perf_counter()
+        repartition_keys = repartition_run()
+        best_repartition = min(best_repartition, time.perf_counter() - start)
+        start = time.perf_counter()
+        delta_keys = delta_run()
+        best_delta = min(best_delta, time.perf_counter() - start)
+
+    assert delta_keys == repartition_keys  # identical after every batch
+    speedup = best_repartition / max(best_delta, 1e-9)
+    deletions = sum(1 for update in updates if update[0] in ("de", "dv"))
+    emit(
+        format_table(
+            ["pipeline", "time ms", "batches", "deletions", "final frequent"],
+            [
+                [
+                    "re-partition per batch",
+                    f"{best_repartition * 1e3:.1f}",
+                    len(update_batches),
+                    deletions,
+                    len(repartition_keys[-1]),
+                ],
+                [
+                    "delta-maintained shards",
+                    f"{best_delta * 1e3:.1f}",
+                    len(update_batches),
+                    deletions,
+                    len(delta_keys[-1]),
+                ],
+                ["speedup", f"{speedup:.2f}x", "", "", ""],
+            ],
+            title=(
+                "tab10d: delta-maintained sharded streaming vs "
+                "re-partition-per-batch"
+            ),
+        )
+    )
+    assert speedup >= 1.3, (
+        f"dynamic partitions only {speedup:.2f}x over re-partition-per-batch"
+    )
+
+    benchmark(delta_run)
+
+
+def test_tab10d_benchmark_repartition_per_batch(sharded_stream_workload, benchmark):
+    base, updates = sharded_stream_workload
+    update_batches = batches(updates, 6)
+
+    def repartition_run():
+        graph = base.copy()
+        results = [
+            mine_frequent_patterns(
+                graph, shards=2, partition_method="label", **STREAM_PARAMS
+            )
+        ]
+        for batch in update_batches:
+            apply_batch(graph, batch)
+            results.append(
+                mine_frequent_patterns(
+                    graph, shards=2, partition_method="label", **STREAM_PARAMS
+                )
+            )
+        return results
+
+    benchmark(repartition_run)

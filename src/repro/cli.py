@@ -94,6 +94,8 @@ def _cmd_mine_stream(args: argparse.Namespace) -> int:
         max_pattern_nodes=args.max_nodes,
         max_pattern_edges=args.max_edges,
         window=args.window,
+        shards=args.shards,
+        partition_method=args.partition,
     ):
         last = step
         stats = step.result.stats
@@ -111,6 +113,9 @@ def _cmd_mine_stream(args: argparse.Namespace) -> int:
             ]
         )
     window_note = f", window={args.window}" if args.window else ""
+    shard_note = (
+        f", shards={args.shards} ({args.partition})" if args.shards > 1 else ""
+    )
     print(
         format_table(
             [
@@ -129,7 +134,7 @@ def _cmd_mine_stream(args: argparse.Namespace) -> int:
                 f"mine-stream over {len(updates)} updates "
                 f"(mode={args.mode}, measure={args.measure}, "
                 f"min_support={args.min_support:g}, "
-                f"batch_size={args.batch_size}{window_note})"
+                f"batch_size={args.batch_size}{window_note}{shard_note})"
             ),
         )
     )
@@ -148,8 +153,54 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     from .partition import ShardedIndex, save_partition
 
     data = load_graph(args.graph)
+    if args.rebalance:
+        return _cmd_partition_rebalance(args, data)
     sharded = ShardedIndex.build(data, args.shards, args.method)
     manifest = save_partition(sharded, args.outdir)
+    _print_partition_summary(sharded, data.name or args.graph)
+    print(f"wrote {manifest}")
+    return 0
+
+
+def _cmd_partition_rebalance(args: argparse.Namespace, data) -> int:
+    """``repro partition --rebalance``: maintain an existing shard directory.
+
+    Loads the partition from ``outdir``, absorbs any drift between its
+    reconstructed graph and the (possibly updated) ``graph`` file as
+    ordinary deltas routed to their owning shards, applies the rebalance
+    policy, and saves the directory back — re-partitioning from scratch
+    only if the maintainer's policy demands it.
+    """
+    from .partition import (
+        RebalancePolicy,
+        ShardedIndexMaintainer,
+        absorb_graph,
+        load_partition,
+        save_partition,
+    )
+
+    sharded = load_partition(args.outdir)
+    policy = RebalancePolicy(
+        max_load_factor=args.max_load,
+        max_replication=args.max_replication,
+    )
+    maintainer = ShardedIndexMaintainer(sharded=sharded, policy=policy)
+    absorbed = absorb_graph(sharded.graph, data)
+    sharded = maintainer.sharded()
+    manifest = save_partition(sharded, args.outdir)
+    _print_partition_summary(sharded, data.name or args.graph)
+    print(
+        f"\nabsorbed {absorbed} graph update(s) "
+        f"({maintainer.patches_applied} patched, "
+        f"{maintainer.rebuilds} re-partition(s)); "
+        f"rebalance moved {maintainer.edges_moved} edge(s), "
+        f"{maintainer.full_repartitions} full re-partition(s) by policy"
+    )
+    print(f"wrote {manifest}")
+    return 0
+
+
+def _print_partition_summary(sharded, title: str) -> None:
     rows = [
         [
             shard.shard_id,
@@ -165,18 +216,16 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             ["shard", "|V|", "core edges", "halo", "interior"],
             rows,
             title=(
-                f"{data.name or args.graph}: {sharded.num_shards} shards "
+                f"{title}: {sharded.num_shards} shards "
                 f"(method={sharded.partition.method})"
             ),
         )
     )
     print(
         f"\nboundary vertices: {len(sharded.boundary_vertices())} / "
-        f"{data.num_vertices}  "
+        f"{sharded.graph.num_vertices}  "
         f"replication factor: {sharded.replication_factor():.3f}"
     )
-    print(f"wrote {manifest}")
-    return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -360,6 +409,23 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--min-support", type=float, default=2.0)
     stream.add_argument("--max-nodes", type=int, default=5)
     stream.add_argument("--max-edges", type=int, default=6)
+    stream.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "run the stream over this many edge-disjoint shards; the delta "
+            "mode maintains one partition across the whole stream while the "
+            "reference modes re-partition per batch (results identical to "
+            "--shards 1)"
+        ),
+    )
+    stream.add_argument(
+        "--partition",
+        choices=PARTITION_METHODS,
+        default="hash",
+        help="partitioner used when --shards > 1",
+    )
     stream.set_defaults(func=_cmd_mine_stream)
 
     partition = subparsers.add_parser(
@@ -373,6 +439,36 @@ def build_parser() -> argparse.ArgumentParser:
         choices=PARTITION_METHODS,
         default="hash",
         help="edge partitioner",
+    )
+    partition.add_argument(
+        "--rebalance",
+        action="store_true",
+        help=(
+            "maintain the existing shard directory in outdir instead of "
+            "re-partitioning: absorb the graph file's drift as deltas "
+            "routed to their owning shards, then re-balance overflowing "
+            "shards (--shards/--method come from the saved manifest)"
+        ),
+    )
+    partition.add_argument(
+        "--max-load",
+        type=float,
+        default=1.5,
+        metavar="FACTOR",
+        help=(
+            "with --rebalance: a shard may hold at most FACTOR x the ideal "
+            "|E|/k core edges before shedding edges (default 1.5)"
+        ),
+    )
+    partition.add_argument(
+        "--max-replication",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help=(
+            "with --rebalance: replication-factor ceiling that triggers a "
+            "full re-partition instead of local moves (default: disabled)"
+        ),
     )
     partition.set_defaults(func=_cmd_partition)
 

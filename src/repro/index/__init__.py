@@ -1,8 +1,10 @@
 """Indexed acceleration layer for data-graph hot paths.
 
 See :mod:`repro.index.graph_index` for the design notes,
-:mod:`repro.index.delta` for incremental (delta-patched) maintenance, and
-``docs/architecture.md`` for how the rest of the library routes through it.
+:mod:`repro.index.delta` for incremental (delta-patched) maintenance,
+:mod:`repro.index.maintainable` for the maintainable-index protocol
+shared with the partition layer, and ``docs/architecture.md`` for how
+the rest of the library routes through it.
 """
 
 from .delta import (
@@ -16,6 +18,7 @@ from .delta import (
     VertexRemoved,
 )
 from .graph_index import GraphIndex, IndexArg, get_index, resolve_index
+from .maintainable import DeltaMaintainer, MaintainableIndex
 
 __all__ = [
     "GraphIndex",
@@ -30,4 +33,6 @@ __all__ = [
     "INSERTION_DELTAS",
     "PATCHABLE_DELTAS",
     "IndexMaintainer",
+    "MaintainableIndex",
+    "DeltaMaintainer",
 ]

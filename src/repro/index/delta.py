@@ -44,10 +44,11 @@ own rebuild-on-stale behavior remains the reference path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import Optional, Tuple, Union
 
 from ..graph.labeled_graph import Label, LabeledGraph, Vertex
 from .graph_index import GraphIndex, _label_pair_key, get_index
+from .maintainable import DeltaMaintainer
 
 
 @dataclass(frozen=True)
@@ -116,7 +117,7 @@ PATCHABLE_DELTAS = (VertexAdded, EdgeAdded, EdgeRemoved, VertexRemoved)
 AnyDelta = Union[VertexAdded, EdgeAdded, EdgeRemoved, VertexRemoved]
 
 
-class IndexMaintainer:
+class IndexMaintainer(DeltaMaintainer):
     """Keep one graph's :class:`GraphIndex` current by patching, not rebuilding.
 
     Attach with ``IndexMaintainer(graph)``; the maintainer subscribes to
@@ -134,140 +135,36 @@ class IndexMaintainer:
        late, detached in between, a buffer that cannot replay the version
        counter exactly) or a burst that outgrew the patch limit.
 
-    The **patch limit** bounds buffered state: once a run grows past
-    ``patch_limit`` deltas (default: ``max(64, |V| + |E|)``, the point
-    where replaying the run stops being cheaper than one rebuild), the
-    buffer is dropped, a single rebuild is deferred, and every further
-    delta of the burst is absorbed without being stored — so an
-    arbitrarily long burst costs O(1) maintained state and exactly one
-    rebuild at the next :meth:`index` call (``deltas_coalesced`` counts
-    the absorbed deltas).
-
-    The returned index is re-cached on the graph, so subsequent
+    The buffering, burst-coalescing, and contiguity bookkeeping are the
+    shared :class:`~repro.index.maintainable.DeltaMaintainer` core (one
+    implementation, also driving the sharded maintainer); this class
+    adds only what is specific to the flat index: adopting the graph's
+    cached index when an interleaved ``get_index`` read already rebuilt
+    it, and re-caching each refreshed index on the graph so subsequent
     ``get_index`` calls (matcher, miner, overlap graphs …) reuse it.
-    ``patches_applied`` / ``rebuilds`` count how each refresh was served.
+    ``patches_applied`` / ``rebuilds`` count how each refresh was served;
+    oversized bursts coalesce into one deferred rebuild
+    (``deltas_coalesced``, O(1) state past the patch limit).
     """
 
-    __slots__ = (
-        "graph",
-        "_buffer",
-        "_observer",
-        "_attached",
-        "_index",
-        "_patch_limit",
-        "_rebuild_pending",
-        "patches_applied",
-        "rebuilds",
-        "deltas_coalesced",
-    )
+    patchable_kinds = PATCHABLE_DELTAS
+
+    __slots__ = ()
 
     def __init__(self, graph: LabeledGraph, patch_limit: Optional[int] = None) -> None:
-        if patch_limit is not None and patch_limit < 1:
-            raise ValueError("patch_limit must be a positive delta count")
-        self.graph = graph
-        self._buffer: List[AnyDelta] = []
-        self._observer = graph.subscribe(self._observe)
-        self._attached = True
-        self._index = get_index(graph)
-        self._patch_limit = patch_limit
-        self._rebuild_pending = False
-        self.patches_applied = 0
-        self.rebuilds = 0
-        self.deltas_coalesced = 0
-
-    def _effective_patch_limit(self) -> int:
-        if self._patch_limit is not None:
-            return self._patch_limit
-        return max(64, self.graph.num_vertices + self.graph.num_edges)
-
-    def _observe(self, delta: AnyDelta) -> None:
-        """Buffer one published delta, folding oversized bursts into one rebuild.
-
-        Once a rebuild is pending, every subsequent delta is already
-        covered by that rebuild (it reads the graph's final state), so
-        nothing further is buffered until the rebuild is served.
-        """
-        if self._rebuild_pending:
-            self.deltas_coalesced += 1
-            return
-        if isinstance(delta, PATCHABLE_DELTAS):
-            self._buffer.append(delta)
-            if len(self._buffer) <= self._effective_patch_limit():
-                return
-        # Unknown delta kind, or the burst outgrew the patch limit: the
-        # buffered run is superseded by one deferred rebuild.
-        self.deltas_coalesced += len(self._buffer) + (
-            0 if isinstance(delta, PATCHABLE_DELTAS) else 1
-        )
-        self._buffer.clear()
-        self._rebuild_pending = True
-
-    # ------------------------------------------------------------------
-    @property
-    def attached(self) -> bool:
-        """True while the maintainer still observes the graph's mutations."""
-        return self._attached
-
-    def detach(self) -> None:
-        """Stop observing.  Later :meth:`index` calls detect the gap and rebuild."""
-        if self._attached:
-            self.graph.unsubscribe(self._observer)
-            self._attached = False
-
-    # ------------------------------------------------------------------
-    @property
-    def rebuild_pending(self) -> bool:
-        """True while a coalesced rebuild is deferred to the next :meth:`index`."""
-        return self._rebuild_pending
+        super().__init__(graph, get_index(graph), patch_limit)
 
     def index(self) -> GraphIndex:
         """The maintained index, brought current for the graph's version."""
-        graph = self.graph
-        target = graph.mutation_version()
-        if self._index.version == target:
-            self._reset_observation()
-            return self._index
-        cached = graph.cached_index()
+        return self.refresh()  # type: ignore[return-value]
+
+    def _adopt(self) -> Optional[GraphIndex]:
+        # Someone already paid for a fresh index (an interleaved read
+        # through get_index); adopt it instead of duplicating the work.
+        cached = self.graph.cached_index()
         if isinstance(cached, GraphIndex) and cached.is_current():
-            # Someone already paid for a fresh index (an interleaved read
-            # through get_index); adopt it instead of duplicating the work.
-            self._index = cached
-            self._reset_observation()
             return cached
-        deltas = [d for d in self._buffer if d.version > self._index.version]
-        if not self._rebuild_pending and self._patchable(deltas, target):
-            for delta in deltas:
-                self._index.apply_delta(delta)
-            self.patches_applied += len(deltas)
-        else:
-            self._index = GraphIndex.build(graph)
-            self.rebuilds += 1
-        self._reset_observation()
-        graph.cache_index(self._index)
-        return self._index
+        return None
 
-    def _reset_observation(self) -> None:
-        self._buffer.clear()
-        self._rebuild_pending = False
-
-    def _patchable(self, deltas: List[AnyDelta], target: int) -> bool:
-        """True when ``deltas`` is a contiguous patchable replay to ``target``."""
-        if not self._attached or not deltas:
-            return False
-        if deltas[0].version != self._index.version + 1:
-            return False
-        if deltas[-1].version != target:
-            return False
-        if any(b.version != a.version + 1 for a, b in zip(deltas, deltas[1:])):
-            return False
-        return all(isinstance(d, PATCHABLE_DELTAS) for d in deltas)
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        state = "attached" if self._attached else "detached"
-        if self._rebuild_pending:
-            state += " rebuild-pending"
-        return (
-            f"<IndexMaintainer {state} v{self._index.version} "
-            f"patches={self.patches_applied} rebuilds={self.rebuilds} "
-            f"coalesced={self.deltas_coalesced}>"
-        )
+    def _store(self, index) -> None:
+        self.graph.cache_index(index)

@@ -39,6 +39,7 @@ from bisect import bisect_left
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from ..graph.labeled_graph import Edge, Label, LabeledGraph, Vertex, normalize_edge
+from .maintainable import MaintainableIndex
 
 _EMPTY: Tuple[Vertex, ...] = ()
 
@@ -65,14 +66,16 @@ def _label_pair_key(lu: Label, lv: Label) -> Tuple[Label, Label]:
     return (lu, lv) if repr(lu) <= repr(lv) else (lv, lu)
 
 
-class GraphIndex:
+class GraphIndex(MaintainableIndex):
     """An acceleration structure for one labeled graph snapshot.
 
     Build with :meth:`build` (or the cached :func:`get_index`).  The index
     never mutates the graph; :meth:`is_current` reports whether the graph
     has changed since the snapshot was taken.  A stale index can be
     brought current either by rebuilding or by :meth:`apply_delta`
-    patching one typed delta — insertion or removal — in O(delta).
+    patching one typed delta — insertion or removal — in O(delta)
+    (the :class:`~repro.index.maintainable.MaintainableIndex` protocol,
+    shared with the partition layer's ``ShardedIndex``).
     """
 
     __slots__ = (
@@ -141,9 +144,9 @@ class GraphIndex:
         """Build a fresh index for ``graph`` (no caching)."""
         return cls(graph)
 
-    def is_current(self) -> bool:
-        """True while the indexed graph has not been mutated."""
-        return self.graph.mutation_version() == self.version
+    def rebuilt(self) -> "GraphIndex":
+        """A from-scratch index for the graph's current state."""
+        return GraphIndex(self.graph)
 
     # ------------------------------------------------------------------
     # delta maintenance (see repro.index.delta)

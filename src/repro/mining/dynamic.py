@@ -47,7 +47,10 @@ path alive, and rebuild-per-batch via
 :func:`repro.mining.miner.mine_frequent_patterns` is the reference mode of
 :func:`mine_stream` (CLI: ``repro-graph mine-stream``, including the
 sliding-window workload ``--window N`` that expires the oldest live
-stream edges).
+stream edges).  With ``shards=k`` (CLI ``--shards K --partition M``) the
+stream runs over the partitioned evaluator: the delta mode keeps one
+delta-maintained :class:`~repro.partition.ShardedIndex` alive across the
+whole stream while the reference modes re-partition per batch.
 """
 
 from __future__ import annotations
@@ -130,7 +133,14 @@ class DynamicMiner:
     With ``use_index=True`` (default) the graph's acceleration index is
     delta-patched between refreshes through an
     :class:`~repro.index.delta.IndexMaintainer`; ``use_index=False`` is
-    the brute-force reference path.
+    the brute-force reference path.  With ``shards=k > 1`` the data
+    graph additionally rides a delta-maintained
+    :class:`~repro.partition.ShardedIndex` (kept current in O(delta) by
+    a :class:`~repro.partition.ShardedIndexMaintainer` — no re-partition
+    per batch) and every affected candidate evaluates through the
+    halo-aware sharded path; results stay byte-identical to the flat
+    run.  An optional :class:`~repro.partition.RebalancePolicy` lets
+    skewed streams trigger shard rebalancing between refreshes.
     """
 
     def __init__(
@@ -142,6 +152,9 @@ class DynamicMiner:
         max_pattern_edges: int = 6,
         lazy: bool = False,
         use_index: bool = True,
+        shards: int = 1,
+        partition_method: str = "hash",
+        rebalance=None,
     ) -> None:
         info = measure_info(measure)
         if not info.anti_monotonic:
@@ -153,6 +166,16 @@ class DynamicMiner:
             raise MiningError("min_support must be positive")
         if lazy and measure != "mni":
             raise MiningError("lazy evaluation is only defined for the MNI measure")
+        if shards < 1:
+            raise MiningError(f"shards must be >= 1, got {shards}")
+        if shards > 1:
+            from ..partition.partitioner import PARTITION_METHODS
+
+            if partition_method not in PARTITION_METHODS:
+                raise MiningError(
+                    f"unknown partition method {partition_method!r}; "
+                    f"available: {', '.join(PARTITION_METHODS)}"
+                )
         self.data = data
         self.measure = measure
         self.min_support = min_support
@@ -160,7 +183,16 @@ class DynamicMiner:
         self.max_pattern_edges = max_pattern_edges
         self.lazy = lazy
         self.use_index = use_index
+        self.shards = int(shards)
+        self.partition_method = partition_method
         self._maintainer = IndexMaintainer(data) if use_index else None
+        self._sharded_maintainer = None
+        if self.shards > 1:
+            from ..partition.maintainer import ShardedIndexMaintainer
+
+            self._sharded_maintainer = ShardedIndexMaintainer(
+                data, self.shards, partition_method, policy=rebalance
+            )
         self._buffer: List[AnyDelta] = []
         self._observer = data.subscribe(self._buffer.append)
         self._attached = True
@@ -185,7 +217,7 @@ class DynamicMiner:
         return self._attached
 
     def detach(self) -> None:
-        """Stop observing (index maintainer included).
+        """Stop observing (index and sharded maintainers included).
 
         Refreshes after a detach-era mutation fall back to a full
         re-mine — results stay correct, only the delta savings are lost.
@@ -195,6 +227,8 @@ class DynamicMiner:
             self._attached = False
         if self._maintainer is not None:
             self._maintainer.detach()
+        if self._sharded_maintainer is not None:
+            self._sharded_maintainer.detach()
 
     @property
     def _lazy_cap(self) -> int:
@@ -282,6 +316,7 @@ class DynamicMiner:
         delta_pairs: Optional[Set[LabelPair]],
         histogram: Dict,
         stats: MiningStats,
+        sharded=None,
     ) -> Optional[FrequentPattern]:
         """One candidate: reuse, skip (returns ``None``), or evaluate."""
         if delta_pairs is not None and not (
@@ -295,17 +330,32 @@ class DynamicMiner:
             return None
         stats.patterns_evaluated += 1
         stats.support_calls += 1
-        support, num_occurrences = evaluate_support(
-            pattern,
-            self.data,
-            self.measure,
-            lazy=self.lazy,
-            lazy_cap=self._lazy_cap,
-            max_occurrences=None,
-            index_arg=None if self.use_index else False,
-            histogram=histogram,
-            prune_below=self.min_support,
-        )
+        if sharded is not None:
+            from ..partition.evaluate import sharded_evaluate_support
+
+            support, num_occurrences = sharded_evaluate_support(
+                pattern,
+                sharded,
+                self.measure,
+                lazy=self.lazy,
+                lazy_cap=self._lazy_cap,
+                max_occurrences=None,
+                index_arg=None if self.use_index else False,
+                histogram=histogram,
+                prune_below=self.min_support,
+            )
+        else:
+            support, num_occurrences = evaluate_support(
+                pattern,
+                self.data,
+                self.measure,
+                lazy=self.lazy,
+                lazy_cap=self._lazy_cap,
+                max_occurrences=None,
+                index_arg=None if self.use_index else False,
+                histogram=histogram,
+                prune_below=self.min_support,
+            )
         if num_occurrences >= 0:
             stats.occurrence_enumerations += 1
         return FrequentPattern(
@@ -318,6 +368,11 @@ class DynamicMiner:
     def _mine(self, delta_pairs: Optional[Set[LabelPair]]) -> MiningResult:
         """Pattern-growth closure with per-candidate reuse/skip/evaluate."""
         index = self._maintainer.index() if self._maintainer is not None else None
+        sharded = (
+            self._sharded_maintainer.sharded()
+            if self._sharded_maintainer is not None
+            else None
+        )
         label_pairs = adjacent_label_pairs(self.data, index=index)
         histogram = (
             index.label_histogram()
@@ -342,7 +397,7 @@ class DynamicMiner:
             next_level: List[Tuple[Pattern, str]] = []
             for pattern, certificate in level:
                 evaluated = self._evaluate(
-                    pattern, certificate, delta_pairs, histogram, stats
+                    pattern, certificate, delta_pairs, histogram, stats, sharded
                 )
                 if evaluated is None:
                     continue
@@ -469,6 +524,8 @@ def mine_stream(
     max_pattern_edges: int = 6,
     lazy: bool = False,
     window: Optional[int] = None,
+    shards: int = 1,
+    partition_method: str = "hash",
 ) -> Iterator[StreamBatch]:
     """Mine a live graph: apply ``updates`` in batches, yield per-batch results.
 
@@ -481,6 +538,13 @@ def mine_stream(
       (reference path);
     * ``"brute"`` — full re-mine per batch with ``use_index=False``
       (brute-force reference path).
+
+    ``shards=k`` runs every mode over the sharded evaluator: the delta
+    mode maintains one partition across the whole stream (deltas routed
+    to their owning shards, no re-partition), while the reference modes
+    re-partition + rebuild per batch — so comparing the two measures
+    exactly the cost dynamic partition maintenance avoids.  Results are
+    byte-identical to ``shards=1`` in every mode.
 
     ``window=N`` turns the replay into a **sliding-window** workload: after
     each batch, the oldest live stream-inserted edges are removed until at
@@ -500,6 +564,8 @@ def mine_stream(
         raise MiningError(f"unknown mine-stream mode {mode!r}")
     if window is not None and window < 1:
         raise MiningError("window must be >= 1 (or None for no expiry)")
+    if shards < 1:
+        raise MiningError(f"shards must be >= 1, got {shards}")
 
     kwargs = dict(
         measure=measure,
@@ -508,9 +574,10 @@ def mine_stream(
         max_pattern_edges=max_pattern_edges,
         lazy=lazy,
     )
+    sharding = dict(shards=shards, partition_method=partition_method)
     miner: Optional[DynamicMiner] = None
     if mode == "delta":
-        miner = DynamicMiner(data, **kwargs)
+        miner = DynamicMiner(data, **kwargs, **sharding)
     sliding = _SlidingWindow(window) if window is not None else None
 
     def evaluate() -> MiningResult:
@@ -518,7 +585,9 @@ def mine_stream(
             return miner.refresh()
         from .miner import mine_frequent_patterns
 
-        return mine_frequent_patterns(data, use_index=(mode == "rebuild"), **kwargs)
+        return mine_frequent_patterns(
+            data, use_index=(mode == "rebuild"), **kwargs, **sharding
+        )
 
     try:
         yield StreamBatch(0, 0, data.num_vertices, data.num_edges, evaluate())

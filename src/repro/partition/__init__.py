@@ -7,8 +7,12 @@ builds one :class:`~repro.index.GraphIndex` per shard behind a merged
 global directory (:mod:`repro.partition.sharded_index`), and evaluates
 the paper's support measures exactly by merging per-shard enumeration
 (:mod:`repro.partition.evaluate`).  Shard directories round-trip through
-:mod:`repro.partition.io`.  See the "Partitioning" section of
-``docs/architecture.md`` for the invariants and routing rules.
+:mod:`repro.partition.io`.  Under update streams the partition is
+delta-maintained rather than rebuilt: :mod:`repro.partition.maintainer`
+routes each graph delta to its owning shard(s) in O(delta) and
+re-balances overflowing shards.  See the "Partitioning" and "Dynamic
+partitions" sections of ``docs/architecture.md`` for the invariants and
+routing rules.
 """
 
 from .evaluate import (
@@ -26,7 +30,8 @@ from .evaluate import (
     support_from_shard_items,
 )
 from .io import load_partition, save_partition
-from .partitioner import PARTITION_METHODS, Partition, partition_edges
+from .maintainer import RebalancePolicy, ShardedIndexMaintainer, absorb_graph
+from .partitioner import PARTITION_METHODS, EdgeRouter, Partition, partition_edges
 from .shard import GraphShard
 from .sharded_index import ShardedIndex
 
@@ -34,8 +39,12 @@ __all__ = [
     "PARTITION_METHODS",
     "Partition",
     "partition_edges",
+    "EdgeRouter",
     "GraphShard",
     "ShardedIndex",
+    "ShardedIndexMaintainer",
+    "RebalancePolicy",
+    "absorb_graph",
     "save_partition",
     "load_partition",
     "required_depth",

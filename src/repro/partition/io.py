@@ -4,7 +4,8 @@ A partitioned graph is a directory of per-shard ``.lg`` files plus a
 ``manifest.json``:
 
     out/
-      manifest.json       format version, name, method, shard summary
+      manifest.json       format version, name, method, shard summary,
+                          assignment state (isolated vertices + router)
       shard-0000.lg       shard 0's core vertices (incl. halo copies) + core edges
       shard-0001.lg       ...
 
@@ -15,6 +16,16 @@ exactly one file, and isolated vertices in their assigned shard's file —
 so the union of the shard files reconstructs the original graph exactly,
 and the file an edge appears in *is* its shard assignment (no separate
 assignment table to drift out of sync).
+
+Format 2 manifests additionally persist the partition's **assignment
+state**: the explicit isolated-vertex assignments and the online
+router's state (per-shard loads plus the label method's sticky
+pair → shard map — including pairs whose edges have all been deleted,
+which shard files alone cannot express).  A loaded partition therefore
+keeps absorbing deltas *exactly* like the one that was saved: same
+method, same routing decisions, same shard for a re-inserted edge.
+Format 1 directories (pre-dynamic-partitions) still load; their router
+state is reconstructed from the shard files.
 """
 
 from __future__ import annotations
@@ -26,13 +37,15 @@ from typing import Union
 from ..errors import DatasetError, PartitionError
 from ..graph.io import format_lg, parse_lg
 from ..graph.labeled_graph import LabeledGraph
-from .partitioner import PARTITION_METHODS, Partition
+from .partitioner import PARTITION_METHODS, EdgeRouter, Partition
 from .sharded_index import ShardedIndex
 
 PathLike = Union[str, Path]
 
 MANIFEST_NAME = "manifest.json"
-MANIFEST_FORMAT = 1
+MANIFEST_FORMAT = 2
+#: Manifest versions :func:`load_partition` understands.
+SUPPORTED_FORMATS = (1, MANIFEST_FORMAT)
 
 
 def _shard_filename(shard_id: int) -> str:
@@ -55,6 +68,14 @@ def save_partition(sharded: ShardedIndex, directory: PathLike) -> Path:
         "num_vertices": sharded.graph.num_vertices,
         "num_edges": sharded.graph.num_edges,
         "shards": [],
+        "vertex_assignment": sorted(
+            (
+                [vertex, shard]
+                for vertex, shard in sharded.partition.vertex_assignment.items()
+            ),
+            key=repr,
+        ),
+        "router": sharded.router().state_dict(),
     }
     for shard in sharded.shards:
         filename = _shard_filename(shard.shard_id)
@@ -77,8 +98,11 @@ def load_partition(directory: PathLike) -> ShardedIndex:
 
     The data graph is reconstructed as the union of the shard files
     (edge-disjoint by construction; replicated boundary vertices collapse
-    on their consistent labels), and each edge's shard assignment is
-    recovered from the file it appears in.
+    on their consistent labels), each edge's shard assignment is
+    recovered from the file it appears in, and — for format 2 manifests —
+    the isolated-vertex assignments and online router state are restored
+    verbatim, so the loaded partition routes future deltas exactly like
+    the saved one.
 
     Raises
     ------
@@ -86,7 +110,8 @@ def load_partition(directory: PathLike) -> ShardedIndex:
         When the directory or its manifest is missing or malformed.
     PartitionError
         When the shard files contradict the manifest (duplicate edge
-        ownership, unknown method, wrong shard count).
+        ownership, unknown method, wrong shard count, unknown assigned
+        vertices).
     """
     directory = Path(directory)
     manifest_path = directory / MANIFEST_NAME
@@ -96,10 +121,9 @@ def load_partition(directory: PathLike) -> ShardedIndex:
         manifest = json.loads(manifest_path.read_text())
     except json.JSONDecodeError as exc:
         raise DatasetError(f"malformed partition manifest {manifest_path}: {exc}")
-    if manifest.get("format") != MANIFEST_FORMAT:
-        raise DatasetError(
-            f"unsupported partition manifest format {manifest.get('format')!r}"
-        )
+    manifest_format = manifest.get("format")
+    if manifest_format not in SUPPORTED_FORMATS:
+        raise DatasetError(f"unsupported partition manifest format {manifest_format!r}")
     method = manifest.get("method")
     if method not in PARTITION_METHODS:
         raise PartitionError(f"manifest names unknown partition method {method!r}")
@@ -143,16 +167,45 @@ def load_partition(directory: PathLike) -> ShardedIndex:
                 )
             assignment[edge] = shard_id
             graph.add_edge(*edge)
-    # Isolated vertices are the ones no edge carried in; their file is
-    # their assignment.
-    for shard_id, shard_graph in enumerate(shard_graphs):
-        for vertex in shard_graph.vertices():
-            if graph.degree(vertex) == 0:
-                vertex_assignment[vertex] = shard_id
+    saved_assignment = manifest.get("vertex_assignment")
+    if manifest_format >= 2 and isinstance(saved_assignment, list):
+        # Explicit isolated-vertex assignments survive the round trip.
+        for vertex, shard_id in saved_assignment:
+            if not graph.has_vertex(vertex):
+                raise PartitionError(
+                    f"manifest assigns unknown vertex {vertex!r} to shard "
+                    f"{shard_id}; it appears in no shard file"
+                )
+            if not isinstance(shard_id, int) or not 0 <= shard_id < num_shards:
+                raise PartitionError(
+                    f"manifest assigns vertex {vertex!r} to shard "
+                    f"{shard_id!r}, outside the {num_shards} declared shards"
+                )
+            vertex_assignment[vertex] = shard_id
+    else:
+        # Format 1: isolated vertices are the ones no edge carried in;
+        # their file is their assignment.
+        for shard_id, shard_graph in enumerate(shard_graphs):
+            for vertex in shard_graph.vertices():
+                if graph.degree(vertex) == 0:
+                    vertex_assignment[vertex] = shard_id
     partition = Partition(
         num_shards=num_shards,
         method=method,
         assignment=assignment,
         vertex_assignment=vertex_assignment,
     )
-    return ShardedIndex(graph, partition)
+    sharded = ShardedIndex(graph, partition)
+    router_state = manifest.get("router")
+    if manifest_format >= 2 and isinstance(router_state, dict):
+        sharded._router = EdgeRouter.from_state(
+            method,
+            num_shards,
+            router_state,
+            homes=(
+                (vertex, shard_id)
+                for shard_id, shard_graph in enumerate(shard_graphs)
+                for vertex in shard_graph.vertices()
+            ),
+        )
+    return sharded

@@ -7,13 +7,20 @@ several shards are **boundary vertices**; each incident shard replicates
 them — that replicated set is the shard's **halo**.  The invariant the
 test suite pins: a boundary vertex appears in *every* shard owning one of
 its edges, exactly once per shard.
+
+Shards are mutable in exactly one controlled way: the owning
+:class:`~repro.partition.sharded_index.ShardedIndex` patches core edges
+and halo membership while absorbing graph deltas (or rebalancing), via
+the underscore-prefixed splice helpers below.  Everyone else treats a
+shard as read-only.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Tuple
+from typing import FrozenSet, Iterable, Set, Tuple
 
 from ..graph.labeled_graph import Edge, LabeledGraph, Vertex
+from ..index.graph_index import _insert_canonical, _remove_canonical
 
 
 class GraphShard:
@@ -32,13 +39,13 @@ class GraphShard:
         shard_id: int,
         graph: LabeledGraph,
         core_edges: Tuple[Edge, ...],
-        halo_vertices: FrozenSet[Vertex],
+        halo_vertices: Iterable[Vertex],
     ) -> None:
         self.shard_id = shard_id
         self.graph = graph
         self.core_edges = core_edges
-        self.core_edge_set = frozenset(core_edges)
-        self.halo_vertices = halo_vertices
+        self.core_edge_set: Set[Edge] = set(core_edges)
+        self.halo_vertices: Set[Vertex] = set(halo_vertices)
 
     @property
     def num_vertices(self) -> int:
@@ -55,6 +62,19 @@ class GraphShard:
     def owns_edge(self, edge: Edge) -> bool:
         """True when the canonical ``edge`` is one of this shard's core edges."""
         return edge in self.core_edge_set
+
+    # ------------------------------------------------------------------
+    # maintenance splices (ShardedIndex.apply_delta / rebalance only)
+    # ------------------------------------------------------------------
+    def _add_core_edge(self, edge: Edge) -> None:
+        """Splice a canonical edge into the core set at its canonical position."""
+        self.core_edges = _insert_canonical(self.core_edges, edge)
+        self.core_edge_set.add(edge)
+
+    def _remove_core_edge(self, edge: Edge) -> None:
+        """Splice a canonical edge out of the core set."""
+        self.core_edges = _remove_canonical(self.core_edges, edge)
+        self.core_edge_set.discard(edge)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

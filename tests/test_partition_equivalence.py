@@ -13,6 +13,8 @@ label-poor/label-rich regimes (style and scope mirror
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.datasets.synthetic import (
@@ -23,6 +25,7 @@ from repro.datasets.synthetic import (
 from repro.graph.builders import path_pattern, star_pattern, triangle_pattern
 from repro.isomorphism.matcher import find_occurrences
 from repro.measures.lazy_mni import lazy_mni_support
+from repro.mining.dynamic import DynamicMiner, mine_stream
 from repro.mining.miner import mine_frequent_patterns
 from repro.mining.parallel import evaluate_support
 from repro.partition import (
@@ -263,3 +266,203 @@ class TestShardedSupportEquivalence:
                 assert sharded_lazy_mni(pattern, sharded, cap) == lazy_mni_support(
                     pattern, graph, cap=cap
                 )
+
+
+# ----------------------------------------------------------------------
+# dynamic partitions: delta-maintained ShardedIndex under mixed churn
+# ----------------------------------------------------------------------
+
+
+def result_key(result):
+    """The byte-identity certificate: (certificate, support, occurrences)."""
+    return [
+        (fp.certificate, fp.support, fp.num_occurrences)
+        for fp in sorted(result.frequent, key=lambda fp: fp.certificate)
+    ]
+
+
+def churn_randomly(graph, rng, steps, alphabet, tag):
+    """Mixed mutations: insertions, edge removals, vertex removals."""
+    applied = 0
+    serial = 0
+    while applied < steps:
+        roll = rng.random()
+        if roll < 0.25:
+            graph.add_vertex(f"{tag}-{serial}", rng.choice(alphabet))
+            serial += 1
+            applied += 1
+        elif roll < 0.5 and graph.num_edges > 3:
+            graph.remove_edge(*rng.choice(graph.edges()))
+            applied += 1
+        elif roll < 0.6 and graph.num_vertices > 6:
+            graph.remove_vertex(rng.choice(graph.vertices()))
+            applied += 1
+        else:
+            u, v = rng.sample(graph.vertices(), 2)
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+                applied += 1
+
+
+class TestDynamicShardedEquivalence:
+    """Patched ShardedIndex == freshly partitioned + rebuilt, per churn batch.
+
+    The acceptance criterion of the dynamic-partitions PR: after any
+    validated update stream the delta-maintained sharded miner must
+    produce byte-identical results (certificates, supports, occurrence
+    counts) to a from-scratch partition + rebuild of the current graph —
+    and to the flat miner, by the PR 3 exactness argument.
+    """
+
+    @pytest.mark.parametrize("method", PARTITION_METHODS)
+    @pytest.mark.parametrize("seed", [0, 9, 21])
+    def test_mixed_churn_matches_fresh_partition(self, seed, method):
+        graph = build_graph(GRAPH_SPECS[seed])
+        rng = random.Random(seed * 131 + 17)
+        miner = DynamicMiner(graph, shards=3, partition_method=method, **MINE_KWARGS)
+        try:
+            assert result_key(miner.refresh()) == result_key(
+                mine_frequent_patterns(graph.copy(), **MINE_KWARGS)
+            )
+            for batch in range(3):
+                churn_randomly(
+                    graph, rng, steps=5, alphabet="ABCD", tag=f"{method}{seed}b{batch}"
+                )
+                patched = result_key(miner.refresh())
+                fresh = result_key(
+                    mine_frequent_patterns(
+                        graph.copy(),
+                        shards=3,
+                        partition_method=method,
+                        **MINE_KWARGS,
+                    )
+                )
+                flat = result_key(mine_frequent_patterns(graph.copy(), **MINE_KWARGS))
+                assert patched == fresh == flat
+        finally:
+            miner.detach()
+
+    @pytest.mark.parametrize("measure", ["mni", "mi", "mis"])
+    def test_measure_generality_under_sharded_churn(self, measure):
+        kwargs = {**MINE_KWARGS, "measure": measure}
+        graph = build_graph(GRAPH_SPECS[28])
+        rng = random.Random(53)
+        miner = DynamicMiner(graph, shards=2, partition_method="hash", **kwargs)
+        try:
+            miner.refresh()
+            for batch in range(3):
+                churn_randomly(graph, rng, steps=4, alphabet="ABC", tag=f"m{batch}")
+                patched = result_key(miner.refresh())
+                fresh = result_key(
+                    mine_frequent_patterns(
+                        graph.copy(), shards=2, partition_method="hash", **kwargs
+                    )
+                )
+                assert patched == fresh
+        finally:
+            miner.detach()
+
+    def test_lazy_mni_under_sharded_churn(self):
+        kwargs = {**MINE_KWARGS, "lazy": True}
+        graph = build_graph(GRAPH_SPECS[12])
+        rng = random.Random(29)
+        miner = DynamicMiner(graph, shards=3, partition_method="edgecut", **kwargs)
+        try:
+            miner.refresh()
+            for batch in range(3):
+                churn_randomly(graph, rng, steps=4, alphabet="ABC", tag=f"z{batch}")
+                patched = result_key(miner.refresh())
+                fresh = result_key(
+                    mine_frequent_patterns(
+                        graph.copy(), shards=3, partition_method="edgecut", **kwargs
+                    )
+                )
+                flat = result_key(mine_frequent_patterns(graph.copy(), **kwargs))
+                assert patched == fresh == flat
+        finally:
+            miner.detach()
+
+    def test_delta_savings_survive_sharding(self):
+        """Footprint reuse/skip still fires when evaluation is sharded."""
+        graph = build_graph(GRAPH_SPECS[26])  # planted: two label regions
+        miner = DynamicMiner(graph, shards=2, partition_method="label", **MINE_KWARGS)
+        try:
+            initial = miner.refresh()
+            anchor = sorted(graph.vertices_with_label("A"), key=repr)[0]
+            graph.add_vertex("fresh-b", "B")
+            graph.add_edge(anchor, "fresh-b")
+            refreshed = miner.refresh()
+            assert (
+                refreshed.stats.patterns_reused
+                + refreshed.stats.patterns_skipped_unaffected
+                > 0
+            )
+            assert refreshed.stats.patterns_evaluated <= (
+                initial.stats.patterns_evaluated
+            )
+            assert result_key(refreshed) == result_key(
+                mine_frequent_patterns(graph.copy(), **MINE_KWARGS)
+            )
+        finally:
+            miner.detach()
+
+
+class TestShardedWindowStreams:
+    """Sliding-window expiry rides the same delta-routing machinery."""
+
+    def _chain_updates(self, graph, count):
+        anchor = graph.vertices()[0]
+        updates = []
+        for i in range(count):
+            updates.append(("v", f"w-{i}", "AB"[i % 2]))
+            updates.append(("e", f"w-{i - 1}" if i else anchor, f"w-{i}"))
+        return updates
+
+    @pytest.mark.parametrize("method", ["hash", "label"])
+    def test_window_stream_sharded_modes_agree(self, method):
+        updates = None
+        keys = {}
+        for mode in ("delta", "rebuild"):
+            graph = build_graph(GRAPH_SPECS[2])
+            updates = updates or self._chain_updates(graph, 8)
+            steps = list(
+                mine_stream(
+                    graph,
+                    updates,
+                    batch_size=3,
+                    window=4,
+                    mode=mode,
+                    shards=2,
+                    partition_method=method,
+                    **MINE_KWARGS,
+                )
+            )
+            keys[mode] = [
+                (result_key(step.result), step.edges_expired) for step in steps
+            ]
+            assert not graph.has_observers()
+        assert keys["delta"] == keys["rebuild"]
+
+    def test_sharded_stream_matches_unsharded_stream(self):
+        updates = None
+        keys = {}
+        for shards in (1, 3):
+            graph = build_graph(GRAPH_SPECS[13])
+            updates = updates or self._chain_updates(graph, 9) + [
+                ("de", "w-1", "w-2"),
+                ("dv", "w-2"),
+                ("v", "w-2", "A"),
+                ("e", "w-1", "w-2"),
+            ]
+            steps = list(
+                mine_stream(
+                    graph,
+                    updates,
+                    batch_size=4,
+                    shards=shards,
+                    partition_method="edgecut",
+                    **MINE_KWARGS,
+                )
+            )
+            keys[shards] = [result_key(step.result) for step in steps]
+        assert keys[1] == keys[3]
