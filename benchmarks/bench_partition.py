@@ -1,6 +1,6 @@
 """tab10 — partitioned (sharded) mining vs the flat single-graph miner.
 
-Four experiments share this module:
+Six experiments share this module:
 
 * **tab10a** — partitioner quality: per-method shard balance, boundary
   vertex count, and replication factor on the clustered medium dataset
@@ -21,7 +21,19 @@ Four experiments share this module:
   delta-maintained sharded miner — one partition kept current in
   O(delta) per update, per-shard state patched, untouched expansions
   cached — must beat re-partitioning + re-mining per batch by
-  **>= 1.3x**, with byte-identical per-batch results.
+  **>= 1.3x**, with byte-identical per-batch results;
+* **tab10e** — the worker-lifecycle gate: over the same shared stream,
+  the shard-resident pool (one long-lived worker per shard, slices
+  shipped once and re-shipped only when deltas dirtied them) must beat
+  the per-task shipping reference (``resident_workers=False``: workers
+  respawned and the whole graph + partition re-shipped every refresh)
+  by **>= 1.3x**.  Valid on a single CPU: both sides run the same
+  evaluation, the gate measures pure pool-lifecycle overhead;
+* **tab10f** — the out-of-core gate: mining a large-diameter corridor
+  graph with ``max_resident=1`` must be byte-identical to the
+  all-resident run while its deterministic peak resident view weight
+  (``ShardPager.peak_resident_weight``, vertices + edges of every
+  non-alias resident view) stays strictly below the all-resident peak.
 
 Results must be identical in every configuration; wall time is the
 experiment.
@@ -332,6 +344,160 @@ def test_tab10d_sharded_delta_stream_vs_repartition_per_batch(
     )
 
     benchmark(delta_run)
+
+
+# ----------------------------------------------------------------------
+# tab10e — shard-resident workers vs per-task shipping over the stream
+# ----------------------------------------------------------------------
+
+
+def test_tab10e_resident_workers_vs_per_task_shipping(
+    sharded_stream_workload, benchmark, emit
+):
+    """Acceptance gate: resident workers beat per-task shipping >= 1.3x.
+
+    Both pipelines run the *same* delta-maintained sharded stream with
+    ``workers=2, shards=2`` — the only difference is worker lifecycle.
+    The resident pipeline keeps one worker per shard alive across every
+    refresh; each worker owns its shard's slice and the parent re-ships
+    only slices that deltas dirtied.  The reference pipeline
+    (``resident_workers=False``) is the pre-resident design: a fresh
+    executor per refresh, every worker re-initialized with the whole
+    graph and partition, every shard index rebuilt worker-side.  The
+    evaluation work is identical, so the measured ratio is pure
+    spawn-and-ship overhead — which is why the gate is valid on one CPU.
+    """
+    base, updates = sharded_stream_workload
+    update_batches = batches(updates, 6)
+    config = dict(shards=2, partition_method="label", workers=2, **STREAM_PARAMS)
+
+    def stream_run(resident_workers):
+        graph = base.copy()
+        miner = DynamicMiner(graph, resident_workers=resident_workers, **config)
+        try:
+            keys = [miner.refresh().certificates()]
+            for batch in update_batches:
+                apply_batch(graph, batch)
+                keys.append(miner.refresh().certificates())
+        finally:
+            miner.detach()
+        return keys
+
+    best_resident = best_shipping = float("inf")
+    resident_keys = shipping_keys = None
+    for _ in range(2):
+        start = time.perf_counter()
+        shipping_keys = stream_run(resident_workers=False)
+        best_shipping = min(best_shipping, time.perf_counter() - start)
+        start = time.perf_counter()
+        resident_keys = stream_run(resident_workers=True)
+        best_resident = min(best_resident, time.perf_counter() - start)
+
+    assert resident_keys == shipping_keys  # identical after every batch
+    speedup = best_shipping / max(best_resident, 1e-9)
+    emit(
+        format_table(
+            ["pipeline", "time ms", "batches", "final frequent"],
+            [
+                [
+                    "per-task shipping (respawn per refresh)",
+                    f"{best_shipping * 1e3:.1f}",
+                    len(update_batches),
+                    len(shipping_keys[-1]),
+                ],
+                [
+                    "shard-resident workers (persistent pool)",
+                    f"{best_resident * 1e3:.1f}",
+                    len(update_batches),
+                    len(resident_keys[-1]),
+                ],
+                ["speedup", f"{speedup:.2f}x", "", ""],
+            ],
+            title=(
+                "tab10e: shard-resident workers vs per-task shipping "
+                "(shared stream, workers=2, shards=2)"
+            ),
+        )
+    )
+    assert speedup >= 1.3, (
+        f"resident workers only {speedup:.2f}x over per-task shipping"
+    )
+
+    benchmark(lambda: stream_run(resident_workers=True))
+
+
+# ----------------------------------------------------------------------
+# tab10f — out-of-core shard paging bounds resident memory
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def corridor_workload():
+    """A large-diameter corridor: welded communities strung on a path.
+
+    ``edgecut`` partitioning keeps each shard a contiguous stretch of
+    the corridor, so its radius-2 halo ball stays a fraction of the
+    graph — the regime where paging shard views out actually frees
+    memory (small-diameter graphs collapse every ball to a whole-graph
+    alias view, which is never spilled by design).
+    """
+    from repro.graph.labeled_graph import LabeledGraph
+
+    graph = LabeledGraph(name="corridor")
+    n = 240
+    for i in range(n):
+        graph.add_vertex(i, "ABC"[i % 3])
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1)
+    for i in range(0, n - 8, 8):
+        graph.add_edge(i, i + 5)  # short chords: local density, long diameter
+    return graph
+
+
+def test_tab10f_out_of_core_memory(corridor_workload, emit):
+    """Acceptance gate: max_resident=1 pages, matches, and uses less memory."""
+    from repro.mining.miner import FrequentSubgraphMiner
+
+    params = dict(partition_method="edgecut", **MINE_PARAMS)
+    runs = {}
+    for max_resident in (1, 4):
+        miner = FrequentSubgraphMiner(
+            corridor_workload, shards=4, max_resident=max_resident, **params
+        )
+        result = miner.mine()
+        runs[max_resident] = (result, miner._pager)
+
+    flat = mine_frequent_patterns(corridor_workload, **MINE_PARAMS)
+    for max_resident, (result, _) in runs.items():
+        assert result.certificates() == flat.certificates(), max_resident
+        assert result.stats.as_dict() == flat.stats.as_dict(), max_resident
+
+    bounded, all_resident = runs[1][1], runs[4][1]
+    emit(
+        format_table(
+            ["run", "peak resident weight", "evictions", "rehydrations"],
+            [
+                [
+                    "all-resident (max_resident=4)",
+                    all_resident.peak_resident_weight,
+                    all_resident.evictions,
+                    all_resident.rehydrations,
+                ],
+                [
+                    "out-of-core (max_resident=1)",
+                    bounded.peak_resident_weight,
+                    bounded.evictions,
+                    bounded.rehydrations,
+                ],
+            ],
+            title="tab10f: out-of-core shard paging (corridor graph, k=4)",
+        )
+    )
+    assert bounded.evictions > 0
+    assert bounded.peak_resident_weight < all_resident.peak_resident_weight, (
+        f"paged peak {bounded.peak_resident_weight} not below "
+        f"all-resident peak {all_resident.peak_resident_weight}"
+    )
 
 
 def test_tab10d_benchmark_repartition_per_batch(sharded_stream_workload, benchmark):

@@ -59,6 +59,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         workers=args.workers,
         shards=args.shards,
         partition_method=args.partition,
+        max_resident=args.max_resident,
     )
     print(
         _frequent_table(
@@ -96,6 +97,8 @@ def _cmd_mine_stream(args: argparse.Namespace) -> int:
         window=args.window,
         shards=args.shards,
         partition_method=args.partition,
+        workers=args.workers,
+        max_resident=args.max_resident,
     ):
         last = step
         stats = step.result.stats
@@ -368,6 +371,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="hash",
         help="partitioner used when --shards > 1",
     )
+    mine.add_argument(
+        "--max-resident",
+        type=int,
+        default=None,
+        help=(
+            "out-of-core mode: keep at most this many shards' expanded views "
+            "in memory, spilling cold shards to disk (requires --shards > 1; "
+            "results identical regardless of eviction order)"
+        ),
+    )
     mine.set_defaults(func=_cmd_mine)
 
     stream = subparsers.add_parser(
@@ -425,6 +438,26 @@ def build_parser() -> argparse.ArgumentParser:
         choices=PARTITION_METHODS,
         default="hash",
         help="partitioner used when --shards > 1",
+    )
+    stream.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "evaluate through this many worker processes; the delta mode "
+            "keeps one shard-resident pool alive across all batches "
+            "(requires --shards > 1), the reference modes parallelize each "
+            "per-batch mine"
+        ),
+    )
+    stream.add_argument(
+        "--max-resident",
+        type=int,
+        default=None,
+        help=(
+            "out-of-core mode: keep at most this many shards' expanded views "
+            "in memory across the stream (requires --shards > 1)"
+        ),
     )
     stream.set_defaults(func=_cmd_mine_stream)
 

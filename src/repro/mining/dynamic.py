@@ -141,6 +141,20 @@ class DynamicMiner:
     halo-aware sharded path; results stay byte-identical to the flat
     run.  An optional :class:`~repro.partition.RebalancePolicy` lets
     skewed streams trigger shard rebalancing between refreshes.
+
+    ``workers=n > 1`` (sharded sessions only — the delta path has no
+    other task granularity, so flat parallelism would be silently
+    dropped; it raises instead) evaluates affected candidates through
+    one **persistent** shard-resident worker pool
+    (:class:`~repro.partition.ShardWorkerPool`): workers keep their
+    shard views across refreshes and the parent re-ships only slices
+    that deltas actually dirtied.  ``resident_workers=False`` selects
+    the per-refresh executor instead — workers are respawned and the
+    whole graph re-shipped every refresh (the reference lifecycle the
+    resident pool exists to avoid).  ``max_resident=N`` bounds resident
+    shard views through an out-of-core
+    :class:`~repro.partition.ShardPager` that survives policy-triggered
+    re-partitions.
     """
 
     def __init__(
@@ -155,6 +169,9 @@ class DynamicMiner:
         shards: int = 1,
         partition_method: str = "hash",
         rebalance=None,
+        workers: int = 1,
+        max_resident: Optional[int] = None,
+        resident_workers: bool = True,
     ) -> None:
         info = measure_info(measure)
         if not info.anti_monotonic:
@@ -176,6 +193,25 @@ class DynamicMiner:
                     f"unknown partition method {partition_method!r}; "
                     f"available: {', '.join(PARTITION_METHODS)}"
                 )
+        if workers < 1:
+            raise MiningError(f"workers must be >= 1, got {workers}")
+        if workers > 1 and shards <= 1:
+            # Delta maintenance evaluates one affected candidate at a
+            # time; (candidate, shard) tasks are its only parallel
+            # granularity.  Refusing beats silently mining serially.
+            raise MiningError(
+                "workers > 1 requires shards > 1 under delta maintenance "
+                f"(got workers={workers}, shards={shards}); use the "
+                "rebuild/brute stream modes for flat parallelism"
+            )
+        if max_resident is not None:
+            if shards <= 1:
+                raise MiningError(
+                    "max_resident bounds resident *shards*; it requires "
+                    f"shards > 1 (got shards={shards})"
+                )
+            if max_resident < 1:
+                raise MiningError(f"max_resident must be >= 1, got {max_resident}")
         self.data = data
         self.measure = measure
         self.min_support = min_support
@@ -185,14 +221,30 @@ class DynamicMiner:
         self.use_index = use_index
         self.shards = int(shards)
         self.partition_method = partition_method
+        self.workers = int(workers)
+        self.max_resident = max_resident
+        self.resident_workers = bool(resident_workers)
         self._maintainer = IndexMaintainer(data) if use_index else None
         self._sharded_maintainer = None
+        self._pager = None
+        self._pool = None
+        self._pool_failed = False
+        self._refresh_executor = None
+        self._active_runner = None
         if self.shards > 1:
             from ..partition.maintainer import ShardedIndexMaintainer
 
             self._sharded_maintainer = ShardedIndexMaintainer(
                 data, self.shards, partition_method, policy=rebalance
             )
+            if self.max_resident is not None:
+                from ..partition.workers import ShardPager
+
+                # Attached now, carried across policy re-partitions by
+                # ShardedIndexMaintainer.sharded().
+                self._pager = ShardPager(
+                    self._sharded_maintainer.sharded(), self.max_resident
+                )
         self._buffer: List[AnyDelta] = []
         self._observer = data.subscribe(self._buffer.append)
         self._attached = True
@@ -219,7 +271,9 @@ class DynamicMiner:
     def detach(self) -> None:
         """Stop observing (index and sharded maintainers included).
 
-        Refreshes after a detach-era mutation fall back to a full
+        Also tears down the persistent worker pool (without waiting —
+        detach may run on the interrupt path) and closes the out-of-core
+        pager.  Refreshes after a detach-era mutation fall back to a full
         re-mine — results stay correct, only the delta savings are lost.
         """
         if self._attached:
@@ -229,6 +283,12 @@ class DynamicMiner:
             self._maintainer.detach()
         if self._sharded_maintainer is not None:
             self._sharded_maintainer.detach()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        if self._pager is not None:
+            self._pager.close()
+            self._pager = None
 
     @property
     def _lazy_cap(self) -> int:
@@ -309,6 +369,82 @@ class DynamicMiner:
             self._footprints[certificate] = cached
         return cached
 
+    # ------------------------------------------------------------------
+    def _acquire_runner(self, sharded):
+        """The shard runner for one refresh, or ``None`` (serial).
+
+        Resident mode reuses one :class:`ShardWorkerPool` across every
+        refresh of the session; the reference mode spawns (and
+        :meth:`_release_runner` tears down) a per-refresh executor that
+        re-ships the whole graph and partition to fresh workers.  Any
+        spawn failure degrades the whole session to serial — results are
+        identical either way.
+        """
+        if self.workers <= 1 or sharded is None or self._pool_failed:
+            return None
+        if self.resident_workers:
+            if self._pool is None:
+                try:
+                    from ..partition.workers import ShardWorkerPool
+
+                    self._pool = ShardWorkerPool(
+                        self.workers,
+                        measure=self.measure,
+                        lazy=self.lazy,
+                        lazy_cap=self._lazy_cap,
+                        use_index=self.use_index,
+                        depth=max(0, self.max_pattern_nodes - 2),
+                    )
+                except (OSError, ValueError):
+                    self._pool_failed = True
+                    return None
+            return self._pool
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            from ..partition.workers import ExecutorShardRunner
+            from .parallel import init_worker
+
+            executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=init_worker,
+                initargs=(
+                    self.data,
+                    self.measure,
+                    self.lazy,
+                    self._lazy_cap,
+                    None,
+                    self.use_index,
+                    self.min_support,
+                    sharded.partition,
+                ),
+            )
+        except (OSError, ValueError):
+            self._pool_failed = True
+            return None
+        self._refresh_executor = executor
+        return ExecutorShardRunner(executor, self.workers)
+
+    def _release_runner(self, *, wait: bool = True) -> None:
+        """End-of-refresh cleanup: per-refresh executors die, the
+        resident pool lives on.  ``wait=False`` is the interrupt path —
+        cancel instead of draining."""
+        self._active_runner = None
+        if self._refresh_executor is not None:
+            self._refresh_executor.shutdown(wait=wait, cancel_futures=not wait)
+            self._refresh_executor = None
+
+    def _drop_runner(self) -> None:
+        """A pool-infrastructure failure: go serial for good."""
+        self._pool_failed = True
+        self._active_runner = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        if self._refresh_executor is not None:
+            self._refresh_executor.shutdown(wait=False, cancel_futures=True)
+            self._refresh_executor = None
+
     def _evaluate(
         self,
         pattern: Pattern,
@@ -330,7 +466,12 @@ class DynamicMiner:
             return None
         stats.patterns_evaluated += 1
         stats.support_calls += 1
-        if sharded is not None:
+        outcome = None
+        if sharded is not None and self._active_runner is not None:
+            outcome = self._evaluate_pooled(pattern, sharded, histogram)
+        if outcome is not None:
+            support, num_occurrences = outcome
+        elif sharded is not None:
             from ..partition.evaluate import sharded_evaluate_support
 
             support, num_occurrences = sharded_evaluate_support(
@@ -365,6 +506,51 @@ class DynamicMiner:
             num_occurrences=num_occurrences,
         )
 
+    def _evaluate_pooled(
+        self, pattern: Pattern, sharded, histogram: Dict
+    ) -> Optional[Tuple[float, int]]:
+        """One affected candidate through the shard runner.
+
+        Plans/merges through the same :func:`pooled_outcomes` path as
+        static pooled mining, so the outcome is byte-identical to the
+        serial ``sharded_evaluate_support`` call it replaces.  Pool
+        infrastructure failures return ``None`` (caller re-evaluates
+        serially) and drop the runner for the rest of the session.
+        """
+        from concurrent.futures import BrokenExecutor
+
+        from ..partition.workers import pooled_outcomes
+
+        def flat_evaluate(p: Pattern) -> Tuple[float, int]:
+            return evaluate_support(
+                p,
+                self.data,
+                self.measure,
+                lazy=self.lazy,
+                lazy_cap=self._lazy_cap,
+                max_occurrences=None,
+                index_arg=None if self.use_index else False,
+                histogram=histogram,
+                prune_below=self.min_support,
+            )
+
+        try:
+            return pooled_outcomes(
+                [pattern],
+                sharded,
+                self._active_runner,
+                measure=self.measure,
+                lazy=self.lazy,
+                lazy_cap=self._lazy_cap,
+                max_occurrences=None,
+                flat_evaluate=flat_evaluate,
+                histogram=histogram,
+                prune_below=self.min_support,
+            )[0]
+        except (OSError, BrokenExecutor):
+            self._drop_runner()
+            return None
+
     def _mine(self, delta_pairs: Optional[Set[LabelPair]]) -> MiningResult:
         """Pattern-growth closure with per-candidate reuse/skip/evaluate."""
         index = self._maintainer.index() if self._maintainer is not None else None
@@ -373,6 +559,7 @@ class DynamicMiner:
             if self._sharded_maintainer is not None
             else None
         )
+        self._active_runner = self._acquire_runner(sharded)
         label_pairs = adjacent_label_pairs(self.data, index=index)
         histogram = (
             index.label_histogram()
@@ -393,42 +580,48 @@ class DynamicMiner:
             seen.add(certificate)
             level.append((seed, certificate))
 
-        while level:
-            next_level: List[Tuple[Pattern, str]] = []
-            for pattern, certificate in level:
-                evaluated = self._evaluate(
-                    pattern, certificate, delta_pairs, histogram, stats, sharded
-                )
-                if evaluated is None:
-                    continue
-                if evaluated.support >= self.min_support:
-                    stats.patterns_frequent += 1
-                    if (
-                        delta_pairs is not None
-                        and certificate not in self._frequent
-                        and certificate in self._ever_frequent
-                    ):
-                        # Frequent again after an earlier refresh pruned
-                        # it — a deletion pushed it out, an insertion
-                        # revived it.
-                        stats.patterns_revived += 1
-                    frequent.append(evaluated)
-                    for extension in all_extensions(
-                        pattern,
-                        label_pairs,
-                        max_nodes=self.max_pattern_nodes,
-                        max_edges=self.max_pattern_edges,
-                    ):
-                        stats.patterns_generated += 1
-                        ext_certificate = self._certificate(extension)
-                        if ext_certificate in seen:
-                            stats.duplicates_skipped += 1
-                            continue
-                        seen.add(ext_certificate)
-                        next_level.append((extension, ext_certificate))
-                else:
-                    stats.patterns_pruned += 1
-            level = next_level
+        try:
+            while level:
+                next_level: List[Tuple[Pattern, str]] = []
+                for pattern, certificate in level:
+                    evaluated = self._evaluate(
+                        pattern, certificate, delta_pairs, histogram, stats, sharded
+                    )
+                    if evaluated is None:
+                        continue
+                    if evaluated.support >= self.min_support:
+                        stats.patterns_frequent += 1
+                        if (
+                            delta_pairs is not None
+                            and certificate not in self._frequent
+                            and certificate in self._ever_frequent
+                        ):
+                            # Frequent again after an earlier refresh pruned
+                            # it — a deletion pushed it out, an insertion
+                            # revived it.
+                            stats.patterns_revived += 1
+                        frequent.append(evaluated)
+                        for extension in all_extensions(
+                            pattern,
+                            label_pairs,
+                            max_nodes=self.max_pattern_nodes,
+                            max_edges=self.max_pattern_edges,
+                        ):
+                            stats.patterns_generated += 1
+                            ext_certificate = self._certificate(extension)
+                            if ext_certificate in seen:
+                                stats.duplicates_skipped += 1
+                                continue
+                            seen.add(ext_certificate)
+                            next_level.append((extension, ext_certificate))
+                    else:
+                        stats.patterns_pruned += 1
+                level = next_level
+        except BaseException:
+            # Interrupt/failure: never wait on in-flight pool work.
+            self._release_runner(wait=False)
+            raise
+        self._release_runner()
 
         frequent.sort(key=lambda fp: (fp.num_edges, -fp.support, fp.certificate))
         return MiningResult(
@@ -526,6 +719,9 @@ def mine_stream(
     window: Optional[int] = None,
     shards: int = 1,
     partition_method: str = "hash",
+    workers: int = 1,
+    max_resident: Optional[int] = None,
+    resident_workers: bool = True,
 ) -> Iterator[StreamBatch]:
     """Mine a live graph: apply ``updates`` in batches, yield per-batch results.
 
@@ -545,6 +741,14 @@ def mine_stream(
     re-partition + rebuild per batch — so comparing the two measures
     exactly the cost dynamic partition maintenance avoids.  Results are
     byte-identical to ``shards=1`` in every mode.
+
+    ``workers=n`` is honored by **every** mode — never silently dropped:
+    the delta mode evaluates through one persistent shard-resident pool
+    across all batches (requires ``shards > 1``; it raises otherwise),
+    and the reference modes pass workers into each per-batch mine.
+    ``max_resident=N`` likewise rides along to bound resident shard
+    views out-of-core, and ``resident_workers=False`` selects the
+    per-task-shipping reference pool lifecycle.
 
     ``window=N`` turns the replay into a **sliding-window** workload: after
     each batch, the oldest live stream-inserted edges are removed until at
@@ -575,9 +779,14 @@ def mine_stream(
         lazy=lazy,
     )
     sharding = dict(shards=shards, partition_method=partition_method)
+    parallelism = dict(
+        workers=workers,
+        max_resident=max_resident,
+        resident_workers=resident_workers,
+    )
     miner: Optional[DynamicMiner] = None
     if mode == "delta":
-        miner = DynamicMiner(data, **kwargs, **sharding)
+        miner = DynamicMiner(data, **kwargs, **sharding, **parallelism)
     sliding = _SlidingWindow(window) if window is not None else None
 
     def evaluate() -> MiningResult:
@@ -586,7 +795,7 @@ def mine_stream(
         from .miner import mine_frequent_patterns
 
         return mine_frequent_patterns(
-            data, use_index=(mode == "rebuild"), **kwargs, **sharding
+            data, use_index=(mode == "rebuild"), **kwargs, **sharding, **parallelism
         )
 
     try:

@@ -88,12 +88,26 @@ class FrequentSubgraphMiner:
         set, truncation is still deterministic but may keep a different
         occurrence subset than the flat enumeration order would).
         ``shards=1`` (default) is the unsharded path, untouched.
-        Composes with ``workers``: the pool's unit of work becomes one
-        (candidate, shard) pair, so shards of the same candidate
-        evaluate in parallel.
+        Composes with ``workers``: each shard is pinned to one
+        long-lived shard-resident worker (``shard_id % workers``) that
+        holds the shard's slice and halo expansions for the whole
+        session, so shards of the same candidate evaluate in parallel
+        and only constant-size requests cross the process boundary.
     partition_method:
         Partitioner for ``shards > 1`` — ``"hash"``, ``"label"``, or
         ``"edgecut"`` (see :func:`repro.partition.partition_edges`).
+    max_resident:
+        Out-of-core mode (requires ``shards > 1``): keep at most this
+        many shards' halo-expanded views resident in parent memory; the
+        least recently used shard spills to disk and is re-hydrated on
+        demand (:class:`repro.partition.workers.ShardPager`).  Results
+        are byte-identical regardless of eviction order.
+    resident_workers:
+        With ``False``, sharded pooled sessions use the per-task
+        shipping pool (the pre-resident design: every worker receives
+        the whole graph + partition and rebuilds its own sharded
+        index).  Kept as the explicit benchmark baseline; results are
+        identical either way.
     """
 
     def __init__(
@@ -110,6 +124,8 @@ class FrequentSubgraphMiner:
         workers: int = 1,
         shards: int = 1,
         partition_method: str = "hash",
+        max_resident: Optional[int] = None,
+        resident_workers: bool = True,
     ) -> None:
         info = measure_info(measure)
         if not info.anti_monotonic and not allow_non_anti_monotonic:
@@ -131,6 +147,14 @@ class FrequentSubgraphMiner:
                     f"unknown partition method {partition_method!r}; "
                     f"available: {', '.join(PARTITION_METHODS)}"
                 )
+        if max_resident is not None:
+            if shards <= 1:
+                raise MiningError(
+                    "max_resident bounds resident *shards*; it requires "
+                    f"shards > 1 (got shards={shards})"
+                )
+            if max_resident < 1:
+                raise MiningError(f"max_resident must be >= 1, got {max_resident}")
         self.data = data
         self.measure = measure
         self.min_support = min_support
@@ -142,6 +166,9 @@ class FrequentSubgraphMiner:
         self.workers = max(1, int(workers))
         self.shards = int(shards)
         self.partition_method = partition_method
+        self.max_resident = max_resident
+        self.resident_workers = bool(resident_workers)
+        self._pager = None
         # Built once per mining session; every candidate evaluation, seed
         # generation, and extension proposal reuses it.  mine() re-syncs
         # against the graph's mutation version, so a graph mutated between
@@ -164,12 +191,20 @@ class FrequentSubgraphMiner:
             if self._index
             else self.data.label_histogram()
         )
+        if self._pager is not None:
+            # The old index (and any spills derived from it) is obsolete.
+            self._pager.close()
+            self._pager = None
         if self.shards > 1:
             from ..partition.sharded_index import ShardedIndex
 
             self._sharded = ShardedIndex.build(
                 self.data, self.shards, self.partition_method
             )
+            if self.max_resident is not None:
+                from ..partition.workers import ShardPager
+
+                self._pager = ShardPager(self._sharded, self.max_resident)
         else:
             self._sharded = None
         self._session_version = self.data.mutation_version()
@@ -298,102 +333,81 @@ class FrequentSubgraphMiner:
 
         The parent plans each candidate exactly as the serial sharded
         evaluator would — same prune bound, same relevant-shard set, same
-        flat fallback for unshardable patterns — fans the planned
-        (candidate, shard) tasks out through ``pool.map`` (order
-        preserving), and merges each candidate's shard partials through
-        the shared merge helpers.  Outcomes are therefore byte-identical
-        to the serial sharded run, which in turn matches the unsharded
-        one.
+        flat fallback for unshardable patterns — routes the planned
+        (candidate, shard) tasks through the shared planner/merger
+        (:func:`repro.partition.workers.pooled_outcomes`), and merges
+        each candidate's shard partials through the shared merge helpers.
+        Outcomes are therefore byte-identical to the serial sharded run,
+        which in turn matches the unsharded one — for the shard-resident
+        pool and the per-task-shipping reference pool alike.
         """
-        from ..partition.evaluate import (
-            merge_lazy_partials,
-            plan_candidate,
-            support_from_shard_items,
+        from ..partition.workers import (
+            ExecutorShardRunner,
+            ShardWorkerPool,
+            pooled_outcomes,
         )
-        from .parallel import evaluate_shard_task, evaluate_support
+        from .parallel import evaluate_support
 
-        sharded = self._sharded
-        plans: List[Tuple[str, object]] = []
-        tasks: List[Tuple[str, Pattern, int]] = []
-        for pattern, _ in level:
-            kind, payload = plan_candidate(
+        runner = (
+            pool
+            if isinstance(pool, ShardWorkerPool)
+            else ExecutorShardRunner(pool, self.workers)
+        )
+
+        def flat_evaluate(pattern: Pattern) -> Tuple[float, int]:
+            return evaluate_support(
                 pattern,
-                sharded,
+                self.data,
                 self.measure,
                 lazy=self.lazy,
+                lazy_cap=self._lazy_cap,
+                max_occurrences=self.max_occurrences,
+                index_arg=self._index_arg,
                 histogram=self._histogram,
                 prune_below=self.min_support,
             )
-            if kind != "shards":
-                plans.append((kind, payload))
-                continue
-            shard_ids: List[int] = payload  # type: ignore[assignment]
-            if len(shard_ids) <= 1:
-                # One (or zero) relevant shards: the worker's sharded
-                # evaluation is already the complete global answer —
-                # returns two numbers instead of occurrence lists.
-                plans.append(("solo", None))
-                tasks.append(("solo", pattern, shard_ids[0] if shard_ids else -1))
-                continue
-            plans.append(("fanout", len(shard_ids)))
-            tasks.extend(("part", pattern, shard_id) for shard_id in shard_ids)
 
-        chunksize = max(1, len(tasks) // (self.workers * 4))
-        partials = iter(
-            list(pool.map(evaluate_shard_task, tasks, chunksize=chunksize))
-            if tasks
-            else []
+        return pooled_outcomes(
+            [pattern for pattern, _ in level],
+            self._sharded,
+            runner,
+            measure=self.measure,
+            lazy=self.lazy,
+            lazy_cap=self._lazy_cap,
+            max_occurrences=self.max_occurrences,
+            flat_evaluate=flat_evaluate,
+            histogram=self._histogram,
+            prune_below=self.min_support,
         )
-        outcomes: List[Tuple[float, int]] = []
-        for (pattern, _), (kind, payload) in zip(level, plans):
-            if kind == "pruned":
-                outcomes.append(payload)  # type: ignore[arg-type]
-            elif kind == "solo":
-                outcomes.append(next(partials))
-            elif kind == "flat":
-                outcomes.append(
-                    evaluate_support(
-                        pattern,
-                        self.data,
-                        self.measure,
-                        lazy=self.lazy,
-                        lazy_cap=self._lazy_cap,
-                        max_occurrences=self.max_occurrences,
-                        index_arg=self._index_arg,
-                        histogram=self._histogram,
-                        prune_below=self.min_support,
-                    )
-                )
-            else:
-                shard_partials = [
-                    next(partials) for _ in range(payload)
-                ]  # type: ignore[arg-type]
-                if self.lazy:
-                    support = float(
-                        merge_lazy_partials(shard_partials, cap=self._lazy_cap)
-                    )
-                    outcomes.append((support, -1))
-                else:
-                    outcomes.append(
-                        support_from_shard_items(
-                            pattern,
-                            self.data,
-                            shard_partials,
-                            self.measure,
-                            max_occurrences=self.max_occurrences,
-                        )
-                    )
-        return outcomes
 
     def _make_pool(self):
         """A process pool for support evaluation, or None (serial).
 
-        Construction itself rarely fails (workers spawn lazily); the
-        degrade-to-serial path for unspawnable workers lives in
-        :meth:`_evaluate_level`.
+        Sharded sessions get the shard-resident worker pool by default
+        (``resident_workers=False`` selects the per-task shipping
+        executor instead); flat sessions keep the candidate-level
+        executor — initialized **without** a partition, so flat workers
+        never pay sharded pickling or rebuild a sharded index.  Any
+        construction failure degrades to the serial path, which produces
+        identical results; the degrade path for workers that die later
+        lives in :meth:`_evaluate_level`.
         """
         if self.workers <= 1:
             return None
+        if self._sharded is not None and self.resident_workers:
+            try:
+                from ..partition.workers import ShardWorkerPool
+
+                return ShardWorkerPool(
+                    self.workers,
+                    measure=self.measure,
+                    lazy=self.lazy,
+                    lazy_cap=self._lazy_cap,
+                    use_index=self.use_index,
+                    depth=max(0, self.max_pattern_nodes - 2),
+                )
+            except (OSError, ValueError):
+                return None
         try:
             from concurrent.futures import ProcessPoolExecutor
 
@@ -465,9 +479,14 @@ class FrequentSubgraphMiner:
                         seen.add(certificate)
                         next_level.append((extension, certificate))
                 level = next_level
-        finally:
+        except BaseException:
+            # Interrupt/failure path: never *wait* for in-flight work —
+            # a Ctrl-C during a long level must not hang on shutdown.
             if pool is not None:
-                pool.shutdown()
+                pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        if pool is not None:
+            pool.shutdown()
 
         frequent.sort(key=lambda fp: (fp.num_edges, -fp.support, fp.certificate))
         return MiningResult(
@@ -491,6 +510,8 @@ def mine_frequent_patterns(
     workers: int = 1,
     shards: int = 1,
     partition_method: str = "hash",
+    max_resident: Optional[int] = None,
+    resident_workers: bool = True,
 ) -> MiningResult:
     """Convenience one-call mining entry point (see :class:`FrequentSubgraphMiner`)."""
     miner = FrequentSubgraphMiner(
@@ -506,5 +527,7 @@ def mine_frequent_patterns(
         workers=workers,
         shards=shards,
         partition_method=partition_method,
+        max_resident=max_resident,
+        resident_workers=resident_workers,
     )
     return miner.mine()

@@ -139,9 +139,19 @@ def init_worker(
 
 
 def _worker_sharded_index():
-    """The worker's ShardedIndex, built once from the shipped partition."""
+    """The worker's ShardedIndex, built once from the shipped partition.
+
+    Only shard tasks reach this; a flat pooled session initializes its
+    workers with ``partition=None`` and must never build a sharded index
+    here — that would silently re-shard inside the worker and charge flat
+    sessions for partition state the parent never shipped.
+    """
     sharded = _WORKER_STATE.get("sharded")
     if sharded is None:
+        assert _WORKER_STATE.get("partition") is not None, (
+            "shard task reached a flat worker: init_worker was given "
+            "partition=None, so no ShardedIndex may be built here"
+        )
         from ..partition.sharded_index import ShardedIndex
 
         sharded = ShardedIndex(

@@ -10,9 +10,11 @@ the paper's support measures exactly by merging per-shard enumeration
 :mod:`repro.partition.io`.  Under update streams the partition is
 delta-maintained rather than rebuilt: :mod:`repro.partition.maintainer`
 routes each graph delta to its owning shard(s) in O(delta) and
-re-balances overflowing shards.  See the "Partitioning" and "Dynamic
-partitions" sections of ``docs/architecture.md`` for the invariants and
-routing rules.
+re-balances overflowing shards.  Pooled mining keeps one long-lived
+worker per shard and can page cold shards to disk
+(:mod:`repro.partition.workers`).  See the "Partitioning", "Dynamic
+partitions", and "Shard-resident workers & paging" sections of
+``docs/architecture.md`` for the invariants and routing rules.
 """
 
 from .evaluate import (
@@ -29,11 +31,18 @@ from .evaluate import (
     sharded_occurrences,
     support_from_shard_items,
 )
-from .io import load_partition, save_partition
+from .io import load_partition, load_shard_view, save_partition, save_shard_views
 from .maintainer import RebalancePolicy, ShardedIndexMaintainer, absorb_graph
 from .partitioner import PARTITION_METHODS, EdgeRouter, Partition, partition_edges
 from .shard import GraphShard
 from .sharded_index import ShardedIndex
+from .workers import (
+    ExecutorShardRunner,
+    ShardPager,
+    ShardWorkerPool,
+    WorkerPoolError,
+    pooled_outcomes,
+)
 
 __all__ = [
     "PARTITION_METHODS",
@@ -47,6 +56,13 @@ __all__ = [
     "absorb_graph",
     "save_partition",
     "load_partition",
+    "save_shard_views",
+    "load_shard_view",
+    "ShardWorkerPool",
+    "ShardPager",
+    "ExecutorShardRunner",
+    "WorkerPoolError",
+    "pooled_outcomes",
     "required_depth",
     "pattern_shardable",
     "plan_candidate",

@@ -124,32 +124,43 @@ def plan_candidate(
     return "shards", relevant_shards(pattern, sharded)
 
 
-def shard_occurrence_items(
+def shard_exclusive(pattern: Pattern, sharded: ShardedIndex, shard_id: int) -> bool:
+    """True when ``shard_id`` exclusively owns the pattern's whole footprint.
+
+    Every data edge an occurrence could use is then a core edge of this
+    shard, so the per-occurrence core-edge filter can be skipped (the
+    common case under footprint-aligned ``label`` partitioning).  The
+    parent computes this flag when planning shard-resident work, so a
+    worker holding only its own slice makes the identical decision.
+    """
+    return all(
+        sharded.shards_for_pair(*pair) == (shard_id,)
+        for pair in pattern_label_pairs(pattern)
+    )
+
+
+def anchored_occurrence_items(
     pattern: Pattern,
-    sharded: ShardedIndex,
-    shard_id: int,
+    expanded: LabeledGraph,
+    core: frozenset,
+    *,
+    exclusive: bool,
     index: IndexArg = None,
     limit: Optional[int] = None,
 ) -> List[OccurrenceItems]:
-    """Occurrences of ``pattern`` anchored in one shard, as item tuples.
+    """Occurrences of ``pattern`` anchored on ``core`` edges, in one view.
 
-    Enumerates the halo-expanded shard view through the ordinary engine
-    (``index=False`` keeps the brute reference path alive shard-by-shard)
-    and keeps the occurrences using at least one core edge of the shard.
-    When the shard exclusively owns every label pair of the pattern's
-    footprint, *every* data edge an occurrence could use is core here, so
-    the per-occurrence filter is skipped outright (the common case under
-    footprint-aligned ``label`` partitioning).
+    The view-level core of :func:`shard_occurrence_items`, shared verbatim
+    by the shard-resident workers (which hold a shipped slice of the
+    expanded view instead of a :class:`ShardedIndex`): identical inputs —
+    view content, core-edge set, ``exclusive`` flag, ``limit`` — produce
+    identical item tuples wherever the enumeration runs, because the VF2
+    engine explores candidates in canonical (content-determined) order.
     """
-    expanded = sharded.expanded_shard(shard_id, required_depth(pattern))
-    if all(
-        sharded.shards_for_pair(*pair) == (shard_id,)
-        for pair in pattern_label_pairs(pattern)
-    ):
+    if exclusive:
         return collect_subgraph_isomorphism_items(
             pattern, expanded, limit=limit, index=index
         )
-    core = sharded.shards[shard_id].core_edge_set
     # Pattern nodes arrive repr-sorted inside each item tuple, so an edge
     # image can be read by position instead of building a dict per
     # occurrence.
@@ -181,6 +192,31 @@ def shard_occurrence_items(
         ):
             kept.append(items)
     return kept
+
+
+def shard_occurrence_items(
+    pattern: Pattern,
+    sharded: ShardedIndex,
+    shard_id: int,
+    index: IndexArg = None,
+    limit: Optional[int] = None,
+) -> List[OccurrenceItems]:
+    """Occurrences of ``pattern`` anchored in one shard, as item tuples.
+
+    Enumerates the halo-expanded shard view through the ordinary engine
+    (``index=False`` keeps the brute reference path alive shard-by-shard)
+    and keeps the occurrences using at least one core edge of the shard
+    (:func:`anchored_occurrence_items`; when the shard exclusively owns
+    the pattern's footprint the filter is skipped outright).
+    """
+    return anchored_occurrence_items(
+        pattern,
+        sharded.expanded_shard(shard_id, required_depth(pattern)),
+        sharded.shards[shard_id].core_edge_set,
+        exclusive=shard_exclusive(pattern, sharded, shard_id),
+        index=index,
+        limit=limit,
+    )
 
 
 def merge_shard_items(
@@ -288,6 +324,27 @@ def merge_lazy_partials(
     return best or 0
 
 
+def node_image_partial(
+    pattern: Pattern,
+    expanded: LabeledGraph,
+    cap: Optional[int],
+    index: IndexArg = None,
+) -> Dict[Vertex, Tuple[Tuple[Vertex, ...], bool]]:
+    """Per-node anchored image scan of one expanded view (lazy MNI).
+
+    The view-level core of :func:`shard_node_images`, shared by the
+    shard-resident workers: pattern node -> (images found, hit-cap flag).
+    """
+    partial: Dict[Vertex, Tuple[Tuple[Vertex, ...], bool]] = {}
+    for node in pattern.nodes():
+        found = valid_images(pattern, expanded, node, stop_after=cap, index=index)
+        partial[node] = (
+            tuple(found),
+            cap is not None and len(found) >= cap,
+        )
+    return partial
+
+
 def shard_node_images(
     pattern: Pattern,
     sharded: ShardedIndex,
@@ -302,15 +359,12 @@ def shard_node_images(
     it, so unioning these partials across relevant shards reconstructs
     the exact global image set per node (see :func:`merge_lazy_partials`).
     """
-    expanded = sharded.expanded_shard(shard_id, required_depth(pattern))
-    partial: Dict[Vertex, Tuple[Tuple[Vertex, ...], bool]] = {}
-    for node in pattern.nodes():
-        found = valid_images(pattern, expanded, node, stop_after=cap, index=index)
-        partial[node] = (
-            tuple(found),
-            cap is not None and len(found) >= cap,
-        )
-    return partial
+    return node_image_partial(
+        pattern,
+        sharded.expanded_shard(shard_id, required_depth(pattern)),
+        cap,
+        index=index,
+    )
 
 
 def sharded_lazy_mni(

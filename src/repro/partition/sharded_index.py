@@ -85,6 +85,9 @@ class ShardedIndex(MaintainableIndex):
         "_router",
         "_maintainers",
         "_expanded",
+        "_listeners",
+        "_pager",
+        "_active_delta",
     )
 
     def __init__(self, graph: LabeledGraph, partition: Partition) -> None:
@@ -94,6 +97,9 @@ class ShardedIndex(MaintainableIndex):
         self._expanded: Dict[Tuple[int, int], LabeledGraph] = {}
         self._router: Optional[EdgeRouter] = None
         self._maintainers: Dict[int, object] = {}
+        self._listeners: List = []
+        self._pager = None
+        self._active_delta = None
 
         members: List[Dict[Vertex, Label]] = [{} for _ in range(partition.num_shards)]
         core_edges: List[List] = [[] for _ in range(partition.num_shards)]
@@ -219,16 +225,20 @@ class ShardedIndex(MaintainableIndex):
         # lazily mid-splice (after an attach/detach already moved shard
         # state) would double- or under-count the moved edge in its loads.
         self.router()
-        if isinstance(delta, VertexAdded):
-            self._apply_vertex_added(delta.vertex, delta.label)
-        elif isinstance(delta, EdgeAdded):
-            self._apply_edge_added(delta.u, delta.v, delta.label_u, delta.label_v)
-        elif isinstance(delta, EdgeRemoved):
-            self._apply_edge_removed(delta.u, delta.v, delta.label_u, delta.label_v)
-        elif isinstance(delta, VertexRemoved):
-            self._apply_vertex_removed(delta.vertex, delta.label)
-        else:
-            return False
+        self._active_delta = delta
+        try:
+            if isinstance(delta, VertexAdded):
+                self._apply_vertex_added(delta.vertex, delta.label)
+            elif isinstance(delta, EdgeAdded):
+                self._apply_edge_added(delta.u, delta.v, delta.label_u, delta.label_v)
+            elif isinstance(delta, EdgeRemoved):
+                self._apply_edge_removed(delta.u, delta.v, delta.label_u, delta.label_v)
+            elif isinstance(delta, VertexRemoved):
+                self._apply_vertex_removed(delta.vertex, delta.label)
+            else:
+                return False
+        finally:
+            self._active_delta = None
         self.version = delta.version
         return True
 
@@ -314,7 +324,20 @@ class ShardedIndex(MaintainableIndex):
         lies inside it — in which case neither its vertex ball nor its
         induced edges can have moved (a touched edge with both endpoints
         outside a ball cannot shorten any path into it).
+
+        Subscribed invalidation listeners (the shard-resident worker pool
+        and the out-of-core pager track slice/spill staleness through
+        them) are notified *before* the cache scan — they hold their own
+        copies of view state and must hear about every touched region
+        even when nothing is cached here.  ``delta`` is the typed graph
+        delta being applied, or ``None`` for structural invalidations
+        (rebalance moves) a replay cannot reproduce.
         """
+        if self._listeners:
+            delta = self._active_delta
+            touched = tuple(vertices)
+            for listener in tuple(self._listeners):
+                listener(shard_ids, touched, delta)
         if not self._expanded:
             return
         graph = self.graph
@@ -327,6 +350,18 @@ class ShardedIndex(MaintainableIndex):
         ]
         for key in dead:
             del self._expanded[key]
+
+    def subscribe_invalidations(self, listener) -> None:
+        """Register ``listener(shard_ids, vertices, delta)`` for every
+        expansion invalidation (deltas and rebalance moves alike)."""
+        self._listeners.append(listener)
+
+    def unsubscribe_invalidations(self, listener) -> None:
+        """Remove a listener; unknown listeners are ignored."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     # -- per-kind handlers ---------------------------------------------
     def _apply_vertex_added(self, vertex: Vertex, label: Label) -> None:
@@ -545,6 +580,27 @@ class ShardedIndex(MaintainableIndex):
     # ------------------------------------------------------------------
     # halo-expanded views
     # ------------------------------------------------------------------
+    def attach_pager(self, pager) -> None:
+        """Route view caching through an out-of-core pager.
+
+        With a pager attached, :meth:`expanded_shard` delegates to
+        ``pager.view`` (LRU residency + disk spill,
+        :class:`repro.partition.workers.ShardPager`) instead of the
+        unbounded in-memory ``_expanded`` cache, which is cleared — the
+        pager owns every cached view from here on.
+        """
+        self._pager = pager
+        self._expanded.clear()
+
+    def detach_pager(self) -> None:
+        """Return to the plain in-memory view cache."""
+        self._pager = None
+
+    @property
+    def pager(self):
+        """The attached out-of-core pager, or ``None``."""
+        return self._pager
+
     def expanded_shard(self, shard_id: int, depth: int) -> LabeledGraph:
         """The induced subgraph within ``depth`` hops of a shard's vertices.
 
@@ -554,12 +610,22 @@ class ShardedIndex(MaintainableIndex):
         Views are cached per (shard, depth); when the ball swallows the
         whole graph the source graph itself is returned, so its cached
         global index is reused instead of duplicated.  Delta maintenance
-        invalidates exactly the views a delta could have changed.
+        invalidates exactly the views a delta could have changed.  With a
+        pager attached (:meth:`attach_pager`) residency is bounded and
+        cold views page to disk instead of living here.
         """
+        if self._pager is not None:
+            return self._pager.view(shard_id, depth)
         key = (shard_id, depth)
         cached = self._expanded.get(key)
         if cached is not None:
             return cached
+        return self._compute_expansion(shard_id, depth, cache=True)
+
+    def _compute_expansion(
+        self, shard_id: int, depth: int, cache: bool = False
+    ) -> LabeledGraph:
+        """Compute one halo-expanded view from scratch (no cache lookup)."""
         frontier = set(self.shards[shard_id].graph.vertices())
         keep = set(frontier)
         for _ in range(depth):
@@ -577,7 +643,8 @@ class ShardedIndex(MaintainableIndex):
         else:
             expanded = self.graph.subgraph(keep)
             expanded.name = f"{self.graph.name or 'graph'}[shard {shard_id}+{depth}]"
-        self._expanded[key] = expanded
+        if cache:
+            self._expanded[(shard_id, depth)] = expanded
         return expanded
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
