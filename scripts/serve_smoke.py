@@ -1,0 +1,168 @@
+"""CI smoke for the service daemon: protocol vs one-shot CLI, per Python.
+
+Starts a real ``repro serve`` subprocess on an ephemeral TCP port, replays
+a mixed insert/delete update stream over the JSON protocol, and after each
+batch issues **two concurrent mine requests** on separate connections.
+Every protocol response is diffed byte-for-byte against a one-shot CLI
+``mine --json`` of the graph materialized at the same version — the
+acceptance bar for the whole service layer: whichever path answers
+(writer-maintained cache, reader snapshot mine, or a from-scratch CLI
+process), the result bytes must be identical.
+
+Run from the repository root: ``PYTHONPATH=src python scripts/serve_smoke.py``.
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+sys.path.insert(0, _SRC)
+# Child processes (the server, the one-shot CLI runs) need the package too.
+_ENV = dict(os.environ)
+_ENV["PYTHONPATH"] = _SRC + os.pathsep + _ENV.get("PYTHONPATH", "")
+
+from repro.graph.builders import path_graph  # noqa: E402
+from repro.graph.io import save_graph  # noqa: E402
+from repro.mining.dynamic import StreamApplier  # noqa: E402
+
+SPEC_FLAGS = ["--min-support", "2", "--max-nodes", "3"]
+SPEC_FIELDS = {"min_support": 2, "max_nodes": 3}
+
+BATCHES = [
+    [["v", 7, "a"], ["e", 6, 7], ["v", 8, "b"], ["e", 7, 8]],  # inserts
+    [["de", 1, 2], ["dv", 1], ["e", 8, 2]],  # deletions + re-link
+    [["v", 9, "a"], ["e", 8, 9], ["de", 3, 4]],  # mixed
+]
+
+
+class Client:
+    """One NDJSON connection to the served port."""
+
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=120)
+        self.reader = self.sock.makefile("r", encoding="utf-8")
+
+    def request(self, payload):
+        self.sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        response = json.loads(self.reader.readline())
+        if payload.get("op") != "shutdown" and not response.get("ok"):
+            raise SystemExit(f"FAIL: request {payload} -> {response}")
+        return response
+
+    def close(self):
+        self.reader.close()
+        self.sock.close()
+
+
+def one_shot_cli(graph_path):
+    """The canonical payload from a from-scratch CLI ``mine --json``."""
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "mine", str(graph_path), "--json"]
+        + SPEC_FLAGS,
+        capture_output=True,
+        text=True,
+        check=True,
+        env=_ENV,
+    )
+    return json.loads(out.stdout)
+
+
+def main():
+    workdir = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+    base = path_graph(["a", "b", "a", "b", "a", "b"])
+    base_path = workdir / "base.lg"
+    save_graph(base, base_path)
+
+    # Reference graphs: the base with each prefix of the stream applied
+    # directly (no service involved), saved for one-shot CLI mining.
+    reference = path_graph(["a", "b", "a", "b", "a", "b"])
+    applier = StreamApplier(reference, window=None)
+    reference_paths = []
+    for i, batch in enumerate(BATCHES):
+        applier.apply_batch([tuple(record) for record in batch])
+        ref_path = workdir / f"after-batch-{i}.lg"
+        save_graph(reference, ref_path)
+        reference_paths.append(ref_path)
+
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(base_path), "--port", "0"]
+        + SPEC_FLAGS,
+        stdout=subprocess.PIPE,
+        text=True,
+        env=_ENV,
+    )
+    try:
+        ready = json.loads(server.stdout.readline())
+        assert ready.get("event") == "ready", f"FAIL: bad ready event {ready}"
+        port = ready["port"]
+        print(f"serving on port {port} at version {ready['version']}")
+
+        control = Client(port)
+        assert control.request({"op": "ping"})["op"] == "ping"
+
+        for i, batch in enumerate(BATCHES):
+            info = control.request({"op": "update", "updates": batch})
+            print(
+                f"batch {i}: version {info['version']} "
+                f"({info['num_vertices']}v/{info['num_edges']}e)"
+            )
+
+            # Two concurrent mine requests on their own connections —
+            # readers over pinned snapshots while the writer sits idle.
+            results = [None, None]
+
+            def mine(slot):
+                client = Client(port)
+                try:
+                    results[slot] = client.request(
+                        {"op": "mine", "spec": SPEC_FIELDS, "id": slot}
+                    )
+                finally:
+                    client.close()
+
+            threads = [threading.Thread(target=mine, args=(slot,)) for slot in (0, 1)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            expected = one_shot_cli(reference_paths[i])
+            for slot, response in enumerate(results):
+                assert response is not None, f"FAIL: reader {slot} died"
+                assert response["version"] == info["version"], (
+                    f"FAIL: reader {slot} mined version {response['version']}, "
+                    f"expected {info['version']}"
+                )
+                if response["result"] != expected:
+                    raise SystemExit(
+                        f"FAIL: batch {i} reader {slot} diverged from the "
+                        f"one-shot CLI:\nserved:  {response['result']}\n"
+                        f"one-shot: {expected}"
+                    )
+            print(
+                f"batch {i}: both concurrent readers == one-shot CLI "
+                f"({expected['num_frequent']} frequent patterns)"
+            )
+
+        stats = control.request({"op": "stats"})
+        print(
+            f"cache: {stats['hits']} hits / {stats['misses']} misses / "
+            f"{stats['evictions']} evictions"
+        )
+        control.request({"op": "shutdown"})
+        control.close()
+        server.wait(timeout=120)
+    finally:
+        if server.poll() is None:
+            server.kill()
+    print("serve smoke OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,9 +5,17 @@ Subcommands
 ``measure``      compute the support spectrum for a pattern in a graph
 ``mine``         mine frequent patterns from a graph
 ``mine-stream``  maintain frequent patterns while replaying a graph-update stream
+``serve``        run the long-lived graph service (NDJSON over stdio or TCP)
 ``partition``    split a graph into edge-disjoint shards on disk
 ``figure``       regenerate a paper figure worksheet (fig1 .. fig10)
 ``info``         list registered measures with their properties
+
+Every mining flag default is read off
+:data:`repro.mining.spec.DEFAULT_SPEC` — the library's
+:class:`~repro.mining.spec.MiningSpec` field defaults are the single
+source of truth, shared by ``mine``, ``mine-stream`` and ``serve``
+through one argparse parent (``tests/test_mining_spec.py`` pins the
+agreement).
 """
 
 from __future__ import annotations
@@ -21,7 +29,115 @@ from .analysis.spectrum import measure_spectrum, spectrum_report
 from .graph.io import load_graph, load_pattern
 from .hypergraph.construction import HypergraphBundle
 from .measures.base import available_measures, measure_info
+from .mining.spec import DEFAULT_SPEC, STREAM_MODES, MiningSpec
 from .partition.partitioner import PARTITION_METHODS
+
+
+def _spec_parent() -> argparse.ArgumentParser:
+    """Shared mining flags, defaults read off :data:`DEFAULT_SPEC`.
+
+    One parent parser feeds ``mine``, ``mine-stream`` and ``serve``; no
+    subcommand re-declares a default, so the CLI cannot drift from the
+    library again.
+    """
+    spec = DEFAULT_SPEC
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--measure", default=spec.measure, help="support measure name")
+    parent.add_argument("--min-support", type=float, default=spec.min_support)
+    parent.add_argument("--max-nodes", type=int, default=spec.max_pattern_nodes)
+    parent.add_argument("--max-edges", type=int, default=spec.max_pattern_edges)
+    parent.add_argument(
+        "--lazy",
+        action="store_true",
+        default=spec.lazy,
+        help=(
+            "MNI only: decide frequency with threshold-bounded evaluation "
+            "(reported supports are capped at the threshold)"
+        ),
+    )
+    parent.add_argument(
+        "--no-index",
+        action="store_true",
+        default=not spec.use_index,
+        help="disable the graph acceleration index (brute-force reference path)",
+    )
+    parent.add_argument(
+        "--workers",
+        type=int,
+        default=spec.workers,
+        help="evaluate candidates in this many worker processes",
+    )
+    parent.add_argument(
+        "--shards",
+        type=int,
+        default=spec.shards,
+        help=(
+            "partition the data graph into this many edge-disjoint shards and "
+            "evaluate support shard-by-shard (results identical to --shards 1)"
+        ),
+    )
+    parent.add_argument(
+        "--partition",
+        choices=PARTITION_METHODS,
+        default=spec.partition_method,
+        help="partitioner used when --shards > 1",
+    )
+    parent.add_argument(
+        "--max-resident",
+        type=int,
+        default=spec.max_resident,
+        help=(
+            "out-of-core mode: keep at most this many shards' expanded views "
+            "in memory, spilling cold shards to disk (requires --shards > 1; "
+            "results identical regardless of eviction order)"
+        ),
+    )
+    return parent
+
+
+def _stream_parent() -> argparse.ArgumentParser:
+    """Update-stream flags shared by ``mine-stream`` and ``serve``."""
+    spec = DEFAULT_SPEC
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--batch-size",
+        type=int,
+        default=spec.batch_size,
+        help="updates applied between refreshes of the frequent-pattern set",
+    )
+    parent.add_argument(
+        "--window",
+        type=int,
+        default=spec.window,
+        metavar="N",
+        help=(
+            "sliding window: after each batch, expire the oldest live "
+            "stream-inserted edges until at most N remain (base-graph edges "
+            "never expire; re-inserting an expired edge restarts its age)"
+        ),
+    )
+    return parent
+
+
+def spec_from_args(args: argparse.Namespace, stream: bool = False) -> MiningSpec:
+    """The one place CLI flags become a :class:`MiningSpec`."""
+    fields = dict(
+        measure=args.measure,
+        min_support=args.min_support,
+        max_pattern_nodes=args.max_nodes,
+        max_pattern_edges=args.max_edges,
+        lazy=args.lazy,
+        use_index=not args.no_index,
+        workers=args.workers,
+        shards=args.shards,
+        partition_method=args.partition,
+        max_resident=args.max_resident,
+    )
+    if stream:
+        fields.update(batch_size=args.batch_size, window=args.window)
+        if hasattr(args, "mode"):
+            fields["mode"] = args.mode
+    return MiningSpec.from_kwargs(**fields)
 
 
 def _cmd_measure(args: argparse.Namespace) -> int:
@@ -49,18 +165,16 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     from .mining.miner import mine_frequent_patterns
 
     data = load_graph(args.graph)
-    result = mine_frequent_patterns(
-        data,
-        measure=args.measure,
-        min_support=args.min_support,
-        max_pattern_nodes=args.max_nodes,
-        max_pattern_edges=args.max_edges,
-        use_index=not args.no_index,
-        workers=args.workers,
-        shards=args.shards,
-        partition_method=args.partition,
-        max_resident=args.max_resident,
-    )
+    result = mine_frequent_patterns(data, spec=spec_from_args(args))
+    if args.json:
+        from .service.protocol import result_payload
+
+        # The same canonical, stats-free payload the service protocol
+        # sends — so a served response diffs 1:1 against a one-shot run.
+        import json
+
+        print(json.dumps(result_payload(result), sort_keys=True, indent=2))
+        return 0
     print(
         _frequent_table(
             result,
@@ -85,21 +199,7 @@ def _cmd_mine_stream(args: argparse.Namespace) -> int:
     updates = load_update_stream(args.updates, base=data, window=bool(args.window))
     rows = []
     last = None
-    for step in mine_stream(
-        data,
-        updates,
-        batch_size=args.batch_size,
-        mode=args.mode,
-        measure=args.measure,
-        min_support=args.min_support,
-        max_pattern_nodes=args.max_nodes,
-        max_pattern_edges=args.max_edges,
-        window=args.window,
-        shards=args.shards,
-        partition_method=args.partition,
-        workers=args.workers,
-        max_resident=args.max_resident,
-    ):
+    for step in mine_stream(data, updates, spec=spec_from_args(args, stream=True)):
         last = step
         stats = step.result.stats
         rows.append(
@@ -149,6 +249,26 @@ def _cmd_mine_stream(args: argparse.Namespace) -> int:
             f"{last.result.num_frequent} frequent patterns after the stream",
         )
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import GraphService
+    from .service.server import serve_stdio, serve_tcp
+
+    data = load_graph(args.graph)
+    service = GraphService(
+        data,
+        maintain=spec_from_args(args, stream=True),
+        cache_size=args.cache_size,
+    )
+    try:
+        if args.port is not None:
+            serve_tcp(service, host=args.host, port=args.port, announce=sys.stdout)
+        else:
+            serve_stdio(service, sys.stdin, sys.stdout)
+    finally:
+        service.stop()
     return 0
 
 
@@ -339,46 +459,19 @@ def build_parser() -> argparse.ArgumentParser:
     measure.add_argument("pattern", help="pattern (.lg file)")
     measure.set_defaults(func=_cmd_measure)
 
-    mine = subparsers.add_parser("mine", help="mine frequent patterns")
+    spec_parent = _spec_parent()
+    stream_parent = _stream_parent()
+
+    mine = subparsers.add_parser(
+        "mine", help="mine frequent patterns", parents=[spec_parent]
+    )
     mine.add_argument("graph", help="data graph (.lg file)")
-    mine.add_argument("--measure", default="mni", help="support measure name")
-    mine.add_argument("--min-support", type=float, default=2.0)
-    mine.add_argument("--max-nodes", type=int, default=5)
-    mine.add_argument("--max-edges", type=int, default=6)
     mine.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="evaluate same-level candidates in this many worker processes",
-    )
-    mine.add_argument(
-        "--no-index",
+        "--json",
         action="store_true",
-        help="disable the graph acceleration index (brute-force reference path)",
-    )
-    mine.add_argument(
-        "--shards",
-        type=int,
-        default=1,
         help=(
-            "partition the data graph into this many edge-disjoint shards and "
-            "evaluate support shard-by-shard (results identical to --shards 1)"
-        ),
-    )
-    mine.add_argument(
-        "--partition",
-        choices=PARTITION_METHODS,
-        default="hash",
-        help="partitioner used when --shards > 1",
-    )
-    mine.add_argument(
-        "--max-resident",
-        type=int,
-        default=None,
-        help=(
-            "out-of-core mode: keep at most this many shards' expanded views "
-            "in memory, spilling cold shards to disk (requires --shards > 1; "
-            "results identical regardless of eviction order)"
+            "print the canonical JSON result payload (the same shape the "
+            "service protocol sends) instead of the tables"
         ),
     )
     mine.set_defaults(func=_cmd_mine)
@@ -386,80 +479,52 @@ def build_parser() -> argparse.ArgumentParser:
     stream = subparsers.add_parser(
         "mine-stream",
         help="maintain frequent patterns while replaying a graph-update stream",
+        parents=[spec_parent, stream_parent],
     )
     stream.add_argument("graph", help="base data graph (.lg file)")
     stream.add_argument(
         "updates", help="update stream (v/e/de/dv lines, applied in order)"
     )
     stream.add_argument(
-        "--batch-size",
-        type=int,
-        default=1,
-        help="updates applied between refreshes of the frequent-pattern set",
-    )
-    stream.add_argument(
-        "--window",
-        type=int,
-        default=None,
-        metavar="N",
-        help=(
-            "sliding window: after each batch, expire the oldest live "
-            "stream-inserted edges until at most N remain (base-graph edges "
-            "never expire; re-inserting an expired edge restarts its age)"
-        ),
-    )
-    stream.add_argument(
         "--mode",
-        choices=("delta", "rebuild", "brute"),
-        default="delta",
+        choices=STREAM_MODES,
+        default=DEFAULT_SPEC.mode,
         help=(
             "maintenance strategy: delta-patched index + footprint reuse "
-            "(default), full re-mine with a rebuilt index, or the "
-            "index-free brute-force reference"
-        ),
-    )
-    stream.add_argument("--measure", default="mni", help="support measure name")
-    stream.add_argument("--min-support", type=float, default=2.0)
-    stream.add_argument("--max-nodes", type=int, default=5)
-    stream.add_argument("--max-edges", type=int, default=6)
-    stream.add_argument(
-        "--shards",
-        type=int,
-        default=1,
-        help=(
-            "run the stream over this many edge-disjoint shards; the delta "
-            "mode maintains one partition across the whole stream while the "
-            "reference modes re-partition per batch (results identical to "
-            "--shards 1)"
-        ),
-    )
-    stream.add_argument(
-        "--partition",
-        choices=PARTITION_METHODS,
-        default="hash",
-        help="partitioner used when --shards > 1",
-    )
-    stream.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help=(
-            "evaluate through this many worker processes; the delta mode "
-            "keeps one shard-resident pool alive across all batches "
-            "(requires --shards > 1), the reference modes parallelize each "
-            "per-batch mine"
-        ),
-    )
-    stream.add_argument(
-        "--max-resident",
-        type=int,
-        default=None,
-        help=(
-            "out-of-core mode: keep at most this many shards' expanded views "
-            "in memory across the stream (requires --shards > 1)"
+            "through the in-process graph service (default), full re-mine "
+            "with a rebuilt index, or the index-free brute-force reference"
         ),
     )
     stream.set_defaults(func=_cmd_mine_stream)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived graph service (NDJSON over stdio or TCP)",
+        parents=[spec_parent, stream_parent],
+        description=(
+            "Serve the graph as a long-running daemon: one writer applies "
+            "update batches (op=update) through the delta-maintained miner, "
+            "concurrent readers mine pinned snapshots (op=mine) with results "
+            "cached per (version, spec). Speaks newline-delimited JSON on "
+            "stdin/stdout, or TCP with --port (0 = ephemeral; the ready "
+            "event announces the bound port)."
+        ),
+    )
+    serve.add_argument("graph", help="base data graph (.lg file)")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="serve TCP on this port instead of stdio (0 picks a free port)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        help="LRU bound on cached results (default: unbounded)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     partition = subparsers.add_parser(
         "partition", help="split a graph into edge-disjoint shards on disk"

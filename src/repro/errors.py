@@ -88,3 +88,7 @@ class PartitionError(ReproError):
 
 class DatasetError(ReproError):
     """Dataset loading/generation failure."""
+
+
+class ServiceError(ReproError):
+    """The graph service was misused or is no longer running."""

@@ -7,17 +7,29 @@ from .extension import (
     forward_extensions,
     single_edge_patterns,
 )
-from .dynamic import DynamicMiner, StreamBatch, mine_stream, pattern_footprint
+from .dynamic import (
+    DynamicMiner,
+    StreamApplier,
+    StreamBatch,
+    mine_stream,
+    pattern_footprint,
+)
 from .incremental import IncrementalMiner, mine_frequent_patterns_incremental
 from .miner import FrequentSubgraphMiner, mine_frequent_patterns
 from .results import FrequentPattern, MiningResult, MiningStats
+from .spec import DEFAULT_SPEC, UNSET, MiningSpec, resolve_spec
 from .transaction import disjoint_union, transaction_support
 
 __all__ = [
     "DynamicMiner",
+    "StreamApplier",
     "StreamBatch",
     "mine_stream",
     "pattern_footprint",
+    "MiningSpec",
+    "DEFAULT_SPEC",
+    "UNSET",
+    "resolve_spec",
     "adjacent_label_pairs",
     "all_extensions",
     "backward_extensions",

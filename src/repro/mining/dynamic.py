@@ -56,6 +56,7 @@ whole stream while the reference modes re-partition per batch.
 from __future__ import annotations
 
 import math
+import weakref
 from collections import deque
 from dataclasses import dataclass
 from typing import (
@@ -86,6 +87,7 @@ from ..measures.base import measure_info
 from .extension import adjacent_label_pairs, all_extensions, single_edge_patterns
 from .parallel import evaluate_support
 from .results import FrequentPattern, MiningResult, MiningStats
+from .spec import UNSET, MiningSpec, resolve_spec
 
 LabelPair = Tuple[Label, Label]
 
@@ -118,6 +120,70 @@ def pattern_footprint(pattern: Pattern) -> FrozenSet[LabelPair]:
     return frozenset(
         _label_pair_key(graph.label_of(u), graph.label_of(v)) for u, v in graph.edges()
     )
+
+
+class _MinerResources:
+    """Everything a :class:`DynamicMiner` must give back, held *outside* it.
+
+    The graph subscription, the index/sharded maintainers, the persistent
+    worker pool, the per-refresh executor, and the out-of-core pager all
+    outlive a miner that is simply dropped on the floor — the graph keeps
+    the observers alive and the pool keeps OS processes alive.  Keeping
+    them on a separate object lets a ``weakref.finalize`` on the miner
+    call :meth:`release` without referencing the miner itself (which
+    would keep it alive forever), so constructed-and-abandoned miners
+    cannot leak subscriptions or workers even when refresh never ran.
+
+    :meth:`release` is idempotent and re-runnable: each step takes and
+    nulls its slot first, so an explicit ``detach()`` followed by the
+    finalizer (or a second ``detach()``) is a no-op, and a failure partway
+    through releases the rest on the next call.
+    """
+
+    __slots__ = (
+        "graph",
+        "observer",
+        "maintainer",
+        "sharded_maintainer",
+        "pool",
+        "pager",
+        "refresh_executor",
+    )
+
+    def __init__(self) -> None:
+        self.graph: Optional[LabeledGraph] = None
+        self.observer = None
+        self.maintainer = None
+        self.sharded_maintainer = None
+        self.pool = None
+        self.pager = None
+        self.refresh_executor = None
+
+    def release(self) -> None:
+        """Unsubscribe + detach + shut down everything still held.
+
+        Never waits on in-flight work: this runs on the interrupt path
+        and inside GC finalization, where blocking is unacceptable.
+        """
+        graph, observer = self.graph, self.observer
+        self.graph = self.observer = None
+        if graph is not None and observer is not None:
+            graph.unsubscribe(observer)
+        maintainer, self.maintainer = self.maintainer, None
+        if maintainer is not None:
+            maintainer.detach()
+        sharded, self.sharded_maintainer = self.sharded_maintainer, None
+        if sharded is not None:
+            sharded.detach()
+        pool, self.pool = self.pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        executor, self.refresh_executor = self.refresh_executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+        pager, self.pager = self.pager, None
+        if pager is not None:
+            pager.close()
 
 
 class DynamicMiner:
@@ -160,83 +226,84 @@ class DynamicMiner:
     def __init__(
         self,
         data: LabeledGraph,
-        measure: str = "mni",
-        min_support: float = 2.0,
-        max_pattern_nodes: int = 5,
-        max_pattern_edges: int = 6,
-        lazy: bool = False,
-        use_index: bool = True,
-        shards: int = 1,
-        partition_method: str = "hash",
+        measure=UNSET,
+        min_support=UNSET,
+        max_pattern_nodes=UNSET,
+        max_pattern_edges=UNSET,
+        lazy=UNSET,
+        use_index=UNSET,
+        shards=UNSET,
+        partition_method=UNSET,
         rebalance=None,
-        workers: int = 1,
-        max_resident: Optional[int] = None,
-        resident_workers: bool = True,
+        workers=UNSET,
+        max_resident=UNSET,
+        resident_workers=UNSET,
+        spec: Optional[MiningSpec] = None,
     ) -> None:
-        info = measure_info(measure)
+        spec = resolve_spec(
+            spec,
+            {
+                "measure": measure,
+                "min_support": min_support,
+                "max_pattern_nodes": max_pattern_nodes,
+                "max_pattern_edges": max_pattern_edges,
+                "lazy": lazy,
+                "use_index": use_index,
+                "shards": shards,
+                "partition_method": partition_method,
+                "workers": workers,
+                "max_resident": max_resident,
+                "resident_workers": resident_workers,
+            },
+        )
+        info = measure_info(spec.measure)
         if not info.anti_monotonic:
             raise MiningError(
-                f"measure {measure!r} is not anti-monotonic; dynamic maintenance "
-                "relies on anti-monotone pruning and reuse"
+                f"measure {spec.measure!r} is not anti-monotonic; dynamic "
+                "maintenance relies on anti-monotone pruning and reuse"
             )
-        if min_support <= 0:
-            raise MiningError("min_support must be positive")
-        if lazy and measure != "mni":
-            raise MiningError("lazy evaluation is only defined for the MNI measure")
-        if shards < 1:
-            raise MiningError(f"shards must be >= 1, got {shards}")
-        if shards > 1:
-            from ..partition.partitioner import PARTITION_METHODS
-
-            if partition_method not in PARTITION_METHODS:
-                raise MiningError(
-                    f"unknown partition method {partition_method!r}; "
-                    f"available: {', '.join(PARTITION_METHODS)}"
-                )
-        if workers < 1:
-            raise MiningError(f"workers must be >= 1, got {workers}")
-        if workers > 1 and shards <= 1:
+        if spec.workers > 1 and spec.shards <= 1:
             # Delta maintenance evaluates one affected candidate at a
             # time; (candidate, shard) tasks are its only parallel
             # granularity.  Refusing beats silently mining serially.
             raise MiningError(
                 "workers > 1 requires shards > 1 under delta maintenance "
-                f"(got workers={workers}, shards={shards}); use the "
+                f"(got workers={spec.workers}, shards={spec.shards}); use the "
                 "rebuild/brute stream modes for flat parallelism"
             )
-        if max_resident is not None:
-            if shards <= 1:
-                raise MiningError(
-                    "max_resident bounds resident *shards*; it requires "
-                    f"shards > 1 (got shards={shards})"
-                )
-            if max_resident < 1:
-                raise MiningError(f"max_resident must be >= 1, got {max_resident}")
         self.data = data
-        self.measure = measure
-        self.min_support = min_support
-        self.max_pattern_nodes = max_pattern_nodes
-        self.max_pattern_edges = max_pattern_edges
-        self.lazy = lazy
-        self.use_index = use_index
-        self.shards = int(shards)
-        self.partition_method = partition_method
-        self.workers = int(workers)
-        self.max_resident = max_resident
-        self.resident_workers = bool(resident_workers)
-        self._maintainer = IndexMaintainer(data) if use_index else None
-        self._sharded_maintainer = None
-        self._pager = None
-        self._pool = None
+        self.spec = spec
+        self.measure = spec.measure
+        self.min_support = spec.min_support
+        self.max_pattern_nodes = spec.max_pattern_nodes
+        self.max_pattern_edges = spec.max_pattern_edges
+        self.lazy = spec.lazy
+        self.use_index = spec.use_index
+        self.shards = spec.shards
+        self.partition_method = spec.partition_method
+        self.workers = spec.workers
+        self.max_resident = spec.max_resident
+        self.resident_workers = spec.resident_workers
+        # Every releasable resource lives on ``_resources`` so the
+        # finalizer below can give it all back without touching (and
+        # thus without keeping alive) the miner itself.
+        self._resources = _MinerResources()
+        self._resources.graph = data
         self._pool_failed = False
-        self._refresh_executor = None
         self._active_runner = None
+        if self.use_index:
+            self._maintainer = IndexMaintainer(data)
+            self._resources.maintainer = self._maintainer
+        else:
+            self._maintainer = None
+        self._sharded_maintainer = None
         if self.shards > 1:
             from ..partition.maintainer import ShardedIndexMaintainer
 
             self._sharded_maintainer = ShardedIndexMaintainer(
-                data, self.shards, partition_method, policy=rebalance
+                data, self.shards, self.partition_method, policy=rebalance
             )
+            self._resources.sharded_maintainer = self._sharded_maintainer
             if self.max_resident is not None:
                 from ..partition.workers import ShardPager
 
@@ -247,7 +314,11 @@ class DynamicMiner:
                 )
         self._buffer: List[AnyDelta] = []
         self._observer = data.subscribe(self._buffer.append)
+        self._resources.observer = self._observer
         self._attached = True
+        # Abandoned miners (service shutdown, reader exception, plain GC)
+        # release everything even if detach()/close() was never called.
+        self._finalizer = weakref.finalize(self, self._resources.release)
         self._frequent: Dict[str, FrequentPattern] = {}
         # Certificates that were frequent in *some* earlier refresh; a
         # pattern re-entering the frequent set after deletions pruned it
@@ -263,6 +334,34 @@ class DynamicMiner:
         self._last_result: Optional[MiningResult] = None
 
     # ------------------------------------------------------------------
+    # The pool, pager, and per-refresh executor live on _resources (so
+    # the finalizer can release them); these properties keep the miner's
+    # own code — and tests that reach for miner._pool — unchanged.
+    @property
+    def _pool(self):
+        return self._resources.pool
+
+    @_pool.setter
+    def _pool(self, value) -> None:
+        self._resources.pool = value
+
+    @property
+    def _pager(self):
+        return self._resources.pager
+
+    @_pager.setter
+    def _pager(self, value) -> None:
+        self._resources.pager = value
+
+    @property
+    def _refresh_executor(self):
+        return self._resources.refresh_executor
+
+    @_refresh_executor.setter
+    def _refresh_executor(self, value) -> None:
+        self._resources.refresh_executor = value
+
+    # ------------------------------------------------------------------
     @property
     def attached(self) -> bool:
         """True while the miner still observes the graph's mutations."""
@@ -276,19 +375,18 @@ class DynamicMiner:
         pager.  Refreshes after a detach-era mutation fall back to a full
         re-mine — results stay correct, only the delta savings are lost.
         """
-        if self._attached:
-            self.data.unsubscribe(self._observer)
-            self._attached = False
-        if self._maintainer is not None:
-            self._maintainer.detach()
-        if self._sharded_maintainer is not None:
-            self._sharded_maintainer.detach()
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
-        if self._pager is not None:
-            self._pager.close()
-            self._pager = None
+        self._attached = False
+        self._resources.release()
+
+    #: Explicit lifecycle alias: a service shutting its miner down reads
+    #: better as ``close()`` than ``detach()``; they are the same release.
+    close = detach
+
+    def __enter__(self) -> "DynamicMiner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.detach()
 
     @property
     def _lazy_cap(self) -> int:
@@ -705,23 +803,70 @@ class _SlidingWindow:
         return expired
 
 
+class StreamApplier:
+    """Apply update-stream records to a graph, window rules included.
+
+    The one implementation of "what a batch of stream records does to the
+    graph", shared by :func:`mine_stream`'s reference modes and the
+    service writer thread (:mod:`repro.service`) — so windowed expiry,
+    superseded deletions, and redundant-insert handling cannot drift
+    between the library path and the daemon path.
+    """
+
+    def __init__(self, graph: LabeledGraph, window: Optional[int] = None) -> None:
+        if window is not None and window < 1:
+            raise MiningError("window must be >= 1 (or None for no expiry)")
+        self.graph = graph
+        self._sliding = _SlidingWindow(window) if window is not None else None
+
+    def apply(self, update: GraphUpdate) -> None:
+        """Apply one record (window bookkeeping included, no expiry yet)."""
+        sliding = self._sliding
+        if sliding is None:
+            apply_update(self.graph, update)
+            return
+        if sliding.supersedes(update):
+            sliding.observe(update)  # the record is vacuously done
+            return
+        # An insertion of an edge the graph already has is an idempotent
+        # no-op; the window must not claim it (it belongs to the base
+        # graph, or keeps its original age).
+        redundant = update[0] == "e" and self.graph.has_edge(update[1], update[2])
+        apply_update(self.graph, update)
+        if not redundant:
+            sliding.observe(update)
+
+    def expire(self) -> int:
+        """End-of-batch window expiry; returns how many edges aged out."""
+        if self._sliding is None:
+            return 0
+        return self._sliding.expire(self.graph)
+
+    def apply_batch(self, batch: Sequence[GraphUpdate]) -> Tuple[int, int]:
+        """Apply a whole batch then expire; returns (applied, expired)."""
+        for update in batch:
+            self.apply(update)
+        return len(batch), self.expire()
+
+
 def mine_stream(
     data: LabeledGraph,
     updates: Sequence[GraphUpdate],
     *,
-    batch_size: int = 1,
-    mode: str = "delta",
-    measure: str = "mni",
-    min_support: float = 2.0,
-    max_pattern_nodes: int = 5,
-    max_pattern_edges: int = 6,
-    lazy: bool = False,
-    window: Optional[int] = None,
-    shards: int = 1,
-    partition_method: str = "hash",
-    workers: int = 1,
-    max_resident: Optional[int] = None,
-    resident_workers: bool = True,
+    batch_size=UNSET,
+    mode=UNSET,
+    measure=UNSET,
+    min_support=UNSET,
+    max_pattern_nodes=UNSET,
+    max_pattern_edges=UNSET,
+    lazy=UNSET,
+    window=UNSET,
+    shards=UNSET,
+    partition_method=UNSET,
+    workers=UNSET,
+    max_resident=UNSET,
+    resident_workers=UNSET,
+    spec: Optional[MiningSpec] = None,
 ) -> Iterator[StreamBatch]:
     """Mine a live graph: apply ``updates`` in batches, yield per-batch results.
 
@@ -761,74 +906,86 @@ def mine_stream(
 
     Batch 0 is the base graph before any update; all three modes yield
     byte-identical results per batch (pinned by the test suite).
-    """
-    if batch_size < 1:
-        raise MiningError("batch_size must be >= 1")
-    if mode not in ("delta", "rebuild", "brute"):
-        raise MiningError(f"unknown mine-stream mode {mode!r}")
-    if window is not None and window < 1:
-        raise MiningError("window must be >= 1 (or None for no expiry)")
-    if shards < 1:
-        raise MiningError(f"shards must be >= 1, got {shards}")
 
-    kwargs = dict(
-        measure=measure,
-        min_support=min_support,
-        max_pattern_nodes=max_pattern_nodes,
-        max_pattern_edges=max_pattern_edges,
-        lazy=lazy,
+    The delta mode is a thin client of the in-process
+    :class:`~repro.service.GraphService`: batches go to the service's
+    single writer thread (which applies them through this module's
+    :class:`DynamicMiner` and caches each version's result), so the CLI
+    stream, the daemon protocol, and in-process callers all exercise the
+    same code path.  The reference modes stay service-free on purpose —
+    they are the independent baseline the equivalence suites diff the
+    service-mediated path against.
+    """
+    spec = resolve_spec(
+        spec,
+        {
+            "batch_size": batch_size,
+            "mode": mode,
+            "measure": measure,
+            "min_support": min_support,
+            "max_pattern_nodes": max_pattern_nodes,
+            "max_pattern_edges": max_pattern_edges,
+            "lazy": lazy,
+            "window": window,
+            "shards": shards,
+            "partition_method": partition_method,
+            "workers": workers,
+            "max_resident": max_resident,
+            "resident_workers": resident_workers,
+        },
     )
-    sharding = dict(shards=shards, partition_method=partition_method)
-    parallelism = dict(
-        workers=workers,
-        max_resident=max_resident,
-        resident_workers=resident_workers,
-    )
-    miner: Optional[DynamicMiner] = None
-    if mode == "delta":
-        miner = DynamicMiner(data, **kwargs, **sharding, **parallelism)
-    sliding = _SlidingWindow(window) if window is not None else None
+    if spec.mode == "delta":
+        yield from _stream_via_service(data, updates, spec)
+        return
+
+    applier = StreamApplier(data, spec.window)
 
     def evaluate() -> MiningResult:
-        if miner is not None:
-            return miner.refresh()
         from .miner import mine_frequent_patterns
 
         return mine_frequent_patterns(
-            data, use_index=(mode == "rebuild"), **kwargs, **sharding, **parallelism
+            data, spec=spec.replace(use_index=(spec.mode == "rebuild"))
         )
 
+    yield StreamBatch(0, 0, data.num_vertices, data.num_edges, evaluate())
+    starts = range(0, len(updates), spec.batch_size)
+    for batch_number, start in enumerate(starts, start=1):
+        chunk = updates[start : start + spec.batch_size]
+        applied, expired = applier.apply_batch(chunk)
+        yield StreamBatch(
+            batch_number,
+            applied,
+            data.num_vertices,
+            data.num_edges,
+            evaluate(),
+            expired,
+        )
+
+
+def _stream_via_service(
+    data: LabeledGraph, updates: Sequence[GraphUpdate], spec: MiningSpec
+) -> Iterator[StreamBatch]:
+    """The delta stream as a service client: one writer, ticketed batches."""
+    from ..service import GraphService
+
+    service = GraphService(data, maintain=spec)
     try:
-        yield StreamBatch(0, 0, data.num_vertices, data.num_edges, evaluate())
-        starts = range(0, len(updates), batch_size)
-        for batch_number, start in enumerate(starts, start=1):
-            chunk = updates[start : start + batch_size]
-            for update in chunk:
-                if sliding is None:
-                    apply_update(data, update)
-                    continue
-                if sliding.supersedes(update):
-                    sliding.observe(update)  # the record is vacuously done
-                    continue
-                # An insertion of an edge the graph already has is an
-                # idempotent no-op; the window must not claim it (it
-                # belongs to the base graph, or keeps its original age).
-                redundant = update[0] == "e" and data.has_edge(update[1], update[2])
-                apply_update(data, update)
-                if not redundant:
-                    sliding.observe(update)
-            expired = sliding.expire(data) if sliding is not None else 0
+        # Batch 0 = an empty batch: the writer publishes the base version
+        # and runs (and caches) the initial refresh.
+        starts = [None] + list(range(0, len(updates), spec.batch_size))
+        for batch_number, start in enumerate(starts):
+            chunk = [] if start is None else updates[start : start + spec.batch_size]
+            info = service.submit_updates(chunk).wait()
             yield StreamBatch(
                 batch_number,
-                len(chunk),
-                data.num_vertices,
-                data.num_edges,
-                evaluate(),
-                expired,
+                info.applied,
+                info.num_vertices,
+                info.num_edges,
+                info.result,
+                info.expired,
             )
     finally:
-        # The miner (and its IndexMaintainer) subscribed to the caller's
-        # graph; leave no observers behind once the stream is consumed,
-        # abandoned, or fails mid-batch.
-        if miner is not None:
-            miner.detach()
+        # The service's miner (and its IndexMaintainer) subscribed to the
+        # caller's graph; leave no observers behind once the stream is
+        # consumed, abandoned, or fails mid-batch.
+        service.stop()

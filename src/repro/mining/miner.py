@@ -42,6 +42,7 @@ from ..index.graph_index import GraphIndex, get_index
 from ..measures.base import measure_info
 from .extension import adjacent_label_pairs, all_extensions, single_edge_patterns
 from .results import FrequentPattern, MiningResult, MiningStats
+from .spec import UNSET, MiningSpec, resolve_spec
 
 
 class FrequentSubgraphMiner:
@@ -108,73 +109,76 @@ class FrequentSubgraphMiner:
         the whole graph + partition and rebuilds its own sharded
         index).  Kept as the explicit benchmark baseline; results are
         identical either way.
+    spec:
+        A :class:`~repro.mining.spec.MiningSpec` carrying the whole
+        parameter surface at once.  Explicit kwargs override the spec's
+        fields; omitting both uses the spec defaults.  The kwargs above
+        remain supported as a shim over the spec.
     """
 
     def __init__(
         self,
         data: LabeledGraph,
-        measure: str = "mni",
-        min_support: float = 2.0,
-        max_pattern_nodes: int = 5,
-        max_pattern_edges: int = 6,
-        max_occurrences: Optional[int] = None,
-        allow_non_anti_monotonic: bool = False,
-        lazy: bool = False,
-        use_index: bool = True,
-        workers: int = 1,
-        shards: int = 1,
-        partition_method: str = "hash",
-        max_resident: Optional[int] = None,
-        resident_workers: bool = True,
+        measure=UNSET,
+        min_support=UNSET,
+        max_pattern_nodes=UNSET,
+        max_pattern_edges=UNSET,
+        max_occurrences=UNSET,
+        allow_non_anti_monotonic=UNSET,
+        lazy=UNSET,
+        use_index=UNSET,
+        workers=UNSET,
+        shards=UNSET,
+        partition_method=UNSET,
+        max_resident=UNSET,
+        resident_workers=UNSET,
+        spec: Optional[MiningSpec] = None,
     ) -> None:
-        info = measure_info(measure)
-        if not info.anti_monotonic and not allow_non_anti_monotonic:
+        spec = resolve_spec(
+            spec,
+            {
+                "measure": measure,
+                "min_support": min_support,
+                "max_pattern_nodes": max_pattern_nodes,
+                "max_pattern_edges": max_pattern_edges,
+                "max_occurrences": max_occurrences,
+                "allow_non_anti_monotonic": allow_non_anti_monotonic,
+                "lazy": lazy,
+                "use_index": use_index,
+                "workers": workers,
+                "shards": shards,
+                "partition_method": partition_method,
+                "max_resident": max_resident,
+                "resident_workers": resident_workers,
+            },
+        )
+        info = measure_info(spec.measure)
+        if not info.anti_monotonic and not spec.allow_non_anti_monotonic:
             raise MiningError(
-                f"measure {measure!r} is not anti-monotonic; pruning would be "
+                f"measure {spec.measure!r} is not anti-monotonic; pruning would be "
                 "unsound (pass allow_non_anti_monotonic=True to experiment)"
             )
-        if min_support <= 0:
-            raise MiningError("min_support must be positive")
-        if lazy and measure != "mni":
-            raise MiningError("lazy evaluation is only defined for the MNI measure")
-        if shards < 1:
-            raise MiningError(f"shards must be >= 1, got {shards}")
-        if shards > 1:
-            from ..partition.partitioner import PARTITION_METHODS
-
-            if partition_method not in PARTITION_METHODS:
-                raise MiningError(
-                    f"unknown partition method {partition_method!r}; "
-                    f"available: {', '.join(PARTITION_METHODS)}"
-                )
-        if max_resident is not None:
-            if shards <= 1:
-                raise MiningError(
-                    "max_resident bounds resident *shards*; it requires "
-                    f"shards > 1 (got shards={shards})"
-                )
-            if max_resident < 1:
-                raise MiningError(f"max_resident must be >= 1, got {max_resident}")
         self.data = data
-        self.measure = measure
-        self.min_support = min_support
-        self.max_pattern_nodes = max_pattern_nodes
-        self.max_pattern_edges = max_pattern_edges
-        self.max_occurrences = max_occurrences
-        self.lazy = lazy
-        self.use_index = use_index
-        self.workers = max(1, int(workers))
-        self.shards = int(shards)
-        self.partition_method = partition_method
-        self.max_resident = max_resident
-        self.resident_workers = bool(resident_workers)
+        self.spec = spec
+        self.measure = spec.measure
+        self.min_support = spec.min_support
+        self.max_pattern_nodes = spec.max_pattern_nodes
+        self.max_pattern_edges = spec.max_pattern_edges
+        self.max_occurrences = spec.max_occurrences
+        self.lazy = spec.lazy
+        self.use_index = spec.use_index
+        self.workers = spec.workers
+        self.shards = spec.shards
+        self.partition_method = spec.partition_method
+        self.max_resident = spec.max_resident
+        self.resident_workers = spec.resident_workers
         self._pager = None
         # Built once per mining session; every candidate evaluation, seed
         # generation, and extension proposal reuses it.  mine() re-syncs
         # against the graph's mutation version, so a graph mutated between
         # construction and mining never sees stale label pairs, histogram
         # counts, or prune bounds.
-        self._index_arg = None if use_index else False
+        self._index_arg = None if self.use_index else False
         self._index: Optional[GraphIndex] = None
         self._sharded = None
         self._session_version: Optional[int] = None
@@ -499,19 +503,20 @@ class FrequentSubgraphMiner:
 
 def mine_frequent_patterns(
     data: LabeledGraph,
-    measure: str = "mni",
-    min_support: float = 2.0,
-    max_pattern_nodes: int = 5,
-    max_pattern_edges: int = 6,
-    max_occurrences: Optional[int] = None,
-    allow_non_anti_monotonic: bool = False,
-    lazy: bool = False,
-    use_index: bool = True,
-    workers: int = 1,
-    shards: int = 1,
-    partition_method: str = "hash",
-    max_resident: Optional[int] = None,
-    resident_workers: bool = True,
+    measure=UNSET,
+    min_support=UNSET,
+    max_pattern_nodes=UNSET,
+    max_pattern_edges=UNSET,
+    max_occurrences=UNSET,
+    allow_non_anti_monotonic=UNSET,
+    lazy=UNSET,
+    use_index=UNSET,
+    workers=UNSET,
+    shards=UNSET,
+    partition_method=UNSET,
+    max_resident=UNSET,
+    resident_workers=UNSET,
+    spec: Optional[MiningSpec] = None,
 ) -> MiningResult:
     """Convenience one-call mining entry point (see :class:`FrequentSubgraphMiner`)."""
     miner = FrequentSubgraphMiner(
@@ -529,5 +534,6 @@ def mine_frequent_patterns(
         partition_method=partition_method,
         max_resident=max_resident,
         resident_workers=resident_workers,
+        spec=spec,
     )
     return miner.mine()

@@ -1,0 +1,246 @@
+"""``MiningSpec`` — the one request object every mining entry point accepts.
+
+Through PR 6 the mining parameter surface grew to a dozen loose kwargs
+(``measure``, ``min_support``, ``lazy``, ``workers``, ``shards``,
+``partition_method``, ``max_resident``, ``resident_workers``, ``window``,
+...) threaded separately through :class:`FrequentSubgraphMiner`,
+:class:`DynamicMiner`, :func:`mine_frequent_patterns`,
+:func:`mine_stream`, and the CLI — with defaults re-declared at every
+hop.  :class:`MiningSpec` consolidates them into one frozen, validated,
+JSON-round-trippable dataclass:
+
+* the **field defaults here are the single source of truth** — the
+  library signatures and the CLI flag defaults are both derived from
+  them (``tests/test_mining_spec.py`` pins the agreement);
+* :meth:`MiningSpec.to_json` serializes in canonical field order, so a
+  spec has exactly one wire form;
+* :meth:`MiningSpec.cache_key` is the canonical form of the
+  **result-affecting subset** of fields — execution-strategy knobs
+  (``use_index``, ``workers``, ``shards``, paging, stream batching) are
+  excluded because the equivalence suites pin that they never change
+  the mined bytes.  The service layer's :class:`~repro.service.ResultCache`
+  keys on ``(graph version, cache_key)``, so a brute-force request can be
+  served from a cache entry an indexed request populated.
+
+Every public entry point accepts ``spec=``; the legacy kwargs keep
+working through :func:`resolve_spec`, which folds explicitly-passed
+values over the spec (or over the defaults when no spec is given).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields, replace as _dataclass_replace
+from typing import Any, Dict, Optional
+
+from ..errors import MiningError
+from ..measures.base import measure_info
+
+
+class _Unset:
+    """Sentinel for "parameter not passed" in the legacy-kwarg shims."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<unset>"
+
+
+UNSET = _Unset()
+
+#: Stream maintenance strategies accepted by :func:`mine_stream`.
+STREAM_MODES = ("delta", "rebuild", "brute")
+
+#: Fields whose value can change the mined *result* (certificates,
+#: supports, occurrence counts).  Everything else is execution strategy:
+#: the equivalence suites pin indexed == brute, sharded == flat,
+#: pooled == serial, paged == resident byte-identical, so those fields
+#: are deliberately not part of the result cache key.
+RESULT_FIELDS = (
+    "measure",
+    "min_support",
+    "max_pattern_nodes",
+    "max_pattern_edges",
+    "max_occurrences",
+    "lazy",
+)
+
+#: Legacy/CLI spellings accepted by :meth:`MiningSpec.from_kwargs`.
+_ALIASES = {
+    "max_nodes": "max_pattern_nodes",
+    "max_edges": "max_pattern_edges",
+    "partition": "partition_method",
+}
+
+
+@dataclass(frozen=True)
+class MiningSpec:
+    """One validated, canonical description of a mining request.
+
+    Structural fields (``measure`` .. ``lazy``) decide *what* is mined;
+    strategy fields (``use_index`` .. ``resident_workers``) decide *how*
+    — results are byte-identical across strategies; stream fields
+    (``window``, ``batch_size``, ``mode``) only apply to update-stream
+    replays and are ignored by one-shot mining.
+    """
+
+    measure: str = "mni"
+    min_support: float = 2.0
+    max_pattern_nodes: int = 5
+    max_pattern_edges: int = 6
+    max_occurrences: Optional[int] = None
+    allow_non_anti_monotonic: bool = False
+    lazy: bool = False
+    use_index: bool = True
+    workers: int = 1
+    shards: int = 1
+    partition_method: str = "hash"
+    max_resident: Optional[int] = None
+    resident_workers: bool = True
+    window: Optional[int] = None
+    batch_size: int = 1
+    mode: str = "delta"
+
+    def __post_init__(self) -> None:
+        # Raises MeasureError with the available-measure list for typos.
+        measure_info(self.measure)
+        if self.min_support <= 0:
+            raise MiningError("min_support must be positive")
+        if self.max_pattern_nodes < 2:
+            raise MiningError(
+                f"max_pattern_nodes must be >= 2 (patterns have at least one "
+                f"edge), got {self.max_pattern_nodes}"
+            )
+        if self.max_pattern_edges < 1:
+            raise MiningError(
+                f"max_pattern_edges must be >= 1, got {self.max_pattern_edges}"
+            )
+        if self.max_occurrences is not None and self.max_occurrences < 1:
+            raise MiningError(
+                f"max_occurrences must be >= 1 (or None), got {self.max_occurrences}"
+            )
+        if self.lazy and self.measure != "mni":
+            raise MiningError("lazy evaluation is only defined for the MNI measure")
+        if self.workers < 1:
+            raise MiningError(f"workers must be >= 1, got {self.workers}")
+        if self.shards < 1:
+            raise MiningError(f"shards must be >= 1, got {self.shards}")
+        if self.shards > 1:
+            from ..partition.partitioner import PARTITION_METHODS
+
+            if self.partition_method not in PARTITION_METHODS:
+                raise MiningError(
+                    f"unknown partition method {self.partition_method!r}; "
+                    f"available: {', '.join(PARTITION_METHODS)}"
+                )
+        if self.max_resident is not None:
+            if self.shards <= 1:
+                raise MiningError(
+                    "max_resident bounds resident *shards*; it requires "
+                    f"shards > 1 (got shards={self.shards})"
+                )
+            if self.max_resident < 1:
+                raise MiningError(f"max_resident must be >= 1, got {self.max_resident}")
+        if self.window is not None and self.window < 1:
+            raise MiningError("window must be >= 1 (or None for no expiry)")
+        if self.batch_size < 1:
+            raise MiningError("batch_size must be >= 1")
+        if self.mode not in STREAM_MODES:
+            raise MiningError(f"unknown mine-stream mode {self.mode!r}")
+
+    # ------------------------------------------------------------------
+    # canonical serialization
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        """All fields in canonical (declaration) order."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def to_json(self) -> str:
+        """The canonical wire form: declaration-ordered keys, compact.
+
+        This string is the spec's identity — two specs are the same
+        request iff their ``to_json`` outputs are equal.
+        """
+        return json.dumps(self.as_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "MiningSpec":
+        """Parse (and validate) a spec from its JSON form."""
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise MiningError(f"malformed MiningSpec JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise MiningError(
+                f"MiningSpec JSON must be an object, got {type(payload).__name__}"
+            )
+        return cls.from_kwargs(**payload)
+
+    @classmethod
+    def from_kwargs(cls, **kwargs: Any) -> "MiningSpec":
+        """Build a spec from loose kwargs (field names or CLI aliases)."""
+        known = {f.name for f in fields(cls)}
+        resolved: Dict[str, Any] = {}
+        for name, value in kwargs.items():
+            target = _ALIASES.get(name, name)
+            if target not in known:
+                raise MiningError(
+                    f"unknown mining parameter {name!r}; expected one of: "
+                    f"{', '.join(sorted(known | set(_ALIASES)))}"
+                )
+            if target in resolved:
+                raise MiningError(
+                    f"mining parameter {target!r} given twice "
+                    f"(aliases count as the same parameter)"
+                )
+            resolved[target] = value
+        return cls(**resolved)
+
+    def replace(self, **changes: Any) -> "MiningSpec":
+        """A copy with ``changes`` applied (re-validated)."""
+        if not changes:
+            return self
+        return _dataclass_replace(self, **changes)
+
+    def cache_key(self) -> str:
+        """Canonical form of the result-affecting fields (the cache key).
+
+        Strategy fields are excluded on purpose: indexed/brute,
+        sharded/flat, pooled/serial and paged/resident runs are pinned
+        byte-identical by the equivalence suites, so caching their
+        results under one key is sound — and turns "same question,
+        different execution plan" into a cache hit.
+        """
+        return json.dumps(
+            {name: getattr(self, name) for name in RESULT_FIELDS},
+            separators=(",", ":"),
+        )
+
+
+#: The single source of truth for every mining default (library + CLI).
+DEFAULT_SPEC = MiningSpec()
+
+
+def resolve_spec(spec: Optional[MiningSpec], overrides: Dict[str, Any]) -> MiningSpec:
+    """The legacy-kwarg shim shared by every entry point.
+
+    ``overrides`` maps parameter names to values, with :data:`UNSET`
+    marking "not passed".  Explicitly-passed values are folded over
+    ``spec`` (or over the defaults when ``spec`` is ``None``), so
+    ``f(data, spec=s, workers=4)`` means "``s``, but with 4 workers" and
+    plain legacy calls behave exactly as before.
+    """
+    given = {name: value for name, value in overrides.items() if value is not UNSET}
+    if spec is None:
+        return MiningSpec.from_kwargs(**given)
+    if not isinstance(spec, MiningSpec):
+        raise MiningError(
+            f"spec must be a MiningSpec, got {type(spec).__name__} "
+            "(build one with MiningSpec.from_kwargs(...))"
+        )
+    return spec.replace(**given)

@@ -1,0 +1,38 @@
+"""Long-running graph service: MVCC snapshots, result cache, request API.
+
+The library-shaped stack (miner → delta maintenance → partitions →
+resident workers) becomes a *system* here: one writer thread applies
+update streams through the existing maintainer stack while many readers
+mine immutable pinned snapshots, with results cached per (version,
+canonical spec).  Three surfaces share the one code path:
+
+* :class:`GraphService` — in-process submit/poll/await request API;
+* ``repro serve`` — newline-delimited JSON over stdin/stdout or TCP
+  (:mod:`repro.service.server` / :mod:`repro.service.protocol`);
+* ``repro-graph mine-stream`` — a thin client of :class:`GraphService`
+  in its delta mode.
+
+See ``docs/architecture.md`` ("Service daemon") for the snapshot
+lifecycle and cache-key canonicalization rules.
+"""
+
+from .cache import ResultCache
+from .protocol import handle_request, parse_updates, result_bytes, result_payload
+from .server import serve_stdio, serve_tcp
+from .service import BatchInfo, GraphService, Ticket
+from .snapshots import Snapshot, SnapshotRegistry
+
+__all__ = [
+    "BatchInfo",
+    "GraphService",
+    "ResultCache",
+    "Snapshot",
+    "SnapshotRegistry",
+    "Ticket",
+    "handle_request",
+    "parse_updates",
+    "result_bytes",
+    "result_payload",
+    "serve_stdio",
+    "serve_tcp",
+]

@@ -1,0 +1,161 @@
+"""The newline-delimited JSON request protocol of ``repro serve``.
+
+One request per line, one JSON-object response per line, over
+stdin/stdout or a TCP connection — the same :func:`handle_request`
+either way, and every operation lands on the same in-process
+:class:`~repro.service.GraphService` the library exposes.
+
+Requests are objects with an ``op`` field; an optional ``id`` field is
+echoed back for request/response correlation over pipelined or
+concurrent connections::
+
+    {"op": "ping"}
+    {"op": "version"}
+    {"op": "update", "updates": [["v", 9, "A"], ["e", 9, 3], ["de", 1, 2]]}
+    {"op": "mine", "spec": {"min_support": 3}, "version": 7}
+    {"op": "stats"}
+    {"op": "shutdown"}
+
+Responses carry ``"ok": true`` plus op-specific fields, or
+``"ok": false`` with ``error``/``type`` on failure.  Mining responses
+serialize results through :func:`result_payload`, which deliberately
+excludes run statistics: the payload holds exactly the result-defining
+bytes (certificates, supports, occurrence counts), so a service-mediated
+response can be diffed byte-for-byte against a one-shot CLI ``mine`` of
+the same version — stats describe how much *work* a strategy did, which
+legitimately differs between maintained and from-scratch runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ReproError, ServiceError
+from ..mining.dynamic import GraphUpdate
+from ..mining.results import MiningResult
+from ..mining.spec import MiningSpec
+from .service import GraphService
+
+#: Required operand count per update kind (the record itself included).
+_UPDATE_ARITY = {"v": 3, "e": 3, "de": 3, "dv": 2}
+
+
+def result_payload(result: MiningResult) -> Dict[str, Any]:
+    """The canonical, stats-free JSON shape of a mining result."""
+    return {
+        "measure": result.measure,
+        "min_support": result.min_support,
+        "num_frequent": len(result.frequent),
+        "patterns": [
+            {
+                "certificate": fp.certificate,
+                "support": fp.support,
+                "num_occurrences": fp.num_occurrences,
+                "num_nodes": fp.num_nodes,
+                "num_edges": fp.num_edges,
+            }
+            for fp in result.frequent
+        ],
+    }
+
+
+def result_bytes(result: MiningResult) -> str:
+    """Canonical serialized form — equal strings iff equal results."""
+    return json.dumps(result_payload(result), sort_keys=True, separators=(",", ":"))
+
+
+def parse_updates(records: Any) -> List[GraphUpdate]:
+    """JSON arrays → the update tuples :func:`apply_update` consumes."""
+    if not isinstance(records, list):
+        raise ServiceError("'updates' must be an array of update records")
+    updates: List[GraphUpdate] = []
+    for record in records:
+        if not isinstance(record, list) or not record:
+            raise ServiceError(f"malformed update record {record!r}")
+        kind = record[0]
+        arity = _UPDATE_ARITY.get(kind)
+        if arity is None:
+            raise ServiceError(
+                f"unknown update kind {kind!r} (expected 'v', 'e', 'de' or 'dv')"
+            )
+        if len(record) != arity:
+            raise ServiceError(f"update record {record!r} must have {arity} elements")
+        updates.append(tuple(record))
+    return updates
+
+
+def handle_request(service: GraphService, line: str) -> Tuple[Dict[str, Any], bool]:
+    """Answer one protocol line; returns ``(response, shutdown_requested)``."""
+    request_id = None
+    try:
+        try:
+            request = json.loads(line)
+        except ValueError as exc:
+            raise ServiceError(f"malformed request JSON: {exc}") from exc
+        if not isinstance(request, dict):
+            raise ServiceError(
+                f"request must be a JSON object, got {type(request).__name__}"
+            )
+        request_id = request.get("id")
+        op = request.get("op")
+        if op == "ping":
+            response: Dict[str, Any] = {"ok": True, "op": "ping"}
+        elif op == "version":
+            with service.pin() as snap:
+                response = {
+                    "ok": True,
+                    "op": "version",
+                    "version": snap.version,
+                    "num_vertices": snap.graph.num_vertices,
+                    "num_edges": snap.graph.num_edges,
+                }
+        elif op == "update":
+            info = service.apply_updates(parse_updates(request.get("updates")))
+            response = {
+                "ok": True,
+                "op": "update",
+                "version": info.version,
+                "applied": info.applied,
+                "expired": info.expired,
+                "num_vertices": info.num_vertices,
+                "num_edges": info.num_edges,
+            }
+        elif op == "mine":
+            response = _handle_mine(service, request)
+        elif op == "stats":
+            response = {"ok": True, "op": "stats", **service.stats()}
+        elif op == "shutdown":
+            return ({"ok": True, "op": "shutdown", "id": request_id}, True)
+        else:
+            raise ServiceError(f"unknown op {op!r}")
+    except ReproError as exc:
+        response = {"ok": False, "error": str(exc), "type": type(exc).__name__}
+    if request_id is not None:
+        response["id"] = request_id
+    return response, False
+
+
+def _handle_mine(service: GraphService, request: Dict[str, Any]) -> Dict[str, Any]:
+    spec_fields = request.get("spec", {})
+    if not isinstance(spec_fields, dict):
+        raise ServiceError("'spec' must be a JSON object of MiningSpec fields")
+    spec: Optional[MiningSpec] = (
+        MiningSpec.from_kwargs(**spec_fields) if spec_fields else None
+    )
+    version = request.get("version")
+    if version is not None and not isinstance(version, int):
+        raise ServiceError(f"'version' must be an integer, got {version!r}")
+    # Hold the pin across the cache peek *and* the mine so a concurrent
+    # version advance cannot invalidate the "cached" claim we report.
+    with service.pin(version) as snap:
+        effective = spec if spec is not None else service.maintain_spec
+        cached = service.cache.peek(snap.version, effective.cache_key()) is not None
+        result = service.mine(spec, snapshot=snap)
+    return {
+        "ok": True,
+        "op": "mine",
+        "version": snap.version,
+        "cached": cached,
+        "result": result_payload(result),
+    }

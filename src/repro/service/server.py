@@ -1,0 +1,96 @@
+"""Transports for the service daemon: stdin/stdout and TCP.
+
+Both speak the newline-delimited JSON protocol of
+:mod:`repro.service.protocol` against one shared
+:class:`~repro.service.GraphService`.  The stdio transport serves one
+pipelined client (requests answered in order); the TCP transport serves
+many concurrent clients — each connection gets its own handler thread,
+and their mine requests run as concurrent readers over pinned snapshots
+while update requests funnel into the service's single writer.
+
+On startup each transport emits a ``ready`` event line (JSON, same
+framing as responses) announcing the transport and — for TCP — the
+bound port, so callers using ``--port 0`` can discover where to connect.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from typing import IO, Optional
+
+from .protocol import handle_request
+from .service import GraphService
+
+
+def _ready_event(service: GraphService, transport: str, **extra) -> str:
+    payload = {
+        "ok": True,
+        "event": "ready",
+        "transport": transport,
+        "version": service.version,
+    }
+    payload.update(extra)
+    return json.dumps(payload)
+
+
+def serve_stdio(service: GraphService, infile: IO[str], outfile: IO[str]) -> None:
+    """Serve one client over text streams until EOF or ``shutdown``."""
+    outfile.write(_ready_event(service, "stdio") + "\n")
+    outfile.flush()
+    for line in infile:
+        if not line.strip():
+            continue
+        response, shutdown = handle_request(service, line)
+        outfile.write(json.dumps(response) + "\n")
+        outfile.flush()
+        if shutdown:
+            break
+
+
+class _ServiceTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, service: GraphService) -> None:
+        super().__init__(address, _ServiceHandler)
+        self.service = service
+
+
+class _ServiceHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace")
+            if not line.strip():
+                continue
+            response, shutdown = handle_request(self.server.service, line)
+            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+            if shutdown:
+                # shutdown() blocks until serve_forever() exits, and this
+                # handler runs on a connection thread — hand it to yet
+                # another thread so this response socket closes promptly.
+                threading.Thread(target=self.server.shutdown, daemon=True).start()
+                return
+
+
+def serve_tcp(
+    service: GraphService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    announce: Optional[IO[str]] = None,
+) -> None:
+    """Serve concurrent TCP clients until a ``shutdown`` request.
+
+    ``port=0`` binds an ephemeral port; the ``ready`` event written to
+    ``announce`` (when given) carries the actual one.
+    """
+    with _ServiceTCPServer((host, port), service) as server:
+        if announce is not None:
+            bound_host, bound_port = server.server_address[:2]
+            announce.write(
+                _ready_event(service, "tcp", host=bound_host, port=bound_port) + "\n"
+            )
+            announce.flush()
+        server.serve_forever(poll_interval=0.1)

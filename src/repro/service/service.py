@@ -1,0 +1,327 @@
+"""The in-process graph service: one writer, many readers, one cache.
+
+:class:`GraphService` is the single code path behind all three request
+surfaces — in-process callers, the ``repro serve`` daemon, and
+``mine-stream`` (a thin client of this class):
+
+* **one writer thread** owns the live graph.  Update batches are
+  submitted as tickets and applied in order through
+  :class:`~repro.mining.dynamic.StreamApplier` (sliding-window rules
+  included); after each batch the writer publishes a new snapshot
+  version and — when a *maintenance spec* is configured — refreshes its
+  :class:`~repro.mining.dynamic.DynamicMiner` (O(delta) reuse/skip over
+  the existing maintainer stack) and caches the result at the new
+  version, so readers asking the maintained question are pure cache
+  hits;
+* **readers never touch the live graph.**  A mine request pins an
+  immutable snapshot from the :class:`SnapshotRegistry`, consults the
+  :class:`ResultCache` at the pinned version, and only on a miss runs a
+  one-shot mine of the frozen snapshot graph.  Readers never block the
+  writer (and the writer never waits for readers);
+* results are **byte-identical** to a one-shot ``mine()`` of the graph
+  at the pinned version, whichever path produced them: the snapshot
+  graph *is* the graph at that version, and the maintained results are
+  pinned equal to one-shot results by the dynamic-mining equivalence
+  suite.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from queue import SimpleQueue
+from typing import Iterator, List, Optional, Sequence
+
+from ..errors import ServiceError
+from ..graph.labeled_graph import LabeledGraph
+from ..mining.dynamic import DynamicMiner, GraphUpdate, StreamApplier
+from ..mining.miner import mine_frequent_patterns
+from ..mining.results import MiningResult
+from ..mining.spec import DEFAULT_SPEC, MiningSpec
+from .cache import ResultCache
+from .snapshots import Snapshot, SnapshotRegistry
+
+
+@dataclass(frozen=True)
+class BatchInfo:
+    """What one applied update batch did (an update ticket's result)."""
+
+    version: int
+    applied: int
+    expired: int
+    num_vertices: int
+    num_edges: int
+    result: Optional[MiningResult] = None
+
+
+class Ticket:
+    """A pending request: poll it, or wait for its result.
+
+    ``poll()`` is non-blocking (``None`` until done), ``wait()`` blocks
+    and returns the result — re-raising the worker's exception if the
+    request failed.
+    """
+
+    __slots__ = ("_event", "_result", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result = None
+        self._error: Optional[BaseException] = None
+
+    def _resolve(self, result) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def poll(self):
+        """The result if finished, else ``None`` (errors re-raise)."""
+        if not self._event.is_set():
+            return None
+        return self.wait()
+
+    def wait(self, timeout: Optional[float] = None):
+        if not self._event.wait(timeout):
+            raise ServiceError(f"request did not complete within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class GraphService:
+    """A long-running mining service over one live graph.
+
+    Parameters
+    ----------
+    graph:
+        The live data graph.  After construction it belongs to the
+        writer: mutate it only via :meth:`submit_updates`.
+    maintain:
+        Optional :class:`MiningSpec` the writer keeps *maintained*: each
+        applied batch refreshes a :class:`DynamicMiner` with this spec
+        (stream fields — ``window``, ``batch_size``, ``mode`` — are
+        honored by the writer, not the miner) and caches the result at
+        the new version.  Without it the service is pure MVCC + cache:
+        every first request at a version mines a snapshot.
+    cache_size:
+        Optional LRU bound on the result cache (entries, not bytes).
+    """
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        maintain: Optional[MiningSpec] = None,
+        cache_size: Optional[int] = None,
+    ) -> None:
+        self._graph = graph
+        self._maintain = maintain
+        self.cache = ResultCache(max_entries=cache_size)
+        self.registry = SnapshotRegistry(graph)
+        # A fully-released non-tip version can never be requested again
+        # (its snapshot is gone) — drop its cache entries with it.
+        self.registry.on_evict(self._on_snapshot_evicted)
+        self._applier = StreamApplier(
+            graph, maintain.window if maintain is not None else None
+        )
+        self._miner: Optional[DynamicMiner] = None
+        if maintain is not None:
+            self._miner = DynamicMiner(graph, spec=maintain)
+        self._commands: SimpleQueue = SimpleQueue()
+        self._stopped = False
+        self._lock = threading.Lock()
+        self._writer = threading.Thread(
+            target=self._writer_loop, name="repro-service-writer", daemon=True
+        )
+        self._writer.start()
+
+    # ------------------------------------------------------------------
+    # writer side
+    # ------------------------------------------------------------------
+    def _writer_loop(self) -> None:
+        while True:
+            command = self._commands.get()
+            if command is None:
+                return
+            updates, ticket = command
+            try:
+                ticket._resolve(self._apply_batch(updates))
+            except BaseException as exc:  # noqa: BLE001 - ticket carries it
+                ticket._fail(exc)
+
+    def _apply_batch(self, updates: Sequence[GraphUpdate]) -> BatchInfo:
+        applied, expired = self._applier.apply_batch(updates)
+        version = self.registry.publish()
+        result = None
+        if self._miner is not None:
+            result = self._miner.refresh()
+            self.cache.put(version, self._maintain.cache_key(), result)
+        # Version advance is the one invalidation rule: entries for
+        # versions nobody can reach anymore (older than tip, unpinned)
+        # are dead weight; pinned versions keep their entries.
+        pinned = self.registry.pinned_versions()
+        self.cache.retain(lambda v: v == version or v in pinned)
+        return BatchInfo(
+            version=version,
+            applied=applied,
+            expired=expired,
+            num_vertices=self._graph.num_vertices,
+            num_edges=self._graph.num_edges,
+            result=result,
+        )
+
+    def _on_snapshot_evicted(self, version: int) -> None:
+        # The tip's entries survive pin/release churn (the version is
+        # still reachable); a *non-tip* version whose last pin went away
+        # can never be requested again, so its entries go with it.
+        if version != self.registry.tip:
+            self.cache.drop_version(version)
+
+    def submit_updates(self, updates: Sequence[GraphUpdate]) -> Ticket:
+        """Queue one update batch for the writer; returns its ticket.
+
+        The ticket resolves to a :class:`BatchInfo` once the writer has
+        applied the batch, published the new snapshot version, and (with
+        a maintenance spec) refreshed + cached the maintained result.
+        """
+        with self._lock:
+            if self._stopped:
+                raise ServiceError("the service is stopped")
+            ticket = Ticket()
+            self._commands.put((list(updates), ticket))
+            return ticket
+
+    def apply_updates(self, updates: Sequence[GraphUpdate]) -> BatchInfo:
+        """Submit one batch and wait for it (convenience wrapper)."""
+        return self.submit_updates(updates).wait()
+
+    # ------------------------------------------------------------------
+    # reader side
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """The latest published snapshot version."""
+        return self.registry.tip
+
+    @property
+    def maintain_spec(self) -> MiningSpec:
+        """The spec a spec-less request gets (maintained, or defaults)."""
+        return self._maintain if self._maintain is not None else DEFAULT_SPEC
+
+    def pin(self, version: Optional[int] = None) -> Snapshot:
+        """Pin a snapshot (tip by default); release it when done."""
+        return self.registry.pin(version)
+
+    def mine(
+        self,
+        spec: Optional[MiningSpec] = None,
+        version: Optional[int] = None,
+        snapshot: Optional[Snapshot] = None,
+    ) -> MiningResult:
+        """Answer one mining request at a pinned version, cache-first.
+
+        Runs on the calling thread (use :meth:`submit` for the async
+        surface).  The snapshot is pinned *before* the cache lookup so a
+        concurrent version advance cannot slip between "cache says miss
+        at V" and "mine at V".  Passing an already-pinned ``snapshot``
+        skips pinning (and the snapshot stays pinned for the caller).
+        """
+        if spec is None:
+            spec = self._maintain if self._maintain is not None else DEFAULT_SPEC
+        if snapshot is not None:
+            if version is not None and version != snapshot.version:
+                raise ServiceError(
+                    f"version {version} contradicts the pinned snapshot "
+                    f"(version {snapshot.version})"
+                )
+            return self._execute(spec, snapshot)
+        with self.registry.pin(version) as snap:
+            return self._execute(spec, snap)
+
+    def _execute(self, spec: MiningSpec, snap: Snapshot) -> MiningResult:
+        key = spec.cache_key()
+        cached = self.cache.get(snap.version, key)
+        if cached is not None:
+            return cached
+        result = mine_frequent_patterns(snap.graph, spec=spec)
+        self.cache.put(snap.version, key, result)
+        return result
+
+    def submit(
+        self, spec: Optional[MiningSpec] = None, version: Optional[int] = None
+    ) -> Ticket:
+        """Async mine request: returns a ticket resolving to the result.
+
+        The snapshot is pinned synchronously (so the request is anchored
+        to the version visible *now*), then the mine runs on a reader
+        thread — submit/poll/await without ever blocking the writer.
+        """
+        if spec is None:
+            spec = self._maintain if self._maintain is not None else DEFAULT_SPEC
+        snap = self.registry.pin(version)
+        ticket = Ticket()
+
+        def run() -> None:
+            try:
+                ticket._resolve(self._execute(spec, snap))
+            except BaseException as exc:  # noqa: BLE001 - ticket carries it
+                ticket._fail(exc)
+            finally:
+                snap.release()
+
+        thread = threading.Thread(
+            target=run, name=f"repro-service-reader-v{snap.version}", daemon=True
+        )
+        thread.start()
+        return ticket
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Cache counters + snapshot bookkeeping, for the request surface."""
+        payload = dict(self.cache.stats())
+        payload["version"] = self.registry.tip
+        payload["pinned_versions"] = sorted(self.registry.pinned_versions())
+        payload["maintained"] = self._maintain is not None
+        return payload
+
+    def stop(self) -> None:
+        """Drain the writer, release the miner and registry. Idempotent.
+
+        Queued update batches finish first (their tickets resolve);
+        anything submitted after stop() raises.
+        """
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+        self._commands.put(None)
+        self._writer.join()
+        if self._miner is not None:
+            self._miner.close()
+        self.registry.close()
+
+    def __enter__(self) -> "GraphService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def stream(
+        self, updates: Sequence[GraphUpdate], batch_size: int = 1
+    ) -> Iterator[BatchInfo]:
+        """Apply ``updates`` in batches, yielding each batch's info."""
+        batch: List[GraphUpdate] = []
+        for update in updates:
+            batch.append(update)
+            if len(batch) >= batch_size:
+                yield self.apply_updates(batch)
+                batch = []
+        if batch:
+            yield self.apply_updates(batch)

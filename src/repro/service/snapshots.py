@@ -1,0 +1,236 @@
+"""Versioned, refcounted graph snapshots — MVCC in miniature.
+
+The service has exactly one writer (the thread that mutates the live
+graph) and many readers (threads answering mine requests).  Readers must
+see a *frozen* graph at a well-defined version, and must never block the
+writer.  :class:`SnapshotRegistry` provides that with copy-on-write over
+the delta log:
+
+* the registry subscribes to the live graph and buffers its typed
+  deltas (the same :mod:`repro.index.delta` records the maintainers
+  consume);
+* it keeps a **shadow graph** equal to the live graph at the last
+  *published* version.  :meth:`SnapshotRegistry.publish` (writer-only)
+  rolls the shadow forward by replaying the buffered deltas — O(delta)
+  per batch, no copying — or, on an observation gap, falls back to one
+  full copy of the live graph;
+* :meth:`SnapshotRegistry.pin` hands a reader the shadow at its current
+  version, refcounted.  Only when a *pinned* tip must advance does the
+  writer copy the shadow (copy-on-write): the old object is frozen for
+  its readers, the copy becomes the new shadow.  Unpinned versions are
+  garbage-collected the moment their refcount drops to zero — eviction
+  callbacks let the result cache drop exactly that version's entries.
+
+A pinned snapshot's graph carries a tripwire observer that raises
+:class:`~repro.errors.ServiceError` on any mutation, so an accidental
+write to a frozen view fails loudly instead of corrupting readers.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, FrozenSet, List, Optional
+
+from ..errors import ServiceError
+from ..graph.labeled_graph import LabeledGraph
+from ..index.delta import (
+    PATCHABLE_DELTAS,
+    AnyDelta,
+    EdgeAdded,
+    EdgeRemoved,
+    VertexAdded,
+    VertexRemoved,
+)
+
+
+def _replay(graph: LabeledGraph, delta: AnyDelta) -> None:
+    """Apply one observed delta to a (shadow) graph copy."""
+    if isinstance(delta, VertexAdded):
+        graph.add_vertex(delta.vertex, delta.label)
+    elif isinstance(delta, EdgeAdded):
+        graph.add_edge(delta.u, delta.v)
+    elif isinstance(delta, EdgeRemoved):
+        graph.remove_edge(delta.u, delta.v)
+    elif isinstance(delta, VertexRemoved):
+        graph.remove_vertex(delta.vertex)
+    else:  # pragma: no cover - PATCHABLE_DELTAS is checked before replay
+        raise ServiceError(f"cannot replay delta {delta!r}")
+
+
+def _tripwire(delta: object) -> None:
+    raise ServiceError(
+        "a pinned snapshot graph was mutated; snapshots are immutable — "
+        "apply updates to the live graph through the service writer"
+    )
+
+
+class Snapshot:
+    """One pinned, immutable (version, graph) pair.
+
+    Hold it for as long as the frozen view is needed, then
+    :meth:`release` it (or use it as a context manager) so the registry
+    can garbage-collect the version.  Releasing twice is an error — it
+    would corrupt another reader's refcount.
+    """
+
+    __slots__ = ("version", "graph", "_registry", "_released")
+
+    def __init__(
+        self, version: int, graph: LabeledGraph, registry: "SnapshotRegistry"
+    ) -> None:
+        self.version = version
+        self.graph = graph
+        self._registry = registry
+        self._released = False
+
+    def release(self) -> None:
+        if self._released:
+            raise ServiceError(
+                f"snapshot at version {self.version} was already released"
+            )
+        self._released = True
+        self._registry._release(self.version)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "released" if self._released else "pinned"
+        return f"<Snapshot version={self.version} {state}>"
+
+
+class SnapshotRegistry:
+    """Map version → frozen graph view, refcounted, copy-on-write.
+
+    One instance per service.  :meth:`publish` must only be called by
+    the writer thread; :meth:`pin`/release are safe from any thread.
+    The registry's lock only guards bookkeeping and the O(delta) shadow
+    roll-forward — readers never hold it while mining.
+    """
+
+    def __init__(self, graph: LabeledGraph) -> None:
+        self._graph = graph
+        self._log: List[AnyDelta] = []
+        self._observer = graph.subscribe(self._log.append)
+        # The shadow starts as one full copy; every publish afterwards is
+        # an O(delta) replay (or a copy-on-write split when pinned).
+        self._shadow = graph.copy()
+        self._tip = graph.mutation_version()
+        self._lock = threading.Lock()
+        self._refcounts: Dict[int, int] = {}
+        self._frozen: Dict[int, LabeledGraph] = {}
+        self._evict_callbacks: List[Callable[[int], None]] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def tip(self) -> int:
+        """The latest published version."""
+        return self._tip
+
+    def pinned_versions(self) -> FrozenSet[int]:
+        with self._lock:
+            return frozenset(self._refcounts)
+
+    def on_evict(self, callback: Callable[[int], None]) -> None:
+        """Call ``callback(version)`` when a version is garbage-collected."""
+        self._evict_callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    def pin(self, version: Optional[int] = None) -> Snapshot:
+        """Pin the tip (or a still-materialized older version).
+
+        Pinning the tip freezes the current shadow in place — no copy;
+        the *writer* pays for the copy later, and only if it must
+        advance past a version readers still hold.  An unpinned old
+        version is gone (that is the point of GC): pinning it raises.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceError("the snapshot registry is closed")
+            target = self._tip if version is None else version
+            if target == self._tip:
+                if target not in self._frozen:
+                    self._frozen[target] = self._shadow
+                    self._shadow.subscribe(_tripwire)
+            elif target not in self._frozen:
+                raise ServiceError(
+                    f"version {target} is not materialized (tip is "
+                    f"{self._tip}; unpinned versions are garbage-collected)"
+                )
+            self._refcounts[target] = self._refcounts.get(target, 0) + 1
+            return Snapshot(target, self._frozen[target], self)
+
+    def _release(self, version: int) -> None:
+        evicted = False
+        with self._lock:
+            count = self._refcounts.get(version, 0) - 1
+            if count > 0:
+                self._refcounts[version] = count
+            else:
+                self._refcounts.pop(version, None)
+                frozen = self._frozen.pop(version, None)
+                evicted = frozen is not None
+                if frozen is self._shadow:
+                    # The tip was the shadow itself; make it mutable for
+                    # the writer's next in-place roll-forward.
+                    self._shadow.unsubscribe(_tripwire)
+        if evicted:
+            for callback in self._evict_callbacks:
+                callback(version)
+
+    # ------------------------------------------------------------------
+    def publish(self) -> int:
+        """Writer-only: advance the shadow to the live graph's version.
+
+        Contiguous patchable deltas replay in O(delta); any gap (missed
+        observation, unknown delta kind) falls back to one full copy of
+        the live graph.  If the departing tip is pinned, the shadow is
+        copied first (copy-on-write) so pinned readers keep their frozen
+        object untouched.
+        """
+        target = self._graph.mutation_version()
+        with self._lock:
+            if self._closed:
+                raise ServiceError("the snapshot registry is closed")
+            # The subscribed observer is this list's bound .append —
+            # clear in place, never swap the list out from under it.
+            buffered = list(self._log)
+            self._log.clear()
+            if target == self._tip:
+                return self._tip
+            deltas = [d for d in buffered if d.version > self._tip]
+            contiguous = (
+                bool(deltas)
+                and deltas[0].version == self._tip + 1
+                and deltas[-1].version == target
+                and all(
+                    b.version == a.version + 1 for a, b in zip(deltas, deltas[1:])
+                )
+                and all(isinstance(d, PATCHABLE_DELTAS) for d in deltas)
+            )
+            if self._tip in self._frozen:
+                # Copy-on-write: the old shadow stays frozen for its
+                # pinned readers; copy() drops the tripwire with the
+                # rest of the observers, so the new shadow is mutable.
+                self._shadow = self._shadow.copy()
+            if contiguous:
+                for delta in deltas:
+                    _replay(self._shadow, delta)
+            else:
+                self._shadow = self._graph.copy()
+            self._tip = target
+            return self._tip
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Detach from the live graph; outstanding pins stay readable."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._graph.unsubscribe(self._observer)
+        self._log.clear()

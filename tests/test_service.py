@@ -1,0 +1,374 @@
+"""Tests for the graph service: MVCC snapshots, result cache, protocol."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.graph.builders import path_graph
+from repro.mining.dynamic import StreamApplier
+from repro.mining.miner import mine_frequent_patterns
+from repro.mining.spec import MiningSpec
+from repro.service import (
+    GraphService,
+    ResultCache,
+    SnapshotRegistry,
+    handle_request,
+    parse_updates,
+    result_bytes,
+)
+
+SPEC = MiningSpec(min_support=2)
+
+UPDATES = [
+    ("v", 6, "b"),
+    ("e", 5, 6),
+    ("v", 7, "a"),
+    ("e", 6, 7),
+    ("de", 1, 2),
+    ("e", 1, 2),
+]
+
+
+def base_graph():
+    return path_graph(["a", "b", "a", "b", "a"])
+
+
+def graph_after(n_updates):
+    """The base graph with the first ``n_updates`` applied directly."""
+    graph = base_graph()
+    StreamApplier(graph, window=None).apply_batch(UPDATES[:n_updates])
+    return graph
+
+
+class TestSnapshotRegistry:
+    def test_pin_tip_then_advance_preserves_frozen_view(self):
+        graph = base_graph()
+        registry = SnapshotRegistry(graph)
+        snap = registry.pin()
+        edges_before = snap.graph.num_edges
+        graph.add_vertex(6, "b")
+        graph.add_edge(5, 6)
+        registry.publish()
+        assert registry.tip > snap.version
+        assert snap.graph.num_edges == edges_before  # frozen, not live
+        with registry.pin() as tip_snap:
+            assert tip_snap.graph.num_edges == edges_before + 1
+        snap.release()
+        registry.close()
+
+    def test_unpinned_old_version_is_garbage_collected(self):
+        graph = base_graph()
+        registry = SnapshotRegistry(graph)
+        old_tip = registry.tip
+        graph.add_vertex(6, "b")
+        registry.publish()
+        with pytest.raises(ServiceError, match="not materialized"):
+            registry.pin(old_tip)
+        registry.close()
+
+    def test_refcount_gc(self):
+        graph = base_graph()
+        registry = SnapshotRegistry(graph)
+        evicted = []
+        registry.on_evict(evicted.append)
+        first = registry.pin()
+        second = registry.pin()
+        version = first.version
+        graph.add_vertex(6, "b")
+        registry.publish()
+        first.release()
+        assert evicted == []  # still pinned by `second`
+        assert registry.pin(version).graph is second.graph  # re-pinnable
+        registry._release(version)
+        second.release()
+        assert evicted == [version]
+        with pytest.raises(ServiceError, match="not materialized"):
+            registry.pin(version)
+        registry.close()
+
+    def test_double_release_raises(self):
+        registry = SnapshotRegistry(base_graph())
+        snap = registry.pin()
+        snap.release()
+        with pytest.raises(ServiceError, match="already released"):
+            snap.release()
+        registry.close()
+
+    def test_pinned_snapshot_graph_is_immutable(self):
+        graph = base_graph()
+        registry = SnapshotRegistry(graph)
+        with registry.pin() as snap:
+            with pytest.raises(ServiceError, match="immutable"):
+                snap.graph.add_vertex(99, "z")
+        registry.close()
+
+    def test_publish_replays_deletions(self):
+        graph = base_graph()
+        registry = SnapshotRegistry(graph)
+        graph.remove_edge(1, 2)
+        graph.add_vertex(6, "b")
+        graph.add_edge(5, 6)
+        registry.publish()
+        with registry.pin() as snap:
+            assert not snap.graph.has_edge(1, 2)
+            assert snap.graph.has_edge(5, 6)
+            assert snap.graph.num_edges == graph.num_edges
+        registry.close()
+
+    def test_close_detaches_observer(self):
+        graph = base_graph()
+        registry = SnapshotRegistry(graph)
+        registry.close()
+        assert not graph.has_observers()
+        registry.close()  # idempotent
+
+
+class TestResultCache:
+    def test_hit_miss_accounting(self):
+        cache = ResultCache()
+        assert cache.get(1, "k") is None
+        cache.put(1, "k", "value")
+        assert cache.get(1, "k") == "value"
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "entries": 1,
+        }
+
+    def test_peek_does_not_count(self):
+        cache = ResultCache()
+        cache.put(1, "k", "value")
+        assert cache.peek(1, "k") == "value"
+        assert cache.peek(1, "other") is None
+        assert cache.stats()["hits"] == 0
+        assert cache.stats()["misses"] == 0
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        cache.put(1, "a", "A")
+        cache.put(1, "b", "B")
+        cache.get(1, "a")  # refresh a: b is now the LRU entry
+        cache.put(1, "c", "C")
+        assert cache.peek(1, "b") is None
+        assert cache.peek(1, "a") == "A"
+        assert cache.stats()["evictions"] == 1
+
+    def test_drop_version_and_retain(self):
+        cache = ResultCache()
+        cache.put(1, "a", "A")
+        cache.put(2, "a", "B")
+        cache.put(3, "a", "C")
+        cache.drop_version(2)
+        assert cache.peek(2, "a") is None
+        cache.retain(lambda v: v == 3)
+        assert cache.peek(1, "a") is None
+        assert cache.peek(3, "a") == "C"
+        assert len(cache) == 1
+
+
+class TestGraphService:
+    def test_updates_advance_versions_and_counts(self):
+        with GraphService(base_graph()) as service:
+            v0 = service.version
+            info = service.apply_updates(UPDATES[:2])
+            assert info.version > v0
+            assert info.applied == 2
+            assert info.num_vertices == 6
+            assert info.num_edges == 5
+
+    def test_mine_matches_one_shot_at_each_version(self):
+        with GraphService(base_graph()) as service:
+            for n in (2, 4, 6):
+                service.apply_updates(UPDATES[n - 2 : n])
+                served = service.mine(SPEC)
+                direct = mine_frequent_patterns(graph_after(n), spec=SPEC)
+                assert result_bytes(served) == result_bytes(direct)
+
+    def test_pinned_reader_unaffected_by_writer_advance(self):
+        with GraphService(base_graph()) as service:
+            service.apply_updates(UPDATES[:2])
+            snap = service.pin()
+            service.apply_updates(UPDATES[2:])  # writer moves on
+            served = service.mine(SPEC, snapshot=snap)
+            direct = mine_frequent_patterns(graph_after(2), spec=SPEC)
+            assert result_bytes(served) == result_bytes(direct)
+            snap.release()
+
+    def test_concurrent_readers_pin_older_snapshots(self):
+        # The acceptance scenario: the writer advances through the stream
+        # while threaded readers hold snapshots of *older* versions; every
+        # reader's result must be byte-identical to a one-shot mine of the
+        # graph at its pinned version.
+        expected = {
+            n: result_bytes(mine_frequent_patterns(graph_after(n), spec=SPEC))
+            for n in (0, 2, 4, 6)
+        }
+        with GraphService(base_graph()) as service:
+            snaps = {0: service.pin()}
+            for n in (2, 4, 6):
+                service.apply_updates(UPDATES[n - 2 : n])
+                snaps[n] = service.pin()
+
+            results = {}
+            errors = []
+
+            def read(n, snap):
+                try:
+                    results[n] = result_bytes(service.mine(SPEC, snapshot=snap))
+                except BaseException as exc:  # pragma: no cover - fail loudly
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=read, args=(n, snap))
+                for n, snap in snaps.items()
+            ]
+            for t in threads:
+                t.start()
+            # Keep writing while the readers mine their pinned versions.
+            service.apply_updates([("v", 8, "b"), ("e", 7, 8)])
+            for t in threads:
+                t.join()
+            assert errors == []
+            assert results == expected
+            for snap in snaps.values():
+                snap.release()
+
+    def test_repeated_requests_hit_the_cache(self):
+        with GraphService(base_graph()) as service:
+            service.mine(SPEC)
+            before = service.stats()
+            service.mine(SPEC)
+            service.mine(SPEC)
+            after = service.stats()
+            assert after["hits"] == before["hits"] + 2
+            assert after["misses"] == before["misses"]
+
+    def test_version_advance_invalidates_only_unpinned_versions(self):
+        with GraphService(base_graph()) as service:
+            service.mine(SPEC)  # cached at v0
+            v0 = service.version
+            pinned = service.pin()  # keep v0 alive
+            service.apply_updates(UPDATES[:2])
+            # v0 is pinned: its entry must survive the advance.
+            assert service.cache.peek(v0, SPEC.cache_key()) is not None
+            service.mine(SPEC, snapshot=pinned)  # still a hit
+            assert service.stats()["hits"] >= 1
+            pinned.release()
+            # Last pin gone and v0 is no longer the tip: entry evicted.
+            assert service.cache.peek(v0, SPEC.cache_key()) is None
+
+    def test_maintained_service_precaches_each_version(self):
+        with GraphService(base_graph(), maintain=SPEC) as service:
+            service.apply_updates(UPDATES[:2])
+            stats_before = service.stats()
+            result = service.mine()  # spec-less → the maintained spec
+            assert service.stats()["hits"] == stats_before["hits"] + 1
+            direct = mine_frequent_patterns(graph_after(2), spec=SPEC)
+            assert result_bytes(result) == result_bytes(direct)
+
+    def test_async_submit_tickets(self):
+        with GraphService(base_graph()) as service:
+            ticket = service.submit(SPEC)
+            result = ticket.wait(timeout=120)
+            assert ticket.done
+            assert ticket.poll() is not None
+            direct = mine_frequent_patterns(graph_after(0), spec=SPEC)
+            assert result_bytes(result) == result_bytes(direct)
+
+    def test_submit_after_stop_raises(self):
+        service = GraphService(base_graph())
+        service.stop()
+        service.stop()  # idempotent
+        with pytest.raises(ServiceError, match="stopped"):
+            service.submit_updates([("v", 6, "b")])
+
+    def test_stop_releases_graph_observers(self):
+        graph = base_graph()
+        service = GraphService(graph, maintain=SPEC)
+        service.apply_updates(UPDATES[:2])
+        service.stop()
+        assert not graph.has_observers()
+
+    def test_bad_update_fails_the_ticket_not_the_writer(self):
+        with GraphService(base_graph()) as service:
+            with pytest.raises(Exception):
+                service.apply_updates([("e", 98, 99)])  # unknown endpoints
+            # The writer thread survives and keeps serving.
+            info = service.apply_updates(UPDATES[:2])
+            assert info.applied == 2
+
+
+class TestProtocol:
+    def test_parse_updates_validates(self):
+        assert parse_updates([["v", 6, "b"], ["de", 1, 2], ["dv", 3]]) == [
+            ("v", 6, "b"),
+            ("de", 1, 2),
+            ("dv", 3),
+        ]
+        with pytest.raises(ServiceError, match="unknown update kind"):
+            parse_updates([["x", 1]])
+        with pytest.raises(ServiceError, match="must have"):
+            parse_updates([["e", 1]])
+        with pytest.raises(ServiceError, match="array"):
+            parse_updates("e 1 2")
+
+    def request(self, service, payload):
+        response, shutdown = handle_request(service, json.dumps(payload))
+        return response, shutdown
+
+    def test_full_conversation(self):
+        with GraphService(base_graph(), maintain=SPEC) as service:
+            ping, _ = self.request(service, {"op": "ping", "id": 1})
+            assert ping == {"ok": True, "op": "ping", "id": 1}
+
+            version, _ = self.request(service, {"op": "version"})
+            assert version["ok"] and version["num_vertices"] == 5
+
+            update, _ = self.request(
+                service, {"op": "update", "updates": [["v", 6, "b"], ["e", 5, 6]]}
+            )
+            assert update["ok"] and update["applied"] == 2
+
+            mined, _ = self.request(service, {"op": "mine"})
+            assert mined["ok"]
+            assert mined["cached"] is True  # writer pre-cached this version
+            direct = mine_frequent_patterns(graph_after(2), spec=SPEC)
+            assert mined["result"] == json.loads(result_bytes(direct))
+
+            stats, _ = self.request(service, {"op": "stats"})
+            assert stats["ok"] and stats["maintained"] is True
+
+            bye, shutdown = self.request(service, {"op": "shutdown", "id": 9})
+            assert shutdown and bye["id"] == 9
+
+    def test_mine_with_inline_spec_fields(self):
+        with GraphService(base_graph()) as service:
+            first, _ = self.request(service, {"op": "mine", "spec": {"min_support": 2}})
+            assert first["ok"] and first["cached"] is False
+            again, _ = self.request(service, {"op": "mine", "spec": {"min_support": 2}})
+            assert again["cached"] is True
+            assert again["result"] == first["result"]
+
+    def test_error_shapes(self):
+        with GraphService(base_graph()) as service:
+            bad_json, _ = self.request_raw(service, "{not json")
+            assert bad_json["ok"] is False and bad_json["type"] == "ServiceError"
+
+            unknown, _ = self.request(service, {"op": "teleport", "id": 3})
+            assert unknown["ok"] is False and unknown["id"] == 3
+
+            bad_spec, _ = self.request(
+                service, {"op": "mine", "spec": {"min_support": -1}}
+            )
+            assert bad_spec["ok"] is False
+            assert bad_spec["type"] == "MiningError"
+
+            bad_version, _ = self.request(service, {"op": "mine", "version": 10**9})
+            assert bad_version["ok"] is False
+            assert "not materialized" in bad_version["error"]
+
+    def request_raw(self, service, line):
+        return handle_request(service, line)
