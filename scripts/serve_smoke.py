@@ -34,6 +34,30 @@ from repro.mining.dynamic import StreamApplier  # noqa: E402
 SPEC_FLAGS = ["--min-support", "2", "--max-nodes", "3"]
 SPEC_FIELDS = {"min_support": 2, "max_nodes": 3}
 
+# The daemon runs the full execution stack — sharded, pooled, paged —
+# while the one-shot reference stays serial and flat: the byte-for-byte
+# diff below then doubles as an execution-strategy equivalence check,
+# and every instrumented subsystem registers its metrics.
+SERVE_FLAGS = SPEC_FLAGS + [
+    "--shards", "3",
+    "--workers", "2",
+    "--max-resident", "2",
+]
+
+#: One core counter per instrumented subsystem that a stream of update
+#: batches plus mine requests must have moved (the `metrics` verb gate).
+CORE_NONZERO = [
+    "repro_miner_sessions",  # the writer's maintained refreshes
+    "repro_sharded_index_patches_applied",  # delta maintenance patched
+    "repro_pool_slices_shipped",  # resident workers got their shards
+    "repro_pager_recomputes",  # out-of-core views materialized
+    "repro_snapshots_publishes",  # MVCC advanced per batch
+    "repro_snapshots_pins",  # readers pinned snapshots
+    "repro_cache_entries",  # maintained results cached
+    "repro_service_batches_applied",  # the writer applied our batches
+    "repro_service_mine_requests",  # the readers' mines were served
+]
+
 BATCHES = [
     [["v", 7, "a"], ["e", 6, 7], ["v", 8, "b"], ["e", 7, 8]],  # inserts
     [["de", 1, 2], ["dv", 1], ["e", 8, 2]],  # deletions + re-link
@@ -92,7 +116,7 @@ def main():
 
     server = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", str(base_path), "--port", "0"]
-        + SPEC_FLAGS,
+        + SERVE_FLAGS,
         stdout=subprocess.PIPE,
         text=True,
         env=_ENV,
@@ -154,6 +178,43 @@ def main():
         print(
             f"cache: {stats['hits']} hits / {stats['misses']} misses / "
             f"{stats['evictions']} evictions"
+        )
+
+        # The mine response echoes a trace id; the trace verb must replay
+        # that request's span tree.
+        last_mine = results[0]
+        trace_id = last_mine.get("trace_id")
+        assert trace_id, f"FAIL: mine response carried no trace_id: {last_mine}"
+        spans = control.request({"op": "trace", "trace_id": trace_id})["spans"]
+        span_names = {span["name"] for span in spans}
+        assert "service.mine" in span_names, (
+            f"FAIL: trace {trace_id} has no service.mine span: {span_names}"
+        )
+        print(f"trace {trace_id}: {len(spans)} span(s), names {sorted(span_names)}")
+
+        # The metrics verb: the full registry snapshot, with at least one
+        # moved counter per instrumented subsystem.
+        metrics = control.request({"op": "metrics"})["metrics"]
+        flat = {k: v for k, v in metrics.items() if not isinstance(v, dict)}
+        quiet = [name for name in CORE_NONZERO if not flat.get(name)]
+        assert not quiet, (
+            f"FAIL: core counters never moved: {quiet}\nsnapshot: {metrics}"
+        )
+        # stats and metrics are one source: the aliases cannot drift.
+        for alias, metric in (
+            ("hits", "repro_cache_hits"),
+            ("misses", "repro_cache_misses"),
+            ("evictions", "repro_cache_evictions"),
+            ("entries", "repro_cache_entries"),
+        ):
+            assert stats[alias] == metrics[metric], (
+                f"FAIL: stats[{alias}]={stats[alias]} != "
+                f"{metric}={metrics[metric]}"
+            )
+        moved = sum(1 for value in flat.values() if value)
+        print(
+            f"metrics: {len(metrics)} instruments, {moved} moved; "
+            f"all {len(CORE_NONZERO)} core counters non-zero"
         )
         control.request({"op": "shutdown"})
         control.close()

@@ -95,6 +95,21 @@ def _spec_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _obs_parent() -> argparse.ArgumentParser:
+    """Observability flags shared by ``mine``, ``mine-stream`` and ``serve``."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        help=(
+            "emit repro.* logs at this level to stderr (default: silent; "
+            "fallback paths that change strategy log at warning)"
+        ),
+    )
+    return parent
+
+
 def _stream_parent() -> argparse.ArgumentParser:
     """Update-stream flags shared by ``mine-stream`` and ``serve``."""
     spec = DEFAULT_SPEC
@@ -164,8 +179,23 @@ def _frequent_table(result, title: str) -> str:
 def _cmd_mine(args: argparse.Namespace) -> int:
     from .mining.miner import mine_frequent_patterns
 
+    want_trace = bool(args.profile or args.trace_out)
+    if want_trace:
+        from .obs import trace
+
+        trace.enable()
     data = load_graph(args.graph)
     result = mine_frequent_patterns(data, spec=spec_from_args(args))
+    trace_epilogue: List[str] = []
+    if want_trace:
+        records = trace.get_trace(trace.last_trace_id())
+        if args.profile:
+            from .obs.profile import format_profile
+
+            trace_epilogue.append(format_profile(records))
+        if args.trace_out:
+            written = trace.export_ndjson(args.trace_out)
+            trace_epilogue.append(f"wrote {written} span(s) to {args.trace_out}")
     if args.json:
         from .service.protocol import result_payload
 
@@ -174,6 +204,9 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         import json
 
         print(json.dumps(result_payload(result), sort_keys=True, indent=2))
+        # Keep stdout parseable: the profile goes to stderr in JSON mode.
+        for block in trace_epilogue:
+            print(block, file=sys.stderr)
         return 0
     print(
         _frequent_table(
@@ -184,6 +217,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     )
     stats = result.stats.as_dict()
     print("\n" + format_table(["counter", "value"], sorted(stats.items())))
+    for block in trace_epilogue:
+        print("\n" + block)
     return 0
 
 
@@ -253,9 +288,13 @@ def _cmd_mine_stream(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .obs import trace
     from .service import GraphService
     from .service.server import serve_stdio, serve_tcp
 
+    # The daemon always collects spans: mine responses echo a trace_id
+    # and the `trace` verb replays the span tree.
+    trace.enable()
     data = load_graph(args.graph)
     service = GraphService(
         data,
@@ -461,9 +500,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     spec_parent = _spec_parent()
     stream_parent = _stream_parent()
+    obs_parent = _obs_parent()
 
     mine = subparsers.add_parser(
-        "mine", help="mine frequent patterns", parents=[spec_parent]
+        "mine", help="mine frequent patterns", parents=[spec_parent, obs_parent]
     )
     mine.add_argument("graph", help="data graph (.lg file)")
     mine.add_argument(
@@ -474,12 +514,26 @@ def build_parser() -> argparse.ArgumentParser:
             "service protocol sends) instead of the tables"
         ),
     )
+    mine.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "trace the run and print a per-phase wall/CPU breakdown "
+            "(seed enumeration and each lattice level)"
+        ),
+    )
+    mine.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="trace the run and write its spans to FILE as NDJSON",
+    )
     mine.set_defaults(func=_cmd_mine)
 
     stream = subparsers.add_parser(
         "mine-stream",
         help="maintain frequent patterns while replaying a graph-update stream",
-        parents=[spec_parent, stream_parent],
+        parents=[spec_parent, stream_parent, obs_parent],
     )
     stream.add_argument("graph", help="base data graph (.lg file)")
     stream.add_argument(
@@ -500,7 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser(
         "serve",
         help="run the long-lived graph service (NDJSON over stdio or TCP)",
-        parents=[spec_parent, stream_parent],
+        parents=[spec_parent, stream_parent, obs_parent],
         description=(
             "Serve the graph as a long-running daemon: one writer applies "
             "update batches (op=update) through the delta-maintained miner, "
@@ -598,6 +652,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "log_level", None):
+        from .obs import configure_logging
+
+        configure_logging(args.log_level)
     return args.func(args)
 
 

@@ -34,6 +34,10 @@ from abc import ABC, abstractmethod
 from typing import List, Optional, Tuple
 
 from ..graph.labeled_graph import LabeledGraph
+from ..obs import metrics as _metrics
+from ..obs.logs import get_logger
+
+_LOG = get_logger("index.maintainer")
 
 
 class MaintainableIndex(ABC):
@@ -107,6 +111,10 @@ class DeltaMaintainer:
     #: Subclasses set this (normally ``repro.index.delta.PATCHABLE_DELTAS``).
     patchable_kinds: Tuple[type, ...] = ()
 
+    #: Metrics-subsystem label: counters land on
+    #: ``repro_<obs_subsystem>_{patches_applied,rebuilds,deltas_coalesced}``.
+    obs_subsystem: str = "index"
+
     __slots__ = (
         "graph",
         "_buffer",
@@ -138,6 +146,9 @@ class DeltaMaintainer:
         self.patches_applied = 0
         self.rebuilds = 0
         self.deltas_coalesced = 0
+        registry = _metrics.get_registry()
+        for name in ("patches_applied", "rebuilds", "deltas_coalesced"):
+            registry.counter(f"repro_{self.obs_subsystem}_{name}")
 
     # ------------------------------------------------------------------
     # subclass hooks
@@ -168,6 +179,7 @@ class DeltaMaintainer:
         """
         if self._rebuild_pending:
             self.deltas_coalesced += 1
+            _metrics.counter(f"repro_{self.obs_subsystem}_deltas_coalesced").inc()
             return
         if isinstance(delta, self.patchable_kinds):
             self._buffer.append(delta)
@@ -175,8 +187,12 @@ class DeltaMaintainer:
                 return
         # Unknown delta kind, or the burst outgrew the patch limit: the
         # buffered run is superseded by one deferred rebuild.
-        self.deltas_coalesced += len(self._buffer) + (
+        coalesced = len(self._buffer) + (
             0 if isinstance(delta, self.patchable_kinds) else 1
+        )
+        self.deltas_coalesced += coalesced
+        _metrics.counter(f"repro_{self.obs_subsystem}_deltas_coalesced").inc(
+            coalesced
         )
         self._buffer.clear()
         self._rebuild_pending = True
@@ -216,12 +232,48 @@ class DeltaMaintainer:
             for delta in deltas:
                 self._index.apply_delta(delta)
             self.patches_applied += len(deltas)
+            _metrics.counter(
+                f"repro_{self.obs_subsystem}_patches_applied"
+            ).inc(len(deltas))
         else:
+            reason = self._rebuild_reason(deltas)
+            _LOG.warning(
+                "%s demoted to a full rebuild (reason: %s, v%d -> v%d)",
+                type(self).__name__,
+                reason,
+                self._index.version,
+                target,
+            )
             self._index = self._index.rebuilt()
             self.rebuilds += 1
+            _metrics.counter(f"repro_{self.obs_subsystem}_rebuilds").inc()
+            _metrics.counter(
+                f"repro_{self.obs_subsystem}_rebuilds_{reason.replace('-', '_')}"
+            ).inc()
         self._reset_observation()
         self._store(self._index)
         return self._index
+
+    def _rebuild_reason(self, deltas: List) -> str:
+        """Why this refresh could not be served by patching.
+
+        ``patch-limit``: a burst outgrew the patch limit and was coalesced
+        into this one deferred rebuild.  ``unpatchable``: the buffered run
+        is contiguous but contains a delta kind the index cannot splice.
+        ``gap``: everything else — attached late, detached in between, or
+        a buffer that cannot replay the version counter exactly.
+        """
+        if self._rebuild_pending:
+            return "patch-limit"
+        if (
+            self._attached
+            and deltas
+            and deltas[0].version == self._index.version + 1
+            and all(b.version == a.version + 1 for a, b in zip(deltas, deltas[1:]))
+            and not all(isinstance(d, self.patchable_kinds) for d in deltas)
+        ):
+            return "unpatchable"
+        return "gap"
 
     def _reset_observation(self) -> None:
         self._buffer.clear()

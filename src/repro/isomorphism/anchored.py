@@ -19,6 +19,7 @@ from typing import Dict, Iterator, List, Optional, Set
 
 from ..graph.labeled_graph import LabeledGraph, Vertex
 from ..index.graph_index import IndexArg, resolve_index
+from ..obs import metrics as _metrics
 from .vf2 import (
     Mapping,
     _candidate_data_vertices,
@@ -43,6 +44,9 @@ class AnchoredSearch:
     def __init__(
         self, pattern: Pattern, data: LabeledGraph, index: IndexArg = None
     ) -> None:
+        # One search context serves a burst of probes; counting contexts
+        # (not probes) keeps the hot path free of instrumentation.
+        _metrics.counter("repro_match_anchored_searches").inc()
         self.pattern = pattern
         self.data = data
         self.resolved = resolve_index(data, index)

@@ -39,6 +39,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set
 from ..graph.labeled_graph import Label, LabeledGraph, Vertex
 from ..graph.pattern import Pattern
 from ..index.graph_index import GraphIndex, IndexArg, resolve_index
+from ..obs import metrics as _metrics
 
 Mapping = Dict[Vertex, Vertex]
 
@@ -221,6 +222,7 @@ def find_subgraph_isomorphisms(
     ------
     dict mapping pattern node -> data vertex, a fresh dict per occurrence.
     """
+    _metrics.counter("repro_match_vf2_calls").inc()
     if pattern.num_nodes > data.num_vertices:
         return
     resolved = resolve_index(data, index)
@@ -276,6 +278,7 @@ def collect_subgraph_isomorphism_items(
     The equivalence suite pins this against the generator engine in both
     indexed and brute modes.
     """
+    _metrics.counter("repro_match_vf2_calls").inc()
     if pattern.num_nodes > data.num_vertices:
         return []
     if limit is not None and limit <= 0:

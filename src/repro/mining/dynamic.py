@@ -84,10 +84,15 @@ from ..index.delta import (
 )
 from ..index.graph_index import _label_pair_key
 from ..measures.base import measure_info
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+from ..obs.logs import get_logger
 from .extension import adjacent_label_pairs, all_extensions, single_edge_patterns
 from .parallel import evaluate_support
 from .results import FrequentPattern, MiningResult, MiningStats
 from .spec import UNSET, MiningSpec, resolve_spec
+
+_LOG = get_logger("mining.dynamic")
 
 LabelPair = Tuple[Label, Label]
 
@@ -493,7 +498,13 @@ class DynamicMiner:
                         use_index=self.use_index,
                         depth=max(0, self.max_pattern_nodes - 2),
                     )
-                except (OSError, ValueError):
+                except (OSError, ValueError) as exc:
+                    _LOG.warning(
+                        "could not start the shard worker pool (%s); the "
+                        "session evaluates serially from here on",
+                        exc,
+                    )
+                    _metrics.counter("repro_pool_serial_fallbacks").inc()
                     self._pool_failed = True
                     return None
             return self._pool
@@ -517,7 +528,13 @@ class DynamicMiner:
                     sharded.partition,
                 ),
             )
-        except (OSError, ValueError):
+        except (OSError, ValueError) as exc:
+            _LOG.warning(
+                "could not start the per-refresh executor (%s); the session "
+                "evaluates serially from here on",
+                exc,
+            )
+            _metrics.counter("repro_pool_serial_fallbacks").inc()
             self._pool_failed = True
             return None
         self._refresh_executor = executor
@@ -534,6 +551,11 @@ class DynamicMiner:
 
     def _drop_runner(self) -> None:
         """A pool-infrastructure failure: go serial for good."""
+        _LOG.warning(
+            "shard runner failed mid-refresh; affected candidates re-evaluate "
+            "serially and the session stays serial"
+        )
+        _metrics.counter("repro_pool_serial_fallbacks").inc()
         self._pool_failed = True
         self._active_runner = None
         if self._pool is not None:
@@ -651,6 +673,8 @@ class DynamicMiner:
 
     def _mine(self, delta_pairs: Optional[Set[LabelPair]]) -> MiningResult:
         """Pattern-growth closure with per-candidate reuse/skip/evaluate."""
+        from .miner import record_session_metrics
+
         index = self._maintainer.index() if self._maintainer is not None else None
         sharded = (
             self._sharded_maintainer.sharded()
@@ -667,61 +691,95 @@ class DynamicMiner:
         stats = MiningStats()
         frequent: List[FrequentPattern] = []
         seen: Set[str] = set()
+        levels = 0
 
-        level: List[Tuple[Pattern, str]] = []
-        for seed in single_edge_patterns(self.data, index=index):
-            stats.patterns_generated += 1
-            certificate = self._certificate(seed)
-            if certificate in seen:
-                stats.duplicates_skipped += 1
-                continue
-            seen.add(certificate)
-            level.append((seed, certificate))
-
-        try:
-            while level:
-                next_level: List[Tuple[Pattern, str]] = []
-                for pattern, certificate in level:
-                    evaluated = self._evaluate(
-                        pattern, certificate, delta_pairs, histogram, stats, sharded
-                    )
-                    if evaluated is None:
+        with _trace.span(
+            "mine",
+            dynamic=True,
+            delta=delta_pairs is not None,
+            measure=self.measure,
+            min_support=self.min_support,
+            shards=self.shards,
+            workers=self.workers,
+        ) as mine_span:
+            level: List[Tuple[Pattern, str]] = []
+            with _trace.span("seeds") as seed_span:
+                for seed in single_edge_patterns(self.data, index=index):
+                    stats.patterns_generated += 1
+                    certificate = self._certificate(seed)
+                    if certificate in seen:
+                        stats.duplicates_skipped += 1
                         continue
-                    if evaluated.support >= self.min_support:
-                        stats.patterns_frequent += 1
-                        if (
-                            delta_pairs is not None
-                            and certificate not in self._frequent
-                            and certificate in self._ever_frequent
-                        ):
-                            # Frequent again after an earlier refresh pruned
-                            # it — a deletion pushed it out, an insertion
-                            # revived it.
-                            stats.patterns_revived += 1
-                        frequent.append(evaluated)
-                        for extension in all_extensions(
-                            pattern,
-                            label_pairs,
-                            max_nodes=self.max_pattern_nodes,
-                            max_edges=self.max_pattern_edges,
-                        ):
-                            stats.patterns_generated += 1
-                            ext_certificate = self._certificate(extension)
-                            if ext_certificate in seen:
-                                stats.duplicates_skipped += 1
-                                continue
-                            seen.add(ext_certificate)
-                            next_level.append((extension, ext_certificate))
-                    else:
-                        stats.patterns_pruned += 1
-                level = next_level
-        except BaseException:
-            # Interrupt/failure: never wait on in-flight pool work.
-            self._release_runner(wait=False)
-            raise
-        self._release_runner()
+                    seen.add(certificate)
+                    level.append((seed, certificate))
+                seed_span.set(seeds=len(level))
 
-        frequent.sort(key=lambda fp: (fp.num_edges, -fp.support, fp.certificate))
+            try:
+                while level:
+                    levels += 1
+                    frequent_before = stats.patterns_frequent
+                    pruned_before = stats.patterns_pruned
+                    reused_before = stats.patterns_reused
+                    skipped_before = stats.patterns_skipped_unaffected
+                    with _trace.span(
+                        "level", level=levels, candidates=len(level)
+                    ) as level_span:
+                        next_level: List[Tuple[Pattern, str]] = []
+                        for pattern, certificate in level:
+                            evaluated = self._evaluate(
+                                pattern,
+                                certificate,
+                                delta_pairs,
+                                histogram,
+                                stats,
+                                sharded,
+                            )
+                            if evaluated is None:
+                                continue
+                            if evaluated.support >= self.min_support:
+                                stats.patterns_frequent += 1
+                                if (
+                                    delta_pairs is not None
+                                    and certificate not in self._frequent
+                                    and certificate in self._ever_frequent
+                                ):
+                                    # Frequent again after an earlier refresh
+                                    # pruned it — a deletion pushed it out, an
+                                    # insertion revived it.
+                                    stats.patterns_revived += 1
+                                frequent.append(evaluated)
+                                for extension in all_extensions(
+                                    pattern,
+                                    label_pairs,
+                                    max_nodes=self.max_pattern_nodes,
+                                    max_edges=self.max_pattern_edges,
+                                ):
+                                    stats.patterns_generated += 1
+                                    ext_certificate = self._certificate(extension)
+                                    if ext_certificate in seen:
+                                        stats.duplicates_skipped += 1
+                                        continue
+                                    seen.add(ext_certificate)
+                                    next_level.append((extension, ext_certificate))
+                            else:
+                                stats.patterns_pruned += 1
+                        level_span.set(
+                            frequent=stats.patterns_frequent - frequent_before,
+                            pruned=stats.patterns_pruned - pruned_before,
+                            reused=stats.patterns_reused - reused_before,
+                            skipped=stats.patterns_skipped_unaffected
+                            - skipped_before,
+                        )
+                    level = next_level
+            except BaseException:
+                # Interrupt/failure: never wait on in-flight pool work.
+                self._release_runner(wait=False)
+                raise
+            self._release_runner()
+
+            frequent.sort(key=lambda fp: (fp.num_edges, -fp.support, fp.certificate))
+            mine_span.set(levels=levels, frequent=len(frequent))
+        record_session_metrics(stats, levels)
         return MiningResult(
             frequent=frequent,
             stats=stats,

@@ -40,9 +40,37 @@ from ..graph.labeled_graph import LabeledGraph
 from ..graph.pattern import Pattern
 from ..index.graph_index import GraphIndex, get_index
 from ..measures.base import measure_info
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+from ..obs.logs import get_logger
 from .extension import adjacent_label_pairs, all_extensions, single_edge_patterns
 from .results import FrequentPattern, MiningResult, MiningStats
 from .spec import UNSET, MiningSpec, resolve_spec
+
+_LOG = get_logger("mining.miner")
+
+
+def record_session_metrics(stats: MiningStats, levels: int) -> None:
+    """Flush one mining session's counters onto the active registry.
+
+    Called once at session end (never per candidate — the hot loop pays
+    nothing) by both the static and dynamic lattice walks; zero-valued
+    counters still register, so every ``repro_miner_*`` name appears in
+    snapshots from the first session on.
+    """
+    registry = _metrics.get_registry()
+    registry.counter("repro_miner_sessions").inc()
+    registry.counter("repro_miner_levels").inc(levels)
+    # Declared here (not in the pool) so the name exists even when no
+    # pool was ever constructed; incremented at the fallback sites.
+    registry.counter("repro_pool_serial_fallbacks")
+    # Declared here because pooled evaluation runs the matchers inside
+    # worker processes: the counters are per-process, and the parent's
+    # snapshot must still carry the names.
+    registry.counter("repro_match_vf2_calls")
+    registry.counter("repro_match_anchored_searches")
+    for name, value in stats.as_dict().items():
+        registry.counter(f"repro_miner_{name}").inc(value)
 
 
 class FrequentSubgraphMiner:
@@ -299,7 +327,13 @@ class FrequentSubgraphMiner:
         if pool is not None and self._sharded is not None:
             try:
                 outcomes = self._pooled_sharded_outcomes(level, pool)
-            except (OSError, BrokenExecutor):
+            except (OSError, BrokenExecutor) as exc:
+                _LOG.warning(
+                    "shard worker pool failed mid-level (%s); re-evaluating "
+                    "the level serially and staying serial for this run",
+                    exc,
+                )
+                _metrics.counter("repro_pool_serial_fallbacks").inc()
                 pool.shutdown(wait=False, cancel_futures=True)
                 pool = None
         elif pool is not None:
@@ -311,7 +345,13 @@ class FrequentSubgraphMiner:
                 outcomes = list(
                     pool.map(evaluate_candidate, patterns, chunksize=chunksize)
                 )
-            except (OSError, BrokenExecutor):
+            except (OSError, BrokenExecutor) as exc:
+                _LOG.warning(
+                    "worker pool failed mid-level (%s); re-evaluating the "
+                    "level serially and staying serial for this run",
+                    exc,
+                )
+                _metrics.counter("repro_pool_serial_fallbacks").inc()
                 pool.shutdown(wait=False, cancel_futures=True)
                 pool = None
         if outcomes is None:
@@ -410,7 +450,12 @@ class FrequentSubgraphMiner:
                     use_index=self.use_index,
                     depth=max(0, self.max_pattern_nodes - 2),
                 )
-            except (OSError, ValueError):
+            except (OSError, ValueError) as exc:
+                _LOG.warning(
+                    "could not start the shard worker pool (%s); mining serially",
+                    exc,
+                )
+                _metrics.counter("repro_pool_serial_fallbacks").inc()
                 return None
         try:
             from concurrent.futures import ProcessPoolExecutor
@@ -431,10 +476,14 @@ class FrequentSubgraphMiner:
                     self._sharded.partition if self._sharded is not None else None,
                 ),
             )
-        except (OSError, ValueError):
+        except (OSError, ValueError) as exc:
             # Restricted environments (no usable start method, no
             # /dev/shm): degrade to the serial path, which produces
             # identical results.
+            _LOG.warning(
+                "could not start the worker pool (%s); mining serially", exc
+            )
+            _metrics.counter("repro_pool_serial_fallbacks").inc()
             return None
 
     def mine(self) -> MiningResult:
@@ -443,56 +492,84 @@ class FrequentSubgraphMiner:
         stats = MiningStats()
         frequent: List[FrequentPattern] = []
         seen: set = set()
+        levels = 0
 
-        level: List[Tuple[Pattern, str]] = []
-        for seed in single_edge_patterns(self.data, index=self._index):
-            stats.patterns_generated += 1
-            certificate = canonical_certificate(seed.graph)
-            if certificate in seen:
-                stats.duplicates_skipped += 1
-                continue
-            seen.add(certificate)
-            level.append((seed, certificate))
+        with _trace.span(
+            "mine",
+            measure=self.measure,
+            min_support=self.min_support,
+            shards=self.shards,
+            workers=self.workers,
+        ) as mine_span:
+            level: List[Tuple[Pattern, str]] = []
+            with _trace.span("seeds") as seed_span:
+                for seed in single_edge_patterns(self.data, index=self._index):
+                    stats.patterns_generated += 1
+                    certificate = canonical_certificate(seed.graph)
+                    if certificate in seen:
+                        stats.duplicates_skipped += 1
+                        continue
+                    seen.add(certificate)
+                    level.append((seed, certificate))
+                seed_span.set(seeds=len(level))
 
-        pool = self._make_pool()
-        try:
-            while level:
-                stats.patterns_evaluated += len(level)
-                survivors: List[Pattern] = []
-                results, pool = self._evaluate_level(level, stats, pool)
-                for evaluated in results:
-                    if evaluated.support >= self.min_support:
-                        stats.patterns_frequent += 1
-                        frequent.append(evaluated)
-                        survivors.append(evaluated.pattern)
-                    else:
-                        stats.patterns_pruned += 1
-                next_level: List[Tuple[Pattern, str]] = []
-                for pattern in survivors:
-                    for extension in all_extensions(
-                        pattern,
-                        self._label_pairs,
-                        max_nodes=self.max_pattern_nodes,
-                        max_edges=self.max_pattern_edges,
-                    ):
-                        stats.patterns_generated += 1
-                        certificate = canonical_certificate(extension.graph)
-                        if certificate in seen:
-                            stats.duplicates_skipped += 1
-                            continue
-                        seen.add(certificate)
-                        next_level.append((extension, certificate))
-                level = next_level
-        except BaseException:
-            # Interrupt/failure path: never *wait* for in-flight work —
-            # a Ctrl-C during a long level must not hang on shutdown.
+            pool = self._make_pool()
+            try:
+                while level:
+                    levels += 1
+                    frequent_before = stats.patterns_frequent
+                    pruned_before = stats.patterns_pruned
+                    generated_before = stats.patterns_generated
+                    with _trace.span(
+                        "level", level=levels, candidates=len(level)
+                    ) as level_span:
+                        stats.patterns_evaluated += len(level)
+                        survivors: List[Pattern] = []
+                        with _trace.span("evaluate", candidates=len(level)):
+                            results, pool = self._evaluate_level(level, stats, pool)
+                        for evaluated in results:
+                            if evaluated.support >= self.min_support:
+                                stats.patterns_frequent += 1
+                                frequent.append(evaluated)
+                                survivors.append(evaluated.pattern)
+                            else:
+                                stats.patterns_pruned += 1
+                        next_level: List[Tuple[Pattern, str]] = []
+                        with _trace.span("extend"):
+                            for pattern in survivors:
+                                for extension in all_extensions(
+                                    pattern,
+                                    self._label_pairs,
+                                    max_nodes=self.max_pattern_nodes,
+                                    max_edges=self.max_pattern_edges,
+                                ):
+                                    stats.patterns_generated += 1
+                                    certificate = canonical_certificate(
+                                        extension.graph
+                                    )
+                                    if certificate in seen:
+                                        stats.duplicates_skipped += 1
+                                        continue
+                                    seen.add(certificate)
+                                    next_level.append((extension, certificate))
+                        level_span.set(
+                            frequent=stats.patterns_frequent - frequent_before,
+                            pruned=stats.patterns_pruned - pruned_before,
+                            generated=stats.patterns_generated - generated_before,
+                        )
+                    level = next_level
+            except BaseException:
+                # Interrupt/failure path: never *wait* for in-flight work —
+                # a Ctrl-C during a long level must not hang on shutdown.
+                if pool is not None:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                raise
             if pool is not None:
-                pool.shutdown(wait=False, cancel_futures=True)
-            raise
-        if pool is not None:
-            pool.shutdown()
+                pool.shutdown()
 
-        frequent.sort(key=lambda fp: (fp.num_edges, -fp.support, fp.certificate))
+            frequent.sort(key=lambda fp: (fp.num_edges, -fp.support, fp.certificate))
+            mine_span.set(levels=levels, frequent=len(frequent))
+        record_session_metrics(stats, levels)
         return MiningResult(
             frequent=frequent,
             stats=stats,

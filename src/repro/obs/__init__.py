@@ -1,0 +1,80 @@
+"""Unified observability: metrics registry, span tracing, logging.
+
+Dependency-free (stdlib only) and deliberately small:
+
+* :mod:`repro.obs.metrics` — process-wide :class:`MetricsRegistry` of
+  monotonic counters, gauges, and fixed-bucket histograms under the
+  ``repro_<subsystem>_<name>`` naming convention.  Increments are
+  always-on, thread-safe, and cheap; tests inject a fresh registry via
+  :func:`set_registry` for exact counts.
+* :mod:`repro.obs.trace` — nested spans with wall + CPU time and
+  attributes, a bounded per-trace ring buffer, NDJSON export.  Off by
+  default; a single module-level switch makes the disabled path a true
+  no-op (one shared null span, no clocks, no allocation).
+* :mod:`repro.obs.logs` — the ``repro.*`` stdlib-logging hierarchy,
+  silent by default (null handler); the CLI's ``--log-level`` opts in.
+
+Surfaces: the ``metrics`` / ``trace`` verbs of ``repro serve``,
+``repro mine --profile`` (per-phase breakdown via
+:mod:`repro.obs.profile`), and ``repro mine --trace-out FILE``.
+"""
+
+from .logs import configure_logging, get_logger
+from .metrics import (
+    DOCUMENTED_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    set_registry,
+)
+from .profile import coverage, format_profile
+from .trace import (
+    NULL_SPAN,
+    SpanRecord,
+    clear_traces,
+    current_trace_id,
+    disable,
+    enable,
+    enabled,
+    export_ndjson,
+    get_trace,
+    last_trace_id,
+    set_enabled,
+    span,
+    traced,
+)
+
+__all__ = [
+    "DOCUMENTED_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "set_registry",
+    "configure_logging",
+    "get_logger",
+    "coverage",
+    "format_profile",
+    "NULL_SPAN",
+    "SpanRecord",
+    "clear_traces",
+    "current_trace_id",
+    "disable",
+    "enable",
+    "enabled",
+    "export_ndjson",
+    "get_trace",
+    "last_trace_id",
+    "set_enabled",
+    "span",
+    "traced",
+]

@@ -1,0 +1,66 @@
+"""The ``repro.*`` logger hierarchy over stdlib :mod:`logging`.
+
+Library code logs through :func:`get_logger` and stays silent by
+default: the ``repro`` root logger carries a :class:`logging.NullHandler`
+so importing the package never configures global logging or prints
+anything — the stdlib-recommended library posture.  The CLI (and
+``repro serve``) opt into output with ``--log-level``, which routes
+through :func:`configure_logging`.
+
+What gets logged where is deliberately sparse: silent fallback paths
+that change *how* (never *what*) the system computes log a WARNING with
+the reason — a worker pool dying into serial re-evaluation, a delta
+maintainer demoting to a full rebuild — so "why was this batch slow"
+is answerable from the log instead of a debugger.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional, Union
+
+ROOT_NAME = "repro"
+
+_root = logging.getLogger(ROOT_NAME)
+_root.addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro.`` hierarchy (``get_logger("mining")``)."""
+    if not name or name == ROOT_NAME:
+        return _root
+    if name.startswith(ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_NAME}.{name}")
+
+
+def configure_logging(
+    level: Union[int, str], stream: Optional[IO[str]] = None
+) -> logging.Logger:
+    """Attach (or retune) one stderr handler on the ``repro`` root.
+
+    Idempotent: repeated calls adjust the existing handler's level
+    instead of stacking handlers.  Logs go to stderr by default so they
+    never contaminate stdout payloads (JSON results, the serve
+    protocol).  Returns the root logger.
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    handler = next(
+        (h for h in _root.handlers if getattr(h, "_repro_cli_handler", False)),
+        None,
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler._repro_cli_handler = True  # type: ignore[attr-defined]
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+        )
+        _root.addHandler(handler)
+    handler.setLevel(level)
+    _root.setLevel(level)
+    return _root

@@ -1,0 +1,290 @@
+"""Hierarchical tracing: nested spans, wall + CPU time, NDJSON export.
+
+A *span* brackets one phase of work (``with trace.span("level",
+level=3):``).  Spans nest per thread: the first span opened on a thread
+mints a new trace id, children inherit it, and each completed span
+records its parent — so one mining request becomes one tree
+(``mine`` → ``seeds`` / ``level`` → ``evaluate`` / ``extend``).
+
+Tracing is **off by default and a true no-op when off**: a single
+module-level switch (:func:`set_enabled`) gates :func:`span`, which
+returns one shared :data:`NULL_SPAN` whose enter/exit/``set`` do
+nothing — no allocation, no clock reads, no lock.  That is the whole
+disabled-mode cost, which is how the instrumented miner stays inside
+the ≤2% ``bench_mining`` overhead budget (see the Observability section
+of ``docs/architecture.md`` before adding span sites).
+
+Completed spans land in a bounded in-process ring buffer keyed by trace
+id (oldest whole traces evicted past :data:`TraceStore.max_traces`);
+``repro serve`` echoes the trace id on mine responses and replays the
+tree via the ``trace`` verb, and :func:`export_ndjson` writes spans one
+JSON object per line for offline analysis (``repro mine --trace-out``).
+
+Wall time is :func:`time.perf_counter`; CPU time is
+:func:`time.thread_time` — per-thread on purpose, so a span that blocks
+on the writer or a worker pipe shows wall >> cpu.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from functools import wraps
+from typing import Callable, Dict, List, Optional
+
+_enabled = False
+_trace_ids = itertools.count(1)
+_span_ids = itertools.count(1)
+_tls = threading.local()
+
+
+def enabled() -> bool:
+    """True while span collection is on (the module-level switch)."""
+    return _enabled
+
+
+def set_enabled(on: bool) -> bool:
+    """Flip the switch; returns the previous state."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(on)
+    return previous
+
+
+def enable() -> None:
+    set_enabled(True)
+
+
+def disable() -> None:
+    set_enabled(False)
+
+
+def _stack() -> List["Span"]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = []
+        _tls.stack = stack
+    return stack
+
+
+@dataclass
+class SpanRecord:
+    """One completed span (children are recorded before their parent)."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    start: float  # perf_counter at entry (process-relative, ordering only)
+    wall: float  # seconds
+    cpu: float  # thread CPU seconds
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def payload(self) -> Dict[str, object]:
+        """The JSON-ready shape NDJSON export and the trace verb ship."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "wall": self.wall,
+            "cpu": self.cpu,
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """The disabled-mode span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+#: The one shared instance :func:`span` returns while tracing is off.
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live (entered, not yet exited) span.  Use via :func:`span`."""
+
+    __slots__ = ("name", "attrs", "trace_id", "span_id", "parent_id", "_t0", "_c0")
+
+    def __init__(self, name: str, attrs: Dict[str, object]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.trace_id: Optional[str] = None
+        self.span_id: Optional[str] = None
+        self.parent_id: Optional[str] = None
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes to the span (merged into any given at open)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        if stack:
+            parent = stack[-1]
+            self.trace_id = parent.trace_id
+            self.parent_id = parent.span_id
+        else:
+            self.trace_id = f"t{next(_trace_ids):06d}"
+        self.span_id = f"s{next(_span_ids):06d}"
+        stack.append(self)
+        self._c0 = time.thread_time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall = time.perf_counter() - self._t0
+        cpu = time.thread_time() - self._c0
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        _STORE.add(
+            SpanRecord(
+                trace_id=self.trace_id,  # type: ignore[arg-type]
+                span_id=self.span_id,  # type: ignore[arg-type]
+                parent_id=self.parent_id,
+                name=self.name,
+                start=self._t0,
+                wall=wall,
+                cpu=cpu,
+                attrs=self.attrs,
+            )
+        )
+        return False
+
+
+def span(name: str, **attrs):
+    """Open a span (context manager).  A shared no-op while disabled."""
+    if not _enabled:
+        return NULL_SPAN
+    return Span(name, attrs)
+
+
+def traced(name: Optional[str] = None) -> Callable:
+    """Decorator form: wrap every call of the function in a span."""
+
+    def decorate(func: Callable) -> Callable:
+        span_name = name or func.__qualname__
+
+        @wraps(func)
+        def wrapper(*args, **kwargs):
+            if not _enabled:
+                return func(*args, **kwargs)
+            with Span(span_name, {}):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id of the innermost open span on this thread, or None."""
+    stack = getattr(_tls, "stack", None)
+    if stack:
+        return stack[-1].trace_id
+    return None
+
+
+class TraceStore:
+    """Bounded retention of completed spans, grouped by trace id.
+
+    Whole traces are the eviction unit: once more than ``max_traces``
+    distinct trace ids are held, the oldest trace's spans go together.
+    ``last_trace_id`` tracks the most recently *completed root* span —
+    what ``repro mine --profile`` renders.
+    """
+
+    def __init__(self, max_traces: int = 128) -> None:
+        self.max_traces = max(1, int(max_traces))
+        self._lock = threading.Lock()
+        self._traces: "OrderedDict[str, List[SpanRecord]]" = OrderedDict()
+        self.last_trace_id: Optional[str] = None
+
+    def add(self, record: SpanRecord) -> None:
+        with self._lock:
+            bucket = self._traces.get(record.trace_id)
+            if bucket is None:
+                bucket = []
+                self._traces[record.trace_id] = bucket
+                while len(self._traces) > self.max_traces:
+                    self._traces.popitem(last=False)
+            bucket.append(record)
+            if record.parent_id is None:
+                self.last_trace_id = record.trace_id
+
+    def get(self, trace_id: Optional[str]) -> Optional[List[SpanRecord]]:
+        if trace_id is None:
+            return None
+        with self._lock:
+            bucket = self._traces.get(trace_id)
+            return list(bucket) if bucket else None
+
+    def trace_ids(self) -> List[str]:
+        with self._lock:
+            return list(self._traces)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+            self.last_trace_id = None
+
+
+_STORE = TraceStore()
+
+
+def get_trace(trace_id: Optional[str]) -> Optional[List[SpanRecord]]:
+    """All retained spans of one trace (children precede parents)."""
+    return _STORE.get(trace_id)
+
+
+def last_trace_id() -> Optional[str]:
+    """The id of the most recently completed root span, if retained."""
+    return _STORE.last_trace_id
+
+
+def clear_traces() -> None:
+    """Drop every retained span (tests; never required in operation)."""
+    _STORE.clear()
+
+
+def export_ndjson(target, trace_id: Optional[str] = None) -> int:
+    """Write retained spans as NDJSON; returns how many were written.
+
+    ``target`` is a path or an open text file.  With ``trace_id`` only
+    that trace is exported, otherwise every retained trace in retention
+    order.  One JSON object per line, the :meth:`SpanRecord.payload`
+    shape — round-trippable with ``json.loads`` per line.
+    """
+    if trace_id is not None:
+        records = _STORE.get(trace_id) or []
+    else:
+        records = []
+        for tid in _STORE.trace_ids():
+            records.extend(_STORE.get(tid) or [])
+    if hasattr(target, "write"):
+        for record in records:
+            target.write(json.dumps(record.payload(), sort_keys=True) + "\n")
+        return len(records)
+    with open(target, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record.payload(), sort_keys=True) + "\n")
+    return len(records)

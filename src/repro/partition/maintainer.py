@@ -45,7 +45,11 @@ from ..errors import PartitionError
 from ..graph.labeled_graph import LabeledGraph
 from ..index.delta import PATCHABLE_DELTAS
 from ..index.maintainable import DeltaMaintainer
+from ..obs import metrics as _metrics
+from ..obs.logs import get_logger
 from .sharded_index import ShardedIndex
+
+_LOG = get_logger("partition.maintainer")
 
 
 @dataclass(frozen=True)
@@ -94,6 +98,7 @@ class ShardedIndexMaintainer(DeltaMaintainer):
     """
 
     patchable_kinds = PATCHABLE_DELTAS
+    obs_subsystem = "sharded_index"
 
     __slots__ = ("policy", "rebalances", "edges_moved", "full_repartitions")
 
@@ -122,6 +127,9 @@ class ShardedIndexMaintainer(DeltaMaintainer):
         self.rebalances = 0
         self.edges_moved = 0
         self.full_repartitions = 0
+        registry = _metrics.get_registry()
+        for name in ("rebalances", "edges_moved", "full_repartitions"):
+            registry.counter(f"repro_sharded_index_{name}")
         super().__init__(sharded.graph, sharded, patch_limit)
 
     def sharded(self) -> ShardedIndex:
@@ -153,14 +161,23 @@ class ShardedIndexMaintainer(DeltaMaintainer):
         ):
             # Replication has drifted past the point where local moves
             # pay off: one full re-partition resets it.
+            _LOG.warning(
+                "replication factor %.2f exceeded the %.2f ceiling; "
+                "serving one full re-partition",
+                sharded.replication_factor(),
+                policy.max_replication,
+            )
             sharded = sharded.rebuilt()
             self._index = sharded
             self.full_repartitions += 1
+            _metrics.counter("repro_sharded_index_full_repartitions").inc()
             return sharded
         moved = sharded.rebalance(policy.max_load_factor)
         if moved:
             self.rebalances += 1
             self.edges_moved += moved
+            _metrics.counter("repro_sharded_index_rebalances").inc()
+            _metrics.counter("repro_sharded_index_edges_moved").inc(moved)
         return sharded
 
 

@@ -58,6 +58,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from ..errors import PartitionError
 from ..graph.labeled_graph import Edge, LabeledGraph, Vertex
 from ..graph.pattern import Pattern
+from ..obs import metrics as _metrics
 from .evaluate import (
     anchored_occurrence_items,
     merge_lazy_partials,
@@ -302,7 +303,14 @@ class ShardWorkerPool:
         self._slice_vertices: Dict[int, Set[Vertex]] = {}
         self._generation = 0
         self.slices_shipped = 0
+        self.slices_reshipped = 0
         self.tasks_dispatched = 0
+        # Declare the pool's instruments before spawning: the documented
+        # names must exist in snapshots even if process start fails below.
+        registry = _metrics.get_registry()
+        for name in ("tasks_dispatched", "slices_shipped", "slices_reshipped"):
+            registry.counter(f"repro_pool_{name}")
+        registry.histogram("repro_pool_queue_depth")
         context = multiprocessing.get_context()
         try:
             for _ in range(self.workers):
@@ -374,6 +382,7 @@ class ShardWorkerPool:
             ) from exc
 
     def _ship(self, sharded: ShardedIndex, shard_id: int) -> None:
+        reship = shard_id in self._shipped
         self._generation += 1
         slice_ = build_slice(sharded, shard_id, self.depth, self._generation)
         self._send(self._worker_for(shard_id), ("slice", slice_))
@@ -381,6 +390,10 @@ class ShardWorkerPool:
         self._dirty.discard(shard_id)
         self._slice_vertices[shard_id] = set(slice_.view.vertices())
         self.slices_shipped += 1
+        _metrics.counter("repro_pool_slices_shipped").inc()
+        if reship:
+            self.slices_reshipped += 1
+            _metrics.counter("repro_pool_slices_reshipped").inc()
 
     def drop_shard(self, shard_id: int) -> None:
         """Forget one shard's slice (parent bookkeeping and worker copy)."""
@@ -410,6 +423,9 @@ class ShardWorkerPool:
         queues: Dict[int, deque] = {}
         for seq, task in enumerate(tasks):
             queues.setdefault(self._worker_for(task[2]), deque()).append((seq, task))
+        depth_histogram = _metrics.histogram("repro_pool_queue_depth")
+        for queue in queues.values():
+            depth_histogram.observe(len(queue))
         results: List = [None] * len(tasks)
         in_flight: Dict[int, int] = {worker: 0 for worker in queues}
         remaining = len(tasks)
@@ -460,7 +476,20 @@ class ShardWorkerPool:
                 remaining -= 1
                 top_up(worker)
         self.tasks_dispatched += len(tasks)
+        _metrics.counter("repro_pool_tasks_dispatched").inc(len(tasks))
         return results
+
+    def stats(self) -> Dict[str, int]:
+        """This pool's counters under the registry naming convention.
+
+        The bare ``slices_shipped`` / ``tasks_dispatched`` attributes
+        remain as deprecated aliases of the same values.
+        """
+        return {
+            "repro_pool_tasks_dispatched": self.tasks_dispatched,
+            "repro_pool_slices_shipped": self.slices_shipped,
+            "repro_pool_slices_reshipped": self.slices_reshipped,
+        }
 
     # -- lifecycle -----------------------------------------------------
     def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
@@ -689,11 +718,23 @@ class ShardPager:
             cache_dir = self._tmp.name
         self.cache_dir = Path(cache_dir)
         self.evictions = 0
+        self.spills = 0
         self.rehydrations = 0
         self.recomputes = 0
         self.replayed_deltas = 0
         self.resident_weight = 0
         self.peak_resident_weight = 0
+        registry = _metrics.get_registry()
+        for name in (
+            "evictions",
+            "spills",
+            "rehydrations",
+            "recomputes",
+            "replayed_deltas",
+        ):
+            registry.counter(f"repro_pager_{name}")
+        registry.gauge("repro_pager_resident_weight")
+        registry.gauge("repro_pager_peak_resident_weight")
         self.sharded: Optional[ShardedIndex] = None
         self._resident: "OrderedDict[int, Dict[int, LabeledGraph]]" = OrderedDict()
         self._on_disk: Dict[int, Set[int]] = {}
@@ -760,6 +801,13 @@ class ShardPager:
         self.resident_weight += self._view_weight(view)
         if self.resident_weight > self.peak_resident_weight:
             self.peak_resident_weight = self.resident_weight
+        self._sync_weight_gauges()
+
+    def _sync_weight_gauges(self) -> None:
+        _metrics.gauge("repro_pager_resident_weight").set(self.resident_weight)
+        _metrics.gauge("repro_pager_peak_resident_weight").set_max(
+            self.peak_resident_weight
+        )
 
     def _materialize(self, shard_id: int, depth: int) -> LabeledGraph:
         pending = self._pending.get(shard_id)
@@ -769,12 +817,16 @@ class ShardPager:
             view = load_shard_view(self.cache_dir, shard_id, depth)
             if view is not None:
                 self.rehydrations += 1
+                _metrics.counter("repro_pager_rehydrations").inc()
                 if pending:
                     for delta in pending:  # type: ignore[union-attr]
                         self._replay(view, delta)
-                    self.replayed_deltas += len(pending)  # type: ignore[arg-type]
+                    replayed = len(pending)  # type: ignore[arg-type]
+                    self.replayed_deltas += replayed
+                    _metrics.counter("repro_pager_replayed_deltas").inc(replayed)
                 return view
         self.recomputes += 1
+        _metrics.counter("repro_pager_recomputes").inc()
         assert self.sharded is not None
         return self.sharded._compute_expansion(shard_id, depth)
 
@@ -795,11 +847,13 @@ class ShardPager:
             shard_id, views = self._resident.popitem(last=False)
             self._spill(shard_id, views)
             self.evictions += 1
+            _metrics.counter("repro_pager_evictions").inc()
 
     def _spill(self, shard_id: int, views: Dict[int, LabeledGraph]) -> None:
         assert self.sharded is not None
         for view in views.values():
             self.resident_weight -= self._view_weight(view)
+        self._sync_weight_gauges()
         graph = self.sharded.graph
         spillable = {
             depth: view for depth, view in views.items() if view is not graph
@@ -814,6 +868,8 @@ class ShardPager:
         from .io import save_shard_views
 
         save_shard_views(self.cache_dir, shard_id, spillable)
+        self.spills += 1
+        _metrics.counter("repro_pager_spills").inc()
         self._on_disk[shard_id] = set(spillable)
         vertices: Set[Vertex] = set()
         for view in spillable.values():
@@ -839,6 +895,7 @@ class ShardPager:
                 for view in views.values():
                     self.resident_weight -= self._view_weight(view)
                 del self._resident[shard_id]
+                self._sync_weight_gauges()
         replayable = isinstance(delta, (VertexAdded, VertexRemoved))
         for shard_id in list(self._on_disk):
             touched = shard_id in shard_ids or bool(
@@ -861,6 +918,22 @@ class ShardPager:
                 # track it so later deltas touching it are seen as
                 # touching the spill.
                 self._disk_vertices.setdefault(shard_id, set()).add(delta.vertex)
+
+    def stats(self) -> Dict[str, int]:
+        """This pager's counters under the registry naming convention.
+
+        The bare attributes (``evictions``, ``resident_weight``, ...)
+        remain as deprecated aliases of the same values.
+        """
+        return {
+            "repro_pager_evictions": self.evictions,
+            "repro_pager_spills": self.spills,
+            "repro_pager_rehydrations": self.rehydrations,
+            "repro_pager_recomputes": self.recomputes,
+            "repro_pager_replayed_deltas": self.replayed_deltas,
+            "repro_pager_resident_weight": self.resident_weight,
+            "repro_pager_peak_resident_weight": self.peak_resident_weight,
+        }
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:

@@ -24,6 +24,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
 from ..mining.results import MiningResult
+from ..obs import metrics as _metrics
 
 CacheKey = Tuple[int, str]
 
@@ -45,6 +46,10 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        registry = _metrics.get_registry()
+        for name in ("hits", "misses", "evictions"):
+            registry.counter(f"repro_cache_{name}")
+        registry.gauge("repro_cache_entries")
 
     def __len__(self) -> int:
         with self._lock:
@@ -64,21 +69,28 @@ class ResultCache:
             result = self._entries.get((version, spec_key))
             if result is None:
                 self.misses += 1
+                _metrics.counter("repro_cache_misses").inc()
                 return None
             self._entries.move_to_end((version, spec_key))
             self.hits += 1
+            _metrics.counter("repro_cache_hits").inc()
             return result
 
     def put(self, version: int, spec_key: str, result: MiningResult) -> None:
         with self._lock:
             self._entries[(version, spec_key)] = result
             self._entries.move_to_end((version, spec_key))
+            evicted = 0
             while (
                 self._max_entries is not None
                 and len(self._entries) > self._max_entries
             ):
                 self._entries.popitem(last=False)
-                self.evictions += 1
+                evicted += 1
+            self.evictions += evicted
+            if evicted:
+                _metrics.counter("repro_cache_evictions").inc(evicted)
+            _metrics.gauge("repro_cache_entries").set(len(self._entries))
 
     # ------------------------------------------------------------------
     def drop_version(self, version: int) -> int:
@@ -92,12 +104,18 @@ class ResultCache:
             for key in doomed:
                 del self._entries[key]
             self.evictions += len(doomed)
+            if doomed:
+                _metrics.counter("repro_cache_evictions").inc(len(doomed))
+            _metrics.gauge("repro_cache_entries").set(len(self._entries))
             return len(doomed)
 
     def clear(self) -> None:
         with self._lock:
             self.evictions += len(self._entries)
+            if self._entries:
+                _metrics.counter("repro_cache_evictions").inc(len(self._entries))
             self._entries.clear()
+            _metrics.gauge("repro_cache_entries").set(0)
 
     def stats(self) -> Dict[str, int]:
         with self._lock:

@@ -14,6 +14,8 @@ concurrent connections::
     {"op": "update", "updates": [["v", 9, "A"], ["e", 9, 3], ["de", 1, 2]]}
     {"op": "mine", "spec": {"min_support": 3}, "version": 7}
     {"op": "stats"}
+    {"op": "metrics"}
+    {"op": "trace", "trace_id": "t000001"}
     {"op": "shutdown"}
 
 Responses carry ``"ok": true`` plus op-specific fields, or
@@ -35,6 +37,7 @@ from ..errors import ReproError, ServiceError
 from ..mining.dynamic import GraphUpdate
 from ..mining.results import MiningResult
 from ..mining.spec import MiningSpec
+from ..obs import trace as _trace
 from .service import GraphService
 
 #: Required operand count per update kind (the record itself included).
@@ -125,6 +128,14 @@ def handle_request(service: GraphService, line: str) -> Tuple[Dict[str, Any], bo
             response = _handle_mine(service, request)
         elif op == "stats":
             response = {"ok": True, "op": "stats", **service.stats()}
+        elif op == "metrics":
+            response = {
+                "ok": True,
+                "op": "metrics",
+                "metrics": service.metrics_snapshot(),
+            }
+        elif op == "trace":
+            response = _handle_trace(request)
         elif op == "shutdown":
             return ({"ok": True, "op": "shutdown", "id": request_id}, True)
         else:
@@ -151,11 +162,37 @@ def _handle_mine(service: GraphService, request: Dict[str, Any]) -> Dict[str, An
     with service.pin(version) as snap:
         effective = spec if spec is not None else service.maintain_spec
         cached = service.cache.peek(snap.version, effective.cache_key()) is not None
-        result = service.mine(spec, snapshot=snap)
-    return {
+        with _trace.span(
+            "service.mine", version=snap.version, cached=cached
+        ) as mine_span:
+            result = service.mine(spec, snapshot=snap)
+        trace_id = getattr(mine_span, "trace_id", None)
+    response = {
         "ok": True,
         "op": "mine",
         "version": snap.version,
         "cached": cached,
         "result": result_payload(result),
+    }
+    if trace_id is not None:
+        # Echoed so the span tree is retrievable via {"op": "trace", ...}.
+        response["trace_id"] = trace_id
+    return response
+
+
+def _handle_trace(request: Dict[str, Any]) -> Dict[str, Any]:
+    trace_id = request.get("trace_id")
+    if not isinstance(trace_id, str):
+        raise ServiceError(f"'trace_id' must be a string, got {trace_id!r}")
+    records = _trace.get_trace(trace_id)
+    if not records:
+        raise ServiceError(
+            f"unknown trace {trace_id!r} (traces are kept for the last "
+            "requests only, and only while tracing is enabled)"
+        )
+    return {
+        "ok": True,
+        "op": "trace",
+        "trace_id": trace_id,
+        "spans": [record.payload() for record in records],
     }

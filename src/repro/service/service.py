@@ -38,6 +38,7 @@ from ..mining.dynamic import DynamicMiner, GraphUpdate, StreamApplier
 from ..mining.miner import mine_frequent_patterns
 from ..mining.results import MiningResult
 from ..mining.spec import DEFAULT_SPEC, MiningSpec
+from ..obs import metrics as _metrics
 from .cache import ResultCache
 from .snapshots import Snapshot, SnapshotRegistry
 
@@ -122,6 +123,9 @@ class GraphService:
     ) -> None:
         self._graph = graph
         self._maintain = maintain
+        registry = _metrics.get_registry()
+        registry.counter("repro_service_batches_applied")
+        registry.counter("repro_service_mine_requests")
         self.cache = ResultCache(max_entries=cache_size)
         self.registry = SnapshotRegistry(graph)
         # A fully-released non-tip version can never be requested again
@@ -167,6 +171,7 @@ class GraphService:
         # are dead weight; pinned versions keep their entries.
         pinned = self.registry.pinned_versions()
         self.cache.retain(lambda v: v == version or v in pinned)
+        _metrics.counter("repro_service_batches_applied").inc()
         return BatchInfo(
             version=version,
             applied=applied,
@@ -245,6 +250,7 @@ class GraphService:
             return self._execute(spec, snap)
 
     def _execute(self, spec: MiningSpec, snap: Snapshot) -> MiningResult:
+        _metrics.counter("repro_service_mine_requests").inc()
         key = spec.cache_key()
         cached = self.cache.get(snap.version, key)
         if cached is not None:
@@ -282,13 +288,34 @@ class GraphService:
         return ticket
 
     # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> _metrics.MetricsRegistry:
+        """The active metrics registry (injectable via ``obs.set_registry``)."""
+        return _metrics.get_registry()
+
+    def metrics_snapshot(self) -> dict:
+        """The full registry snapshot — the ``metrics`` verb's payload."""
+        return self.metrics.snapshot()
+
     def stats(self) -> dict:
-        """Cache counters + snapshot bookkeeping, for the request surface."""
-        payload = dict(self.cache.stats())
-        payload["version"] = self.registry.tip
-        payload["pinned_versions"] = sorted(self.registry.pinned_versions())
-        payload["maintained"] = self._maintain is not None
-        return payload
+        """Cache counters + snapshot bookkeeping, for the request surface.
+
+        Rebased on the metrics-registry snapshot so the ``stats`` and
+        ``metrics`` verbs report from one source and cannot drift; the
+        historical short key names (``hits``, ``misses``, ``evictions``,
+        ``entries``) are aliases of the ``repro_cache_*`` instruments and
+        kept for one release.
+        """
+        snap = self.metrics_snapshot()
+        return {
+            "entries": snap.get("repro_cache_entries", 0),
+            "hits": snap.get("repro_cache_hits", 0),
+            "misses": snap.get("repro_cache_misses", 0),
+            "evictions": snap.get("repro_cache_evictions", 0),
+            "version": self.registry.tip,
+            "pinned_versions": sorted(self.registry.pinned_versions()),
+            "maintained": self._maintain is not None,
+        }
 
     def stop(self) -> None:
         """Drain the writer, release the miner and registry. Idempotent.

@@ -41,6 +41,7 @@ from ..index.delta import (
     VertexAdded,
     VertexRemoved,
 )
+from ..obs import metrics as _metrics
 
 
 def _replay(graph: LabeledGraph, delta: AnyDelta) -> None:
@@ -124,6 +125,9 @@ class SnapshotRegistry:
         self._frozen: Dict[int, LabeledGraph] = {}
         self._evict_callbacks: List[Callable[[int], None]] = []
         self._closed = False
+        registry = _metrics.get_registry()
+        for name in ("pins", "publishes", "cow_splits", "gc_versions"):
+            registry.counter(f"repro_snapshots_{name}")
 
     # ------------------------------------------------------------------
     @property
@@ -162,6 +166,7 @@ class SnapshotRegistry:
                     f"{self._tip}; unpinned versions are garbage-collected)"
                 )
             self._refcounts[target] = self._refcounts.get(target, 0) + 1
+            _metrics.counter("repro_snapshots_pins").inc()
             return Snapshot(target, self._frozen[target], self)
 
     def _release(self, version: int) -> None:
@@ -179,6 +184,7 @@ class SnapshotRegistry:
                     # the writer's next in-place roll-forward.
                     self._shadow.unsubscribe(_tripwire)
         if evicted:
+            _metrics.counter("repro_snapshots_gc_versions").inc()
             for callback in self._evict_callbacks:
                 callback(version)
 
@@ -217,12 +223,14 @@ class SnapshotRegistry:
                 # pinned readers; copy() drops the tripwire with the
                 # rest of the observers, so the new shadow is mutable.
                 self._shadow = self._shadow.copy()
+                _metrics.counter("repro_snapshots_cow_splits").inc()
             if contiguous:
                 for delta in deltas:
                     _replay(self._shadow, delta)
             else:
                 self._shadow = self._graph.copy()
             self._tip = target
+            _metrics.counter("repro_snapshots_publishes").inc()
             return self._tip
 
     # ------------------------------------------------------------------
