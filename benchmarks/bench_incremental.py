@@ -14,7 +14,13 @@ Three ablations share this module:
 * **tab9c** — the same discipline over a **deletion-heavy mixed stream**:
   removals patch the index (splice-out) and shrink supports, so the
   delta path must keep beating rebuild-per-batch when most updates are
-  deletions — the gate that pins the O(delta) deletion support.
+  deletions — the gate that pins the O(delta) deletion support;
+* **tab9d** — standing-query change notification
+  (:mod:`repro.service.subscriptions`) vs re-mining and diffing per
+  batch: a threshold subscription's footprint-routed dispatch must emit
+  the *identical* event stream a remine+diff client would compute, while
+  beating it on wall time — the acceptance gate for the subscription
+  subsystem.
 
 Results must be identical in all ablations; wall time and enumeration /
 evaluation counts are the ablation.
@@ -40,6 +46,15 @@ from repro.graph.builders import path_pattern, star_pattern
 from repro.mining.dynamic import DynamicMiner
 from repro.mining.incremental import mine_frequent_patterns_incremental
 from repro.mining.miner import mine_frequent_patterns
+from repro.mining.standing import StandingSpec, answer_from_result, diff_answer
+from repro.service import ResultCache
+from repro.service.subscriptions import SubscriptionRegistry
+
+# The ablations time the legacy-kwarg entry points on purpose; the
+# deprecation they trigger is expected, not noise.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:legacy mining kwargs:DeprecationWarning"
+)
 
 
 @pytest.fixture(scope="module")
@@ -195,6 +210,86 @@ def test_tab9b_delta_stream_vs_rebuild_per_batch(stream_workload, benchmark, emi
     assert speedup >= 1.3, f"delta path only {speedup:.2f}x over rebuild-per-batch"
 
     benchmark(delta_run)
+
+
+def test_tab9d_standing_query_vs_remine_and_diff(stream_workload, benchmark, emit):
+    """Acceptance gate: standing-query notification beats remine+diff.
+
+    A client that wants answer *changes* per batch can either hold a
+    threshold subscription (footprint-routed dispatch, incremental
+    re-evaluation) or re-mine after every batch and diff consecutive
+    answers itself.  Both must produce the identical typed event stream
+    — same certificates, types, versions, and sequence numbers — and the
+    subscription path must win on wall time.  Interleaved min-of-3, as
+    in the other gates.
+    """
+    base, updates = stream_workload
+    update_batches = batches(updates, 6)
+    spec = StandingSpec.from_kwargs(kind="threshold", **STREAM_PARAMS)
+
+    def standing_run():
+        graph = base.copy()
+        registry = SubscriptionRegistry(graph, ResultCache())
+        try:
+            sub = registry.register(spec, version=0)
+            stream = []
+            for version, batch in enumerate(update_batches, start=1):
+                apply_batch(graph, batch)
+                registry.dispatch(version)
+                stream.extend(sub.poll())
+            return stream
+        finally:
+            registry.close()
+
+    def remine_run():
+        graph = base.copy()
+        answer = answer_from_result(mine_frequent_patterns(graph, **STREAM_PARAMS))
+        stream = []
+        seq = 0
+        for version, batch in enumerate(update_batches, start=1):
+            apply_batch(graph, batch)
+            new = answer_from_result(mine_frequent_patterns(graph, **STREAM_PARAMS))
+            events, seq = diff_answer(answer, new, version=version, seq_start=seq)
+            stream.extend(events)
+            answer = new
+        return stream
+
+    best_standing = best_remine = float("inf")
+    standing_stream = remine_stream = None
+    for _ in range(3):
+        start = time.perf_counter()
+        remine_stream = remine_run()
+        best_remine = min(best_remine, time.perf_counter() - start)
+        start = time.perf_counter()
+        standing_stream = standing_run()
+        best_standing = min(best_standing, time.perf_counter() - start)
+
+    assert standing_stream == remine_stream  # identical typed event streams
+    speedup = best_remine / max(best_standing, 1e-9)
+    emit(
+        format_table(
+            ["pipeline", "time ms", "batches", "events"],
+            [
+                [
+                    "remine + diff per batch",
+                    f"{best_remine * 1e3:.1f}",
+                    len(update_batches),
+                    len(remine_stream),
+                ],
+                [
+                    "standing subscription",
+                    f"{best_standing * 1e3:.1f}",
+                    len(update_batches),
+                    len(standing_stream),
+                ],
+                ["speedup", f"{speedup:.2f}x", "", ""],
+            ],
+            title="tab9d: standing-query notification vs remine+diff per batch",
+        )
+    )
+    assert speedup >= 1.3, f"standing path only {speedup:.2f}x over remine+diff"
+
+    benchmark(standing_run)
 
 
 def test_tab9b_benchmark_rebuild_per_batch(stream_workload, benchmark):

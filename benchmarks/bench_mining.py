@@ -22,6 +22,12 @@ from repro.datasets.synthetic import (
 from repro.graph.builders import path_pattern, star_pattern
 from repro.mining.miner import mine_frequent_patterns
 
+# The ablations time the legacy-kwarg entry points on purpose; the
+# deprecation they trigger is expected, not noise.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:legacy mining kwargs:DeprecationWarning"
+)
+
 MEASURES = ("mis", "mvc", "mi", "mni")
 
 

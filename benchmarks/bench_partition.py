@@ -63,6 +63,12 @@ from repro.mining.dynamic import DynamicMiner
 from repro.mining.miner import mine_frequent_patterns
 from repro.partition import PARTITION_METHODS, ShardedIndex
 
+# The ablations time the legacy-kwarg entry points on purpose; the
+# deprecation they trigger is expected, not noise.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:legacy mining kwargs:DeprecationWarning"
+)
+
 #: Equivalence-scale search (tab10a/b — fast enough for the CI smoke).
 MINE_PARAMS = dict(
     measure="mni", min_support=4, max_pattern_nodes=4, max_pattern_edges=4

@@ -9,6 +9,13 @@ acceptance bar for the whole service layer: whichever path answers
 (writer-maintained cache, reader snapshot mine, or a from-scratch CLI
 process), the result bytes must be identical.
 
+A standing threshold subscription rides along on its own connection: the
+events polled after every batch are replayed client-side and the
+reconstructed answer is diffed byte-for-byte against the same one-shot
+CLI payload — the acceptance bar for the subscription layer.  A second,
+push-delivery subscription must receive identical events as unsolicited
+``notify`` frames.
+
 Run from the repository root: ``PYTHONPATH=src python scripts/serve_smoke.py``.
 """
 
@@ -56,6 +63,10 @@ CORE_NONZERO = [
     "repro_cache_entries",  # maintained results cached
     "repro_service_batches_applied",  # the writer applied our batches
     "repro_service_mine_requests",  # the readers' mines were served
+    "repro_subs_registered",  # the standing subscriptions registered
+    "repro_subs_dispatches",  # every batch was routed to subscribers
+    "repro_subs_evaluations",  # affected subscriptions re-evaluated
+    "repro_subs_events_emitted",  # answer changes became typed events
 ]
 
 BATCHES = [
@@ -72,16 +83,46 @@ class Client:
         self.sock = socket.create_connection(("127.0.0.1", port), timeout=120)
         self.reader = self.sock.makefile("r", encoding="utf-8")
 
-    def request(self, payload):
+    def request(self, payload, expect_error=False):
         self.sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
         response = json.loads(self.reader.readline())
-        if payload.get("op") != "shutdown" and not response.get("ok"):
+        if expect_error:
+            if response.get("ok"):
+                raise SystemExit(f"FAIL: request {payload} succeeded: {response}")
+        elif payload.get("op") != "shutdown" and not response.get("ok"):
             raise SystemExit(f"FAIL: request {payload} -> {response}")
+        if response.get("v") != 1:
+            raise SystemExit(f"FAIL: response without protocol v:1: {response}")
         return response
+
+    def read_event(self):
+        """One unsolicited server-push frame (blocks until it arrives)."""
+        return json.loads(self.reader.readline())
 
     def close(self):
         self.reader.close()
         self.sock.close()
+
+
+def replay_events(answer, events):
+    """Apply poll/notify event payloads to a client-side answer dict."""
+    for event in events:
+        if event["support"] is None:
+            answer.pop(event["certificate"], None)
+        else:
+            answer[event["certificate"]] = {
+                "support": event["support"],
+                "num_occurrences": event["num_occurrences"],
+            }
+    return answer
+
+
+def answer_bytes(answer):
+    """Canonical bytes of a client-side answer, CLI-payload comparable."""
+    payload = [
+        {"certificate": cert, **entry} for cert, entry in sorted(answer.items())
+    ]
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 def one_shot_cli(graph_path):
@@ -130,6 +171,43 @@ def main():
         control = Client(port)
         assert control.request({"op": "ping"})["op"] == "ping"
 
+        # Protocol versioning: pinning v:1 works, anything else is
+        # refused with the machine-readable code.
+        assert control.request({"op": "ping", "v": 1})["op"] == "ping"
+        refused = control.request({"op": "ping", "v": 99}, expect_error=True)
+        assert refused.get("code") == "unsupported_protocol", (
+            f"FAIL: v:99 not refused as unsupported_protocol: {refused}"
+        )
+        unknown = control.request({"op": "frob"}, expect_error=True)
+        assert unknown.get("code") == "unknown_op", (
+            f"FAIL: unknown op code missing: {unknown}"
+        )
+
+        # Standing subscriptions: a poll-delivery subscriber whose
+        # replayed events must reconstruct the one-shot CLI answer, and
+        # a push-delivery subscriber that must see identical events as
+        # unsolicited notify frames.
+        poller = Client(port)
+        subscribed = poller.request({"op": "subscribe", "spec": SPEC_FIELDS})
+        sub_id = subscribed["subscription"]
+        answer = {
+            entry["certificate"]: {
+                "support": entry["support"],
+                "num_occurrences": entry["num_occurrences"],
+            }
+            for entry in subscribed["answer"]
+        }
+        pusher = Client(port)
+        push_spec = dict(SPEC_FIELDS, delivery="push")
+        push_sub = pusher.request({"op": "subscribe", "spec": push_spec})
+        assert push_sub["answer"] == subscribed["answer"], (
+            "FAIL: push/poll subscription baselines diverged"
+        )
+        print(
+            f"subscribed {sub_id} (poll) + {push_sub['subscription']} (push): "
+            f"{len(answer)} frequent at version {subscribed['version']}"
+        )
+
         for i, batch in enumerate(BATCHES):
             info = control.request({"op": "update", "updates": batch})
             print(
@@ -174,6 +252,44 @@ def main():
                 f"({expected['num_frequent']} frequent patterns)"
             )
 
+            # The standing subscription's events, replayed client-side,
+            # must reconstruct the same answer the one-shot CLI reports.
+            polled = poller.request({"op": "poll_events", "subscription": sub_id})
+            replay_events(answer, polled["events"])
+            expected_bytes = answer_bytes(
+                {
+                    p["certificate"]: {
+                        "support": p["support"],
+                        "num_occurrences": p["num_occurrences"],
+                    }
+                    for p in expected["patterns"]
+                }
+            )
+            replayed_bytes = answer_bytes(answer)
+            if replayed_bytes != expected_bytes:
+                raise SystemExit(
+                    f"FAIL: batch {i} replayed subscription answer diverged "
+                    f"from the one-shot CLI:\nreplayed: {replayed_bytes}\n"
+                    f"one-shot: {expected_bytes}"
+                )
+            if polled["events"]:
+                # The push subscriber watches the same spec, so the same
+                # answer change must arrive as an unsolicited frame with
+                # identical typed events.
+                frame = pusher.read_event()
+                assert frame.get("event") == "notify" and frame.get("v") == 1, (
+                    f"FAIL: bad notify frame: {frame}"
+                )
+                assert frame["events"] == polled["events"], (
+                    f"FAIL: push events diverged from polled events:\n"
+                    f"push: {frame['events']}\npoll: {polled['events']}"
+                )
+            print(
+                f"batch {i}: {len(polled['events'])} subscription event(s) "
+                f"replayed == one-shot CLI answer"
+                + (" (push frame identical)" if polled["events"] else "")
+            )
+
         stats = control.request({"op": "stats"})
         print(
             f"cache: {stats['hits']} hits / {stats['misses']} misses / "
@@ -216,6 +332,16 @@ def main():
             f"metrics: {len(metrics)} instruments, {moved} moved; "
             f"all {len(CORE_NONZERO)} core counters non-zero"
         )
+
+        assert flat.get("repro_subs_active") == 2, (
+            f"FAIL: expected 2 active subscriptions, "
+            f"got {flat.get('repro_subs_active')}"
+        )
+        done = poller.request({"op": "unsubscribe", "subscription": sub_id})
+        assert done["ok"], f"FAIL: unsubscribe failed: {done}"
+        poller.close()
+        pusher.close()  # disconnect GC reaps the push subscription
+
         control.request({"op": "shutdown"})
         control.close()
         server.wait(timeout=120)

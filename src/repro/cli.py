@@ -6,6 +6,7 @@ Subcommands
 ``mine``         mine frequent patterns from a graph
 ``mine-stream``  maintain frequent patterns while replaying a graph-update stream
 ``serve``        run the long-lived graph service (NDJSON over stdio or TCP)
+``watch``        stream standing-query answer-change events (NDJSON)
 ``partition``    split a graph into edge-disjoint shards on disk
 ``figure``       regenerate a paper figure worksheet (fig1 .. fig10)
 ``info``         list registered measures with their properties
@@ -311,6 +312,122 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _standing_specs_from_args(args: argparse.Namespace, delivery: str):
+    """The standing queries a ``watch`` invocation registers."""
+    from .mining.standing import StandingSpec
+
+    events = None
+    if args.events:
+        events = [name.strip() for name in args.events.split(",") if name.strip()]
+    common = dict(
+        measure=args.measure,
+        min_support=args.min_support,
+        lazy=args.lazy,
+        events=events,
+        delivery=delivery,
+    )
+    specs = [
+        StandingSpec.from_kwargs(pattern=load_pattern(path), **common)
+        for path in args.patterns
+    ]
+    if args.threshold or not args.patterns:
+        specs.append(
+            StandingSpec.from_kwargs(
+                kind="threshold",
+                max_nodes=args.max_nodes,
+                max_edges=args.max_edges,
+                **common,
+            )
+        )
+    return specs
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """``repro watch``: stream standing-query answer changes as NDJSON."""
+    import json
+
+    if args.connect:
+        return _watch_connect(args)
+    if not args.graph or not args.updates:
+        print(
+            "watch needs either --connect HOST:PORT or --graph plus --updates",
+            file=sys.stderr,
+        )
+        return 2
+    from .graph.io import load_update_stream
+    from .service import GraphService, answer_payload
+
+    data = load_graph(args.graph)
+    updates = load_update_stream(args.updates, base=data, window=bool(args.window))
+    specs = _standing_specs_from_args(args, delivery="poll")
+    service = GraphService(data, window=args.window)
+    try:
+        subs = [service.subscribe(spec) for spec in specs]
+        for sub in subs:
+            print(
+                json.dumps(
+                    {
+                        "event": "subscribed",
+                        "subscription": sub.id,
+                        "kind": sub.spec.kind,
+                        "version": sub.version,
+                        "answer": answer_payload(sub.answer_snapshot()),
+                    }
+                )
+            )
+        for info in service.stream(updates, batch_size=args.batch_size):
+            print(
+                json.dumps(
+                    {
+                        "event": "batch",
+                        "version": info.version,
+                        "applied": info.applied,
+                        "expired": info.expired,
+                        "num_vertices": info.num_vertices,
+                        "num_edges": info.num_edges,
+                    }
+                )
+            )
+            for sub in subs:
+                for event in sub.poll():
+                    print(json.dumps({"subscription": sub.id, **event.payload()}))
+    finally:
+        service.stop()
+    return 0
+
+
+def _watch_connect(args: argparse.Namespace) -> int:
+    """Thin push-delivery subscriber against a running ``repro serve``."""
+    import json
+    import socket
+
+    host, _, port = args.connect.rpartition(":")
+    if not port.isdigit():
+        print(f"--connect expects HOST:PORT, got {args.connect!r}", file=sys.stderr)
+        return 2
+    specs = _standing_specs_from_args(args, delivery="push")
+    sock = socket.create_connection((host or "127.0.0.1", int(port)))
+    try:
+        reader = sock.makefile("r", encoding="utf-8")
+        for spec in specs:
+            request = {"op": "subscribe", "v": 1, "spec": spec.as_dict()}
+            sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
+            response = json.loads(reader.readline())
+            print(json.dumps(response), flush=True)
+            if not response.get("ok"):
+                return 1
+        # From here the server pushes notify frames; relay them verbatim
+        # until the server goes away or the user interrupts.
+        try:
+            for line in reader:
+                print(line, end="", flush=True)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            pass
+    finally:
+        sock.close()
+    return 0
+
+
 def _cmd_partition(args: argparse.Namespace) -> int:
     from .partition import ShardedIndex, save_partition
 
@@ -579,6 +696,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU bound on cached results (default: unbounded)",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    spec = DEFAULT_SPEC
+    watch = subparsers.add_parser(
+        "watch",
+        parents=[obs_parent],
+        help="stream standing-query answer-change events (NDJSON)",
+        description=(
+            "Register standing queries — concrete motifs (pattern files) "
+            "and/or the spec-level threshold question — and stream their "
+            "typed answer-change events as NDJSON, either by replaying an "
+            "update stream through an in-process service (--graph/--updates) "
+            "or by subscribing to a running `repro serve` daemon (--connect)."
+        ),
+    )
+    watch.add_argument(
+        "patterns", nargs="*", help="pattern files (.lg) to watch as standing motifs"
+    )
+    watch.add_argument("--graph", help="base data graph (.lg) for in-process replay")
+    watch.add_argument(
+        "--updates", help="update stream (.up) replayed through the service"
+    )
+    watch.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="subscribe to a running `repro serve` TCP daemon (push delivery)",
+    )
+    watch.add_argument(
+        "--threshold",
+        action="store_true",
+        help=(
+            "also watch the whole frequent set of the spec-level question "
+            "(the default when no pattern files are given)"
+        ),
+    )
+    watch.add_argument("--measure", default=spec.measure, help="support measure name")
+    watch.add_argument("--min-support", type=float, default=spec.min_support)
+    watch.add_argument("--max-nodes", type=int, default=spec.max_pattern_nodes)
+    watch.add_argument("--max-edges", type=int, default=spec.max_pattern_edges)
+    watch.add_argument("--lazy", action="store_true", default=spec.lazy)
+    watch.add_argument(
+        "--events",
+        default=None,
+        metavar="TYPES",
+        help=(
+            "comma-separated event-type filter (default: all; note that "
+            "filtered streams no longer reconstruct the full answer)"
+        ),
+    )
+    watch.add_argument(
+        "--batch-size",
+        type=int,
+        default=spec.batch_size,
+        help="updates applied per dispatched batch (replay mode)",
+    )
+    watch.add_argument(
+        "--window",
+        type=int,
+        default=spec.window,
+        metavar="N",
+        help="sliding window for the replayed stream (replay mode)",
+    )
+    watch.set_defaults(func=_cmd_watch)
 
     partition = subparsers.add_parser(
         "partition", help="split a graph into edge-disjoint shards on disk"

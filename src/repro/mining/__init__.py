@@ -18,6 +18,15 @@ from .incremental import IncrementalMiner, mine_frequent_patterns_incremental
 from .miner import FrequentSubgraphMiner, mine_frequent_patterns
 from .results import FrequentPattern, MiningResult, MiningStats
 from .spec import DEFAULT_SPEC, UNSET, MiningSpec, resolve_spec
+from .standing import (
+    AnswerEntry,
+    AnswerEvent,
+    StandingSpec,
+    answer_from_result,
+    diff_answer,
+    evaluate_standing,
+    replay_answer,
+)
 from .transaction import disjoint_union, transaction_support
 
 __all__ = [
@@ -44,4 +53,11 @@ __all__ = [
     "MiningStats",
     "disjoint_union",
     "transaction_support",
+    "StandingSpec",
+    "AnswerEntry",
+    "AnswerEvent",
+    "answer_from_result",
+    "diff_answer",
+    "evaluate_standing",
+    "replay_answer",
 ]

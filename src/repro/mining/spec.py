@@ -30,6 +30,7 @@ values over the spec (or over the defaults when no spec is given).
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, fields, replace as _dataclass_replace
 from typing import Any, Dict, Optional
 
@@ -234,9 +235,21 @@ def resolve_spec(spec: Optional[MiningSpec], overrides: Dict[str, Any]) -> Minin
     ``spec`` (or over the defaults when ``spec`` is ``None``), so
     ``f(data, spec=s, workers=4)`` means "``s``, but with 4 workers" and
     plain legacy calls behave exactly as before.
+
+    Bare legacy kwargs (no ``spec=`` at all) are deprecated: they keep
+    working, but emit a :class:`DeprecationWarning` pointing at
+    ``MiningSpec.from_kwargs``.  Spec-plus-overrides stays first-class —
+    that form is how strategy knobs are meant to be varied.
     """
     given = {name: value for name, value in overrides.items() if value is not UNSET}
     if spec is None:
+        if given:
+            warnings.warn(
+                "legacy mining kwargs are deprecated; build a MiningSpec "
+                "(MiningSpec.from_kwargs(...)) and pass it as spec=...",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         return MiningSpec.from_kwargs(**given)
     if not isinstance(spec, MiningSpec):
         raise MiningError(

@@ -306,4 +306,13 @@ DOCUMENTED_METRICS: Tuple[str, ...] = (
     # service
     "repro_service_batches_applied",
     "repro_service_mine_requests",
+    # standing-query subscriptions
+    "repro_subs_active",
+    "repro_subs_registered",
+    "repro_subs_unregistered",
+    "repro_subs_dispatches",
+    "repro_subs_dispatch_skipped",
+    "repro_subs_evaluations",
+    "repro_subs_events_emitted",
+    "repro_subs_events_dropped",
 )

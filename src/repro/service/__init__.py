@@ -17,19 +17,36 @@ lifecycle and cache-key canonicalization rules.
 """
 
 from .cache import ResultCache
-from .protocol import handle_request, parse_updates, result_bytes, result_payload
-from .server import serve_stdio, serve_tcp
+from .protocol import (
+    PROTOCOL_VERSION,
+    ErrorCode,
+    answer_payload,
+    handle_request,
+    notify_line,
+    parse_updates,
+    result_bytes,
+    result_payload,
+)
+from .server import ClientSession, serve_stdio, serve_tcp
 from .service import BatchInfo, GraphService, Ticket
 from .snapshots import Snapshot, SnapshotRegistry
+from .subscriptions import Subscription, SubscriptionRegistry
 
 __all__ = [
     "BatchInfo",
+    "ClientSession",
+    "ErrorCode",
     "GraphService",
+    "PROTOCOL_VERSION",
     "ResultCache",
     "Snapshot",
     "SnapshotRegistry",
+    "Subscription",
+    "SubscriptionRegistry",
     "Ticket",
+    "answer_payload",
     "handle_request",
+    "notify_line",
     "parse_updates",
     "result_bytes",
     "result_payload",

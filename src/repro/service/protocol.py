@@ -13,13 +13,26 @@ concurrent connections::
     {"op": "version"}
     {"op": "update", "updates": [["v", 9, "A"], ["e", 9, 3], ["de", 1, 2]]}
     {"op": "mine", "spec": {"min_support": 3}, "version": 7}
+    {"op": "subscribe", "spec": {"kind": "threshold", "min_support": 3}}
+    {"op": "poll_events", "subscription": "s1", "max": 100}
+    {"op": "unsubscribe", "subscription": "s1"}
     {"op": "stats"}
     {"op": "metrics"}
     {"op": "trace", "trace_id": "t000001"}
     {"op": "shutdown"}
 
+**Protocol versioning.**  Every response carries ``"v": 1``
+(:data:`PROTOCOL_VERSION`).  Requests may omit ``"v"`` (treated as 1) or
+pin it; an unsupported pin is refused with the ``unsupported_protocol``
+error code instead of being half-understood.  The compatibility rule
+(documented in ``docs/architecture.md``): servers never remove or
+re-type existing response fields within a protocol version — clients
+must tolerate *added* fields, and breaking changes bump the version.
+
 Responses carry ``"ok": true`` plus op-specific fields, or
-``"ok": false`` with ``error``/``type`` on failure.  Mining responses
+``"ok": false`` with ``error``/``type``/``code`` on failure — ``code``
+is a machine-readable member of :class:`ErrorCode`, stable across
+message-text rewording, for thin clients to branch on.  Mining responses
 serialize results through :func:`result_payload`, which deliberately
 excludes run statistics: the payload holds exactly the result-defining
 bytes (certificates, supports, occurrence counts), so a service-mediated
@@ -30,6 +43,7 @@ legitimately differs between maintained and from-scratch runs.
 
 from __future__ import annotations
 
+import enum
 import json
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -37,11 +51,34 @@ from ..errors import ReproError, ServiceError
 from ..mining.dynamic import GraphUpdate
 from ..mining.results import MiningResult
 from ..mining.spec import MiningSpec
+from ..mining.standing import Answer, AnswerEvent, StandingSpec
 from ..obs import trace as _trace
 from .service import GraphService
 
+#: The protocol version this server speaks (stamped on every response).
+PROTOCOL_VERSION = 1
+
 #: Required operand count per update kind (the record itself included).
 _UPDATE_ARITY = {"v": 3, "e": 3, "de": 3, "dv": 2}
+
+
+class ErrorCode(str, enum.Enum):
+    """Machine-readable error codes shared by server and thin clients.
+
+    The ``error`` message text may be reworded freely; the ``code`` is
+    the stable contract clients branch on.
+    """
+
+    BAD_REQUEST = "bad_request"
+    UNKNOWN_OP = "unknown_op"
+    UNKNOWN_SUBSCRIPTION = "unknown_subscription"
+    UNSUPPORTED_PROTOCOL = "unsupported_protocol"
+
+
+def _error(code: ErrorCode, message: str) -> ServiceError:
+    exc = ServiceError(message)
+    exc.code = code
+    return exc
 
 
 def result_payload(result: MiningResult) -> Dict[str, Any]:
@@ -88,8 +125,15 @@ def parse_updates(records: Any) -> List[GraphUpdate]:
     return updates
 
 
-def handle_request(service: GraphService, line: str) -> Tuple[Dict[str, Any], bool]:
-    """Answer one protocol line; returns ``(response, shutdown_requested)``."""
+def handle_request(
+    service: GraphService, line: str, session=None
+) -> Tuple[Dict[str, Any], bool]:
+    """Answer one protocol line; returns ``(response, shutdown_requested)``.
+
+    ``session`` (a :class:`~repro.service.server.ClientSession`, when the
+    transport provides one) scopes subscriptions to the connection: it
+    owns them for disconnect GC and carries the push-delivery writer.
+    """
     request_id = None
     try:
         try:
@@ -101,6 +145,13 @@ def handle_request(service: GraphService, line: str) -> Tuple[Dict[str, Any], bo
                 f"request must be a JSON object, got {type(request).__name__}"
             )
         request_id = request.get("id")
+        proto = request.get("v")
+        if proto is not None and proto != PROTOCOL_VERSION:
+            raise _error(
+                ErrorCode.UNSUPPORTED_PROTOCOL,
+                f"unsupported protocol version {proto!r} "
+                f"(this server speaks v{PROTOCOL_VERSION})",
+            )
         op = request.get("op")
         if op == "ping":
             response: Dict[str, Any] = {"ok": True, "op": "ping"}
@@ -126,6 +177,12 @@ def handle_request(service: GraphService, line: str) -> Tuple[Dict[str, Any], bo
             }
         elif op == "mine":
             response = _handle_mine(service, request)
+        elif op == "subscribe":
+            response = _handle_subscribe(service, request, session)
+        elif op == "unsubscribe":
+            response = _handle_unsubscribe(service, request, session)
+        elif op == "poll_events":
+            response = _handle_poll_events(service, request)
         elif op == "stats":
             response = {"ok": True, "op": "stats", **service.stats()}
         elif op == "metrics":
@@ -137,11 +194,21 @@ def handle_request(service: GraphService, line: str) -> Tuple[Dict[str, Any], bo
         elif op == "trace":
             response = _handle_trace(request)
         elif op == "shutdown":
-            return ({"ok": True, "op": "shutdown", "id": request_id}, True)
+            response = {"ok": True, "op": "shutdown", "v": PROTOCOL_VERSION}
+            if request_id is not None:
+                response["id"] = request_id
+            return (response, True)
         else:
-            raise ServiceError(f"unknown op {op!r}")
+            raise _error(ErrorCode.UNKNOWN_OP, f"unknown op {op!r}")
     except ReproError as exc:
-        response = {"ok": False, "error": str(exc), "type": type(exc).__name__}
+        code = getattr(exc, "code", ErrorCode.BAD_REQUEST)
+        response = {
+            "ok": False,
+            "error": str(exc),
+            "type": type(exc).__name__,
+            "code": code.value,
+        }
+    response["v"] = PROTOCOL_VERSION
     if request_id is not None:
         response["id"] = request_id
     return response, False
@@ -178,6 +245,96 @@ def _handle_mine(service: GraphService, request: Dict[str, Any]) -> Dict[str, An
         # Echoed so the span tree is retrievable via {"op": "trace", ...}.
         response["trace_id"] = trace_id
     return response
+
+
+def answer_payload(answer: Answer) -> List[Dict[str, Any]]:
+    """The canonical JSON shape of a standing answer (certificate-sorted)."""
+    return [
+        {
+            "certificate": certificate,
+            "support": entry.support,
+            "num_occurrences": entry.num_occurrences,
+            "frequent": entry.frequent,
+        }
+        for certificate, entry in sorted(answer.items())
+    ]
+
+
+def notify_line(sub, version: int, events: List[AnswerEvent]) -> Dict[str, Any]:
+    """The server-push notification frame for one dispatched batch."""
+    return {
+        "ok": True,
+        "event": "notify",
+        "v": PROTOCOL_VERSION,
+        "subscription": sub.id,
+        "version": version,
+        "events": [event.payload() for event in events],
+    }
+
+
+def _handle_subscribe(
+    service: GraphService, request: Dict[str, Any], session
+) -> Dict[str, Any]:
+    spec_fields = request.get("spec", {})
+    if not isinstance(spec_fields, dict):
+        raise ServiceError("'spec' must be a JSON object of StandingSpec fields")
+    spec = StandingSpec.from_kwargs(**spec_fields)
+    push = None
+    owner = session.owner_id if session is not None else None
+    if spec.delivery == "push":
+        if session is None or not session.can_push:
+            raise _error(
+                ErrorCode.BAD_REQUEST,
+                "push delivery requires a connection-bound session "
+                "(subscribe over TCP, or use delivery='poll')",
+            )
+        push = session.notify
+    sub = service.subscribe(spec, push=push, owner=owner)
+    if session is not None:
+        session.track(sub.id)
+    return {
+        "ok": True,
+        "op": "subscribe",
+        "subscription": sub.id,
+        "version": sub.version,
+        "kind": spec.kind,
+        "answer": answer_payload(sub.answer_snapshot()),
+    }
+
+
+def _handle_unsubscribe(
+    service: GraphService, request: Dict[str, Any], session
+) -> Dict[str, Any]:
+    sub_id = request.get("subscription")
+    if not isinstance(sub_id, str):
+        raise ServiceError(f"'subscription' must be a string id, got {sub_id!r}")
+    if not service.unsubscribe(sub_id):
+        raise _error(ErrorCode.UNKNOWN_SUBSCRIPTION, f"unknown subscription {sub_id!r}")
+    if session is not None:
+        session.untrack(sub_id)
+    return {"ok": True, "op": "unsubscribe", "subscription": sub_id}
+
+
+def _handle_poll_events(service: GraphService, request: Dict[str, Any]):
+    sub_id = request.get("subscription")
+    if not isinstance(sub_id, str):
+        raise ServiceError(f"'subscription' must be a string id, got {sub_id!r}")
+    sub = service.subscriptions.get(sub_id)
+    if sub is None:
+        raise _error(ErrorCode.UNKNOWN_SUBSCRIPTION, f"unknown subscription {sub_id!r}")
+    max_events = request.get("max")
+    if max_events is not None and (not isinstance(max_events, int) or max_events < 0):
+        raise ServiceError(f"'max' must be a non-negative integer, got {max_events!r}")
+    events = sub.poll(max_events)
+    return {
+        "ok": True,
+        "op": "poll_events",
+        "subscription": sub_id,
+        "version": sub.version,
+        "events": [event.payload() for event in events],
+        "pending": sub.pending,
+        "dropped": sub.dropped,
+    }
 
 
 def _handle_trace(request: Dict[str, Any]) -> Dict[str, Any]:

@@ -8,6 +8,13 @@ many concurrent clients — each connection gets its own handler thread,
 and their mine requests run as concurrent readers over pinned snapshots
 while update requests funnel into the service's single writer.
 
+Each connection carries a :class:`ClientSession`: it owns the
+subscriptions registered over that connection (dropped via the writer
+queue when the client disconnects — no leaked standing queries) and
+serializes all line output through one lock so server-push ``notify``
+frames (written by the service writer thread during dispatch) never
+interleave with request responses.
+
 On startup each transport emits a ``ready`` event line (JSON, same
 framing as responses) announcing the transport and — for TCP — the
 bound port, so callers using ``--port 0`` can discover where to connect.
@@ -15,13 +22,75 @@ bound port, so callers using ``--port 0`` can discover where to connect.
 
 from __future__ import annotations
 
+import itertools
 import json
 import socketserver
 import threading
-from typing import IO, Optional
+from typing import IO, Callable, List, Optional
 
-from .protocol import handle_request
+from ..errors import ReproError
+from ..mining.standing import AnswerEvent
+from .protocol import handle_request, notify_line
 from .service import GraphService
+
+_SESSION_IDS = itertools.count(1)
+
+
+class ClientSession:
+    """One connection's subscription scope + serialized line output.
+
+    ``write_line`` is the transport's raw line writer (one JSON line in,
+    newline excluded); a session constructed without one cannot serve
+    push-delivery subscriptions.  All writes — responses and
+    notifications alike — go through :meth:`send` under one lock, so a
+    ``notify`` frame from the service writer thread never interleaves
+    with a response written by the handler thread.
+    """
+
+    def __init__(
+        self,
+        service: GraphService,
+        write_line: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.service = service
+        self.owner_id = f"client-{next(_SESSION_IDS)}"
+        self._write_line = write_line
+        self._lock = threading.Lock()
+        self._subs: set = set()
+
+    @property
+    def can_push(self) -> bool:
+        return self._write_line is not None
+
+    def send(self, payload: dict) -> None:
+        """Write one JSON line (thread-safe against concurrent pushes)."""
+        if self._write_line is None:
+            raise ValueError("this session has no output channel")
+        line = json.dumps(payload)
+        with self._lock:
+            self._write_line(line)
+
+    def notify(self, sub, version: int, events: List[AnswerEvent]) -> None:
+        """Push-delivery callback handed to ``subscribe`` (writer thread)."""
+        self.send(notify_line(sub, version, events))
+
+    def track(self, sub_id: str) -> None:
+        self._subs.add(sub_id)
+
+    def untrack(self, sub_id: str) -> None:
+        self._subs.discard(sub_id)
+
+    def close(self) -> None:
+        """GC this connection's subscriptions (idempotent, swallows a
+        stopped service — disconnects race shutdown by design)."""
+        self._write_line = None
+        if not self._subs:
+            return
+        self._subs = set()
+        try:
+            self.service.drop_owner(self.owner_id)
+        except ReproError:
+            pass
 
 
 def _ready_event(service: GraphService, transport: str, **extra) -> str:
@@ -39,14 +108,22 @@ def serve_stdio(service: GraphService, infile: IO[str], outfile: IO[str]) -> Non
     """Serve one client over text streams until EOF or ``shutdown``."""
     outfile.write(_ready_event(service, "stdio") + "\n")
     outfile.flush()
-    for line in infile:
-        if not line.strip():
-            continue
-        response, shutdown = handle_request(service, line)
-        outfile.write(json.dumps(response) + "\n")
+
+    def write_line(line: str) -> None:
+        outfile.write(line + "\n")
         outfile.flush()
-        if shutdown:
-            break
+
+    session = ClientSession(service, write_line)
+    try:
+        for line in infile:
+            if not line.strip():
+                continue
+            response, shutdown = handle_request(service, line, session)
+            session.send(response)
+            if shutdown:
+                break
+    finally:
+        session.close()
 
 
 class _ServiceTCPServer(socketserver.ThreadingTCPServer):
@@ -60,19 +137,31 @@ class _ServiceTCPServer(socketserver.ThreadingTCPServer):
 
 class _ServiceHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
-        for raw in self.rfile:
-            line = raw.decode("utf-8", errors="replace")
-            if not line.strip():
-                continue
-            response, shutdown = handle_request(self.server.service, line)
-            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
-            self.wfile.flush()
-            if shutdown:
-                # shutdown() blocks until serve_forever() exits, and this
-                # handler runs on a connection thread — hand it to yet
-                # another thread so this response socket closes promptly.
-                threading.Thread(target=self.server.shutdown, daemon=True).start()
-                return
+        def write_line(line: str) -> None:
+            try:
+                self.wfile.write((line + "\n").encode("utf-8"))
+                self.wfile.flush()
+            except (OSError, ValueError):
+                # A vanished client must not take down the writer thread
+                # mid-notify; its subscriptions are reaped on disconnect.
+                pass
+
+        session = ClientSession(self.server.service, write_line)
+        try:
+            for raw in self.rfile:
+                line = raw.decode("utf-8", errors="replace")
+                if not line.strip():
+                    continue
+                response, shutdown = handle_request(self.server.service, line, session)
+                session.send(response)
+                if shutdown:
+                    # shutdown() blocks until serve_forever() exits, and
+                    # this handler runs on a connection thread — hand it
+                    # to yet another thread so this socket closes promptly.
+                    threading.Thread(target=self.server.shutdown, daemon=True).start()
+                    return
+        finally:
+            session.close()
 
 
 def serve_tcp(

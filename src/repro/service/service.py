@@ -38,9 +38,11 @@ from ..mining.dynamic import DynamicMiner, GraphUpdate, StreamApplier
 from ..mining.miner import mine_frequent_patterns
 from ..mining.results import MiningResult
 from ..mining.spec import DEFAULT_SPEC, MiningSpec
+from ..mining.standing import StandingSpec
 from ..obs import metrics as _metrics
 from .cache import ResultCache
 from .snapshots import Snapshot, SnapshotRegistry
+from .subscriptions import Subscription, SubscriptionRegistry
 
 
 @dataclass(frozen=True)
@@ -113,6 +115,10 @@ class GraphService:
         every first request at a version mines a snapshot.
     cache_size:
         Optional LRU bound on the result cache (entries, not bytes).
+    window:
+        Optional sliding-window size for the writer's
+        :class:`StreamApplier` (defaults to the maintenance spec's
+        ``window``, or no expiry without one).
     """
 
     def __init__(
@@ -120,6 +126,7 @@ class GraphService:
         graph: LabeledGraph,
         maintain: Optional[MiningSpec] = None,
         cache_size: Optional[int] = None,
+        window: Optional[int] = None,
     ) -> None:
         self._graph = graph
         self._maintain = maintain
@@ -131,9 +138,10 @@ class GraphService:
         # A fully-released non-tip version can never be requested again
         # (its snapshot is gone) — drop its cache entries with it.
         self.registry.on_evict(self._on_snapshot_evicted)
-        self._applier = StreamApplier(
-            graph, maintain.window if maintain is not None else None
-        )
+        self.subscriptions = SubscriptionRegistry(graph, self.cache)
+        if window is None and maintain is not None:
+            window = maintain.window
+        self._applier = StreamApplier(graph, window)
         self._miner: Optional[DynamicMiner] = None
         if maintain is not None:
             self._miner = DynamicMiner(graph, spec=maintain)
@@ -153,9 +161,21 @@ class GraphService:
             command = self._commands.get()
             if command is None:
                 return
-            updates, ticket = command
+            kind, payload, ticket = command
             try:
-                ticket._resolve(self._apply_batch(updates))
+                if kind == "batch":
+                    ticket._resolve(self._apply_batch(payload))
+                elif kind == "subscribe":
+                    spec, push, owner = payload
+                    ticket._resolve(
+                        self.subscriptions.register(
+                            spec, version=self.registry.tip, push=push, owner=owner
+                        )
+                    )
+                elif kind == "unsubscribe":
+                    ticket._resolve(self.subscriptions.unregister(payload))
+                else:  # drop_owner
+                    ticket._resolve(self.subscriptions.drop_owner(payload))
             except BaseException as exc:  # noqa: BLE001 - ticket carries it
                 ticket._fail(exc)
 
@@ -171,6 +191,10 @@ class GraphService:
         # are dead weight; pinned versions keep their entries.
         pinned = self.registry.pinned_versions()
         self.cache.retain(lambda v: v == version or v in pinned)
+        # Standing queries see the batch last, after the maintained
+        # result landed in the cache: a threshold subscription to the
+        # maintained spec is then a pure cache adoption, never a mine.
+        self.subscriptions.dispatch(version)
         _metrics.counter("repro_service_batches_applied").inc()
         return BatchInfo(
             version=version,
@@ -195,16 +219,47 @@ class GraphService:
         applied the batch, published the new snapshot version, and (with
         a maintenance spec) refreshed + cached the maintained result.
         """
+        return self._submit_command("batch", list(updates))
+
+    def _submit_command(self, kind: str, payload) -> Ticket:
         with self._lock:
             if self._stopped:
                 raise ServiceError("the service is stopped")
             ticket = Ticket()
-            self._commands.put((list(updates), ticket))
+            self._commands.put((kind, payload, ticket))
             return ticket
 
     def apply_updates(self, updates: Sequence[GraphUpdate]) -> BatchInfo:
         """Submit one batch and wait for it (convenience wrapper)."""
         return self.submit_updates(updates).wait()
+
+    # ------------------------------------------------------------------
+    # standing queries
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        spec: StandingSpec,
+        push=None,
+        owner: Optional[str] = None,
+    ) -> Subscription:
+        """Register a standing query; returns its live subscription.
+
+        Routed through the writer's command queue so the baseline answer
+        is race-free against in-flight batches: it is evaluated at the
+        tip version visible once every earlier batch has dispatched.
+        ``push`` (a ``(subscription, version, events)`` callable) is
+        required for — and only used with — ``delivery="push"`` specs.
+        """
+        return self._submit_command("subscribe", (spec, push, owner)).wait()
+
+    def unsubscribe(self, subscription) -> bool:
+        """Remove a subscription (object or id); ``False`` if unknown."""
+        sub_id = getattr(subscription, "id", subscription)
+        return self._submit_command("unsubscribe", sub_id).wait()
+
+    def drop_owner(self, owner: str) -> int:
+        """GC every subscription owned by ``owner`` (client disconnect)."""
+        return self._submit_command("drop_owner", owner).wait()
 
     # ------------------------------------------------------------------
     # reader side
@@ -329,6 +384,7 @@ class GraphService:
             self._stopped = True
         self._commands.put(None)
         self._writer.join()
+        self.subscriptions.close()
         if self._miner is not None:
             self._miner.close()
         self.registry.close()

@@ -1,0 +1,512 @@
+"""Standing-query subscriptions on the graph service writer.
+
+:class:`SubscriptionRegistry` lives on :class:`~repro.service.GraphService`
+and turns ``mine-stream`` inside out: clients register
+:class:`~repro.mining.standing.StandingSpec` requests once, and after
+every applied batch the writer *dispatches* the batch's label-pair
+footprint to only the affected subscriptions, re-evaluates just those,
+and emits typed :class:`~repro.mining.standing.AnswerEvent` streams
+(per-subscription sequence numbers, stamped with the snapshot version
+they apply to).
+
+**Routing invariants** (why skipping is sound):
+
+* a *pattern* subscription is unaffected when the batch's touched label
+  pairs are disjoint from the pattern's footprint — every occurrence
+  gained or lost must map a pattern edge onto a touched data edge
+  (``DynamicMiner``'s reuse argument), and the support measures are pure
+  functions of the occurrence set;
+* a *threshold* subscription watches the label-pair union of its
+  currently-frequent patterns.  A deleted pair outside that set only
+  shrinks supports of already-infrequent patterns; an inserted pair
+  ``p`` outside it can only promote patterns containing ``p``, whose
+  support is bounded by ``MNI(single-edge(p)) <= pairs(p) * (2 if
+  same-label else 1)`` — anti-monotonicity plus the measure chain
+  (every supported measure ``<= sigma_MNI``).  When that cap stays
+  below ``min_support``, the batch cannot change the answer.
+
+All registry mutation and dispatch runs on the service's single writer
+thread (the service routes ``subscribe``/``unsubscribe`` through the
+command queue), so routing state needs no locks; only each
+subscription's event queue is shared with poller threads.
+
+Zero subscriptions cost zero: the registry only subscribes to the
+graph's mutation-observer hook while at least one subscription exists,
+and :meth:`dispatch` is a constant-time early exit when none do.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from collections import deque
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..errors import ServiceError
+from ..graph.labeled_graph import LabeledGraph
+from ..index.delta import PATCHABLE_DELTAS, EdgeAdded, EdgeRemoved, IndexMaintainer
+from ..index.graph_index import _label_pair_key
+from ..mining.dynamic import DynamicMiner, pattern_footprint
+from ..mining.standing import (
+    Answer,
+    AnswerEvent,
+    StandingSpec,
+    answer_from_result,
+    diff_answer,
+    evaluate_standing,
+)
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+from .cache import ResultCache
+
+logger = logging.getLogger("repro.service.subscriptions")
+
+LabelPair = Tuple
+
+#: Per-subscription pending-event bound: a poller that falls this far
+#: behind starts losing its *oldest* events (counted, never silent).
+DEFAULT_MAX_PENDING = 4096
+
+
+class Subscription:
+    """One registered standing query and its pending event stream.
+
+    Created by :meth:`SubscriptionRegistry.register` (via
+    ``GraphService.subscribe``); hand it back to ``unsubscribe`` when
+    done.  :meth:`poll` drains pending events (oldest first) and is the
+    only method safe to call from any thread — everything else belongs
+    to the writer.
+    """
+
+    __slots__ = (
+        "id",
+        "spec",
+        "owner",
+        "version",
+        "seq",
+        "cache_key",
+        "footprint",
+        "answer",
+        "dropped",
+        "_push",
+        "_events",
+        "_lock",
+        "_max_pending",
+    )
+
+    def __init__(
+        self,
+        sub_id: str,
+        spec: StandingSpec,
+        *,
+        owner: Optional[str],
+        version: int,
+        answer: Answer,
+        push: Optional[Callable[["Subscription", int, List[AnswerEvent]], None]],
+        max_pending: int,
+    ) -> None:
+        self.id = sub_id
+        self.spec = spec
+        self.owner = owner
+        self.version = version
+        self.seq = 0
+        self.cache_key = spec.cache_key()
+        self.footprint: Optional[FrozenSet[LabelPair]] = spec.footprint()
+        self.answer = answer
+        self.dropped = 0
+        self._push = push
+        self._events: deque = deque()
+        self._lock = threading.Lock()
+        self._max_pending = max_pending
+
+    @property
+    def pending(self) -> int:
+        """How many events are queued for :meth:`poll`."""
+        with self._lock:
+            return len(self._events)
+
+    def poll(self, max_events: Optional[int] = None) -> List[AnswerEvent]:
+        """Drain up to ``max_events`` pending events (all by default)."""
+        with self._lock:
+            if max_events is None or max_events >= len(self._events):
+                drained = list(self._events)
+                self._events.clear()
+            else:
+                drained = [self._events.popleft() for _ in range(max(0, max_events))]
+        return drained
+
+    def answer_snapshot(self) -> Answer:
+        """The last dispatched answer state (a copy)."""
+        return dict(self.answer)
+
+    def _enqueue(self, events: List[AnswerEvent]) -> int:
+        """Queue events for polling; returns how many old ones fell off."""
+        dropped = 0
+        with self._lock:
+            self._events.extend(events)
+            while len(self._events) > self._max_pending:
+                self._events.popleft()
+                dropped += 1
+            self.dropped += dropped
+        return dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Subscription({self.id!r}, kind={self.spec.kind!r}, "
+            f"version={self.version}, pending={self.pending})"
+        )
+
+
+class _ThresholdEvaluator:
+    """Shared evaluation state for threshold subscriptions with one key.
+
+    Serves answers cache-first: the writer's maintained refresh (or any
+    reader's mine of the same question) lands in the
+    :class:`~repro.service.ResultCache` under the same key, so a
+    subscription to the maintained spec never mines at all.  On a miss a
+    lazily-created :class:`DynamicMiner` refreshes in O(delta) — its
+    certificate memoization and reuse/skip routing carry over between
+    dispatches — and the result is cached for everyone else.
+
+    ``watched`` is the label-pair union of the current frequent
+    patterns: the routing set the skip rule above tests against.
+    """
+
+    __slots__ = ("spec", "refs", "version", "answer", "watched", "_miner", "_graph")
+
+    def __init__(self, spec: StandingSpec, graph: LabeledGraph) -> None:
+        self.spec = spec
+        self.refs = 0
+        self.version: Optional[int] = None
+        self.answer: Answer = {}
+        self.watched: FrozenSet[LabelPair] = frozenset()
+        self._miner: Optional[DynamicMiner] = None
+        self._graph = graph
+
+    def evaluate(self, version: int, cache: ResultCache) -> Tuple[Answer, bool]:
+        """The answer at ``version``; ``(answer, served_from_cache)``."""
+        if self.version == version:
+            return self.answer, True
+        key = self.spec.cache_key()
+        result = cache.get(version, key)
+        cached = result is not None
+        if result is None:
+            if self._miner is None:
+                self._miner = DynamicMiner(self._graph, spec=self.spec.mining_spec())
+            result = self._miner.refresh()
+            cache.put(version, key, result)
+        self.answer = answer_from_result(result)
+        self.watched = frozenset().union(
+            *(pattern_footprint(fp.pattern) for fp in result.frequent)
+        )
+        self.version = version
+        return self.answer, cached
+
+    def adopt(self, version: int) -> None:
+        """Fast-forward to ``version`` with the answer proven unchanged."""
+        self.version = version
+
+    def affected_by(
+        self,
+        inserted: Set[LabelPair],
+        removed: Set[LabelPair],
+        pair_counts: Dict[LabelPair, int],
+    ) -> bool:
+        if not inserted.isdisjoint(self.watched):
+            return True
+        if not removed.isdisjoint(self.watched):
+            return True
+        threshold = self.spec.min_support
+        for pair in inserted:
+            cap = pair_counts.get(pair, 0) * (2 if pair[0] == pair[1] else 1)
+            if cap >= threshold:
+                return True
+        return False
+
+    def close(self) -> None:
+        if self._miner is not None:
+            self._miner.close()
+            self._miner = None
+
+
+class SubscriptionRegistry:
+    """The writer-side dispatcher for standing-query subscriptions."""
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        cache: ResultCache,
+        *,
+        max_pending: int = DEFAULT_MAX_PENDING,
+    ) -> None:
+        self._graph = graph
+        self._cache = cache
+        self._max_pending = max_pending
+        self._subs: Dict[str, Subscription] = {}
+        self._evaluators: Dict[str, _ThresholdEvaluator] = {}
+        self._next_id = 0
+        self._buffer: List = []
+        self._observer = None
+        self._synced_version: Optional[int] = None
+        self._pair_counts: Dict[LabelPair, int] = {}
+        self._index_maintainer: Optional[IndexMaintainer] = None
+        registry = _metrics.get_registry()
+        registry.gauge("repro_subs_active")
+        registry.counter("repro_subs_registered")
+        registry.counter("repro_subs_unregistered")
+        registry.counter("repro_subs_dispatches")
+        registry.counter("repro_subs_dispatch_skipped")
+        registry.counter("repro_subs_evaluations")
+        registry.counter("repro_subs_events_emitted")
+        registry.counter("repro_subs_events_dropped")
+
+    # ------------------------------------------------------------------
+    # lifecycle (writer thread only)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._subs)
+
+    def get(self, sub_id: str) -> Optional[Subscription]:
+        """The subscription with this id, or ``None``."""
+        return self._subs.get(sub_id)
+
+    def register(
+        self,
+        spec: StandingSpec,
+        *,
+        version: int,
+        push: Optional[Callable] = None,
+        owner: Optional[str] = None,
+    ) -> Subscription:
+        """Register one standing query; returns its live subscription.
+
+        The baseline answer is evaluated at ``version`` (the current
+        tip) so the first dispatched events diff against exactly what
+        the caller was told on registration.
+        """
+        if not isinstance(spec, StandingSpec):
+            raise ServiceError(
+                f"subscriptions take a StandingSpec, got {type(spec).__name__}"
+            )
+        if spec.delivery == "push" and push is None:
+            raise ServiceError("push delivery requires a push callback")
+        self._attach()
+        self._next_id += 1
+        sub_id = f"s{self._next_id}"
+        if spec.kind == "threshold":
+            evaluator = self._evaluators.get(spec.cache_key())
+            if evaluator is None:
+                evaluator = _ThresholdEvaluator(spec, self._graph)
+                self._evaluators[spec.cache_key()] = evaluator
+            evaluator.refs += 1
+            answer, _ = evaluator.evaluate(version, self._cache)
+        else:
+            if self._index_maintainer is None:
+                self._index_maintainer = IndexMaintainer(self._graph)
+            answer = evaluate_standing(
+                spec, self._graph, index=self._index_maintainer.index()
+            )
+        sub = Subscription(
+            sub_id,
+            spec,
+            owner=owner,
+            version=version,
+            answer=answer,
+            push=push if spec.delivery == "push" else None,
+            max_pending=self._max_pending,
+        )
+        self._subs[sub_id] = sub
+        _metrics.counter("repro_subs_registered").inc()
+        _metrics.gauge("repro_subs_active").set(len(self._subs))
+        return sub
+
+    def unregister(self, sub_id: str) -> bool:
+        """Remove one subscription; ``False`` when the id is unknown."""
+        sub = self._subs.pop(sub_id, None)
+        if sub is None:
+            return False
+        if sub.spec.kind == "threshold":
+            evaluator = self._evaluators.get(sub.cache_key)
+            if evaluator is not None:
+                evaluator.refs -= 1
+                if evaluator.refs <= 0:
+                    evaluator.close()
+                    del self._evaluators[sub.cache_key]
+        if self._index_maintainer is not None and not any(
+            s.spec.kind == "pattern" for s in self._subs.values()
+        ):
+            self._index_maintainer.detach()
+            self._index_maintainer = None
+        if not self._subs:
+            self._detach()
+        _metrics.counter("repro_subs_unregistered").inc()
+        _metrics.gauge("repro_subs_active").set(len(self._subs))
+        return True
+
+    def drop_owner(self, owner: str) -> int:
+        """GC every subscription registered by ``owner`` (client drop)."""
+        doomed = [s.id for s in self._subs.values() if s.owner == owner]
+        for sub_id in doomed:
+            self.unregister(sub_id)
+        return len(doomed)
+
+    def close(self) -> None:
+        """Drop every subscription and detach from the graph."""
+        for sub_id in list(self._subs):
+            self.unregister(sub_id)
+
+    # ------------------------------------------------------------------
+    # delta observation + routing (writer thread only)
+    # ------------------------------------------------------------------
+    def _attach(self) -> None:
+        if self._observer is not None:
+            return
+        self._buffer = []
+        self._observer = self._graph.subscribe(self._buffer.append)
+        self._synced_version = self._graph.mutation_version()
+        self._pair_counts = self._count_pairs()
+
+    def _detach(self) -> None:
+        if self._observer is None:
+            return
+        self._graph.unsubscribe(self._observer)
+        self._observer = None
+        self._buffer = []
+        self._pair_counts = {}
+        self._synced_version = None
+
+    def _count_pairs(self) -> Dict[LabelPair, int]:
+        counts: Dict[LabelPair, int] = {}
+        label_of = self._graph.label_of
+        for u, v in self._graph.edges():
+            pair = _label_pair_key(label_of(u), label_of(v))
+            counts[pair] = counts.get(pair, 0) + 1
+        return counts
+
+    def _consume_deltas(
+        self, target: int
+    ) -> Optional[Tuple[Set[LabelPair], Set[LabelPair]]]:
+        """``(inserted_pairs, removed_pairs)`` since the last dispatch.
+
+        Same contiguity discipline as ``DynamicMiner._consume_deltas``:
+        any observation gap returns ``None`` ("treat everything as
+        affected") and the pair counts are recounted from the graph.
+        """
+        buffer = list(self._buffer)
+        self._buffer.clear()
+        synced = self._synced_version
+        self._synced_version = target
+        deltas = [d for d in buffer if synced is None or d.version > synced]
+        contiguous = (
+            synced is not None
+            and deltas
+            and deltas[0].version == synced + 1
+            and deltas[-1].version == target
+            and all(b.version == a.version + 1 for a, b in zip(deltas, deltas[1:]))
+            and all(isinstance(d, PATCHABLE_DELTAS) for d in deltas)
+        )
+        if synced is not None and synced == target:
+            return set(), set()
+        if not contiguous:
+            self._pair_counts = self._count_pairs()
+            return None
+        inserted: Set[LabelPair] = set()
+        removed: Set[LabelPair] = set()
+        for delta in deltas:
+            if isinstance(delta, EdgeAdded):
+                pair = delta.label_pair()
+                inserted.add(pair)
+                self._pair_counts[pair] = self._pair_counts.get(pair, 0) + 1
+            elif isinstance(delta, EdgeRemoved):
+                pair = delta.label_pair()
+                removed.add(pair)
+                count = self._pair_counts.get(pair, 0) - 1
+                if count > 0:
+                    self._pair_counts[pair] = count
+                else:
+                    self._pair_counts.pop(pair, None)
+        return inserted, removed
+
+    # ------------------------------------------------------------------
+    # dispatch (writer thread, once per applied batch)
+    # ------------------------------------------------------------------
+    def dispatch(self, version: int) -> None:
+        """Route the last batch's footprint and notify affected subs."""
+        if not self._subs:
+            return
+        with _trace.span("subs.dispatch", version=version, subscriptions=len(self)):
+            self._dispatch(version)
+
+    def _dispatch(self, version: int) -> None:
+        _metrics.counter("repro_subs_dispatches").inc()
+        touched = self._consume_deltas(self._graph.mutation_version())
+        if touched is None:
+            inserted = removed = None
+            touched_pairs = None
+        else:
+            inserted, removed = touched
+            touched_pairs = inserted | removed
+        skipped = evaluated = emitted = dropped = 0
+        for sub in list(self._subs.values()):
+            if sub.spec.kind == "pattern":
+                affected = touched_pairs is None or not touched_pairs.isdisjoint(
+                    sub.footprint
+                )
+                if not affected:
+                    sub.version = version
+                    skipped += 1
+                    continue
+                with _trace.span("subs.evaluate", subscription=sub.id, kind="pattern"):
+                    index = (
+                        self._index_maintainer.index()
+                        if self._index_maintainer is not None
+                        else None
+                    )
+                    new_answer = evaluate_standing(sub.spec, self._graph, index=index)
+            else:
+                evaluator = self._evaluators[sub.cache_key]
+                affected = touched_pairs is None or evaluator.affected_by(
+                    inserted, removed, self._pair_counts
+                )
+                if not affected:
+                    evaluator.adopt(version)
+                    sub.version = version
+                    skipped += 1
+                    continue
+                with _trace.span(
+                    "subs.evaluate", subscription=sub.id, kind="threshold"
+                ):
+                    new_answer, _ = evaluator.evaluate(version, self._cache)
+            evaluated += 1
+            events, sub.seq = diff_answer(
+                sub.answer,
+                new_answer,
+                version=version,
+                seq_start=sub.seq,
+                event_filter=sub.spec.events,
+            )
+            sub.answer = new_answer
+            sub.version = version
+            if events:
+                emitted += len(events)
+                dropped += sub._enqueue(events)
+                if sub._push is not None:
+                    try:
+                        sub._push(sub, version, events)
+                    except Exception:  # noqa: BLE001 - a dead client must
+                        # never take the writer down; disconnect GC will
+                        # reap the subscription.
+                        logger.warning(
+                            "push delivery for subscription %s failed; "
+                            "events remain pollable",
+                            sub.id,
+                            exc_info=True,
+                        )
+        if skipped:
+            _metrics.counter("repro_subs_dispatch_skipped").inc(skipped)
+        if evaluated:
+            _metrics.counter("repro_subs_evaluations").inc(evaluated)
+        if emitted:
+            _metrics.counter("repro_subs_events_emitted").inc(emitted)
+        if dropped:
+            _metrics.counter("repro_subs_events_dropped").inc(dropped)

@@ -19,6 +19,12 @@ from repro.measures.mies import mies_support_of
 from repro.measures.mvc import mvc_support_of
 from repro.measures.relaxations import lp_mies_support_of, lp_mvc_support_of
 
+# These suites deliberately exercise the legacy-kwarg entry points
+# alongside spec=; the deprecation they trigger is the point, not noise.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:legacy mining kwargs:DeprecationWarning"
+)
+
 
 def random_hypergraph(
     seed: int, max_vertices: int = 9, max_edges: int = 8

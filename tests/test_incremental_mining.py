@@ -17,6 +17,12 @@ from repro.mining.incremental import (
 )
 from repro.mining.miner import mine_frequent_patterns
 
+# These suites deliberately exercise the legacy-kwarg entry points
+# alongside spec=; the deprecation they trigger is the point, not noise.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:legacy mining kwargs:DeprecationWarning"
+)
+
 
 class TestExtensionPrimitives:
     def test_forward_extension_complete(self):

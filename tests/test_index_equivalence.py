@@ -34,6 +34,12 @@ from repro.measures.mni import mni_support_from_occurrences
 from repro.mining.extension import adjacent_label_pairs, single_edge_patterns
 from repro.mining.miner import mine_frequent_patterns
 
+# These suites deliberately exercise the legacy-kwarg entry points
+# alongside spec=; the deprecation they trigger is the point, not noise.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:legacy mining kwargs:DeprecationWarning"
+)
+
 PATTERNS = [
     path_pattern(["A", "B"]),
     path_pattern(["A", "B", "A"]),

@@ -18,6 +18,12 @@ from repro.measures.lazy_mni import lazy_mni_support, mni_at_least
 from repro.measures.mni import mni_support_from_occurrences
 from repro.mining.miner import FrequentSubgraphMiner, mine_frequent_patterns
 
+# These suites deliberately exercise the legacy-kwarg entry points
+# alongside spec=; the deprecation they trigger is the point, not noise.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:legacy mining kwargs:DeprecationWarning"
+)
+
 
 class TestAnchoredSearch:
     def test_anchored_matches_filtered_enumeration(self, fig2):

@@ -38,6 +38,12 @@ from repro.mining.extension import (
 from repro.mining.miner import mine_frequent_patterns
 from repro.mining.parallel import label_frequency_bound
 
+# These suites deliberately exercise the legacy-kwarg entry points
+# alongside spec=; the deprecation they trigger is the point, not noise.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:legacy mining kwargs:DeprecationWarning"
+)
+
 CHAIN_PATTERNS = [
     path_pattern(["A", "B"]),
     path_pattern(["A", "B", "A"]),

@@ -15,6 +15,12 @@ from repro.mining.extension import (
 )
 from repro.mining.miner import FrequentSubgraphMiner, mine_frequent_patterns
 
+# These suites deliberately exercise the legacy-kwarg entry points
+# alongside spec=; the deprecation they trigger is the point, not noise.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:legacy mining kwargs:DeprecationWarning"
+)
+
 
 class TestExtensionGeneration:
     def test_adjacent_label_pairs(self):

@@ -13,6 +13,12 @@ from repro.mining.miner import mine_frequent_patterns
 from repro.mining.spec import DEFAULT_SPEC, MiningSpec, resolve_spec
 from repro.service.protocol import result_bytes
 
+# These suites deliberately exercise the legacy-kwarg entry points
+# alongside spec=; the deprecation they trigger is the point, not noise.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:legacy mining kwargs:DeprecationWarning"
+)
+
 
 def sample_graph():
     return path_graph(["a", "b", "a", "b", "a"])
@@ -270,3 +276,50 @@ def test_spec_json_shape_is_pure_data():
     assert isinstance(payload, dict)
     for value in payload.values():
         assert value is None or isinstance(value, (bool, int, float, str))
+
+
+class TestLegacyKwargDeprecation:
+    """Bare legacy kwargs warn at every public entry point; spec= never does.
+
+    The module-level filterwarnings mark silences the deprecation for the
+    equivalence suites above, so these tests re-raise it locally.
+    """
+
+    pytestmark = pytest.mark.filterwarnings(
+        "error:legacy mining kwargs:DeprecationWarning"
+    )
+
+    def test_mine_frequent_patterns_warns(self):
+        with pytest.warns(DeprecationWarning, match="legacy mining kwargs"):
+            mine_frequent_patterns(sample_graph(), min_support=2)
+
+    def test_frequent_subgraph_miner_warns(self):
+        from repro.mining.miner import FrequentSubgraphMiner
+
+        with pytest.warns(DeprecationWarning, match="legacy mining kwargs"):
+            FrequentSubgraphMiner(sample_graph(), min_support=2)
+
+    def test_dynamic_miner_warns(self):
+        graph = sample_graph()
+        with pytest.warns(DeprecationWarning, match="legacy mining kwargs"):
+            miner = DynamicMiner(graph, min_support=2)
+        miner.close()
+
+    def test_mine_stream_warns(self):
+        # mine_stream is a generator: the spec resolves (and warns) when
+        # iteration starts, not at the bare call.
+        with pytest.warns(DeprecationWarning, match="legacy mining kwargs"):
+            list(mine_stream(sample_graph(), [("v", 99, "a")], min_support=2))
+
+    def test_spec_path_is_silent(self):
+        # filterwarnings("error") above turns any stray warning into a
+        # failure, so plain calls prove the spec= path never warns.
+        spec = MiningSpec(min_support=2)
+        mine_frequent_patterns(sample_graph(), spec=spec)
+        list(mine_stream(sample_graph(), [("v", 99, "a")], spec=spec))
+        with DynamicMiner(sample_graph(), spec=spec) as miner:
+            miner.refresh()
+
+    def test_resolve_spec_defaults_are_silent(self):
+        # No kwargs at all -> pure defaults, nothing legacy to flag.
+        assert resolve_spec(None, {}) == DEFAULT_SPEC

@@ -10,6 +10,12 @@ from repro.hypergraph.construction import HypergraphBundle
 from repro.isomorphism.matcher import find_occurrences
 from repro.measures.base import available_measures, compute_support, measure_info
 
+# These suites deliberately exercise the legacy-kwarg entry points
+# alongside spec=; the deprecation they trigger is the point, not noise.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:legacy mining kwargs:DeprecationWarning"
+)
+
 
 class TestMeasureRegistry:
     def test_unknown_measure(self):

@@ -25,6 +25,12 @@ from repro.obs.metrics import DOCUMENTED_METRICS, MetricsRegistry
 from repro.obs.profile import coverage, format_profile
 from repro.service import GraphService
 
+# These suites deliberately exercise the legacy-kwarg entry points
+# alongside spec=; the deprecation they trigger is the point, not noise.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:legacy mining kwargs:DeprecationWarning"
+)
+
 MINE_KWARGS = dict(
     measure="mni", min_support=2, max_pattern_nodes=4, max_pattern_edges=4
 )

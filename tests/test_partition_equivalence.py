@@ -36,6 +36,12 @@ from repro.partition import (
     sharded_occurrences,
 )
 
+# These suites deliberately exercise the legacy-kwarg entry points
+# alongside spec=; the deprecation they trigger is the point, not noise.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:legacy mining kwargs:DeprecationWarning"
+)
+
 PATTERNS = [
     path_pattern(["A", "B"]),
     path_pattern(["A", "B", "A"]),

@@ -34,6 +34,12 @@ from repro.partition import (
 )
 from repro.partition.workers import build_slice, restrict_view
 
+# These suites deliberately exercise the legacy-kwarg entry points
+# alongside spec=; the deprecation they trigger is the point, not noise.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:legacy mining kwargs:DeprecationWarning"
+)
+
 MINE_KWARGS = dict(
     measure="mni", min_support=2, max_pattern_nodes=4, max_pattern_edges=4
 )

@@ -322,7 +322,7 @@ class TestProtocol:
     def test_full_conversation(self):
         with GraphService(base_graph(), maintain=SPEC) as service:
             ping, _ = self.request(service, {"op": "ping", "id": 1})
-            assert ping == {"ok": True, "op": "ping", "id": 1}
+            assert ping == {"ok": True, "op": "ping", "v": 1, "id": 1}
 
             version, _ = self.request(service, {"op": "version"})
             assert version["ok"] and version["num_vertices"] == 5
