@@ -409,10 +409,32 @@ def _watch_connect(args: argparse.Namespace) -> int:
     sock = socket.create_connection((host or "127.0.0.1", int(port)))
     try:
         reader = sock.makefile("r", encoding="utf-8")
-        for spec in specs:
-            request = {"op": "subscribe", "v": 1, "spec": spec.as_dict()}
+        for i, spec in enumerate(specs):
+            # Once the first subscription is live the server may push a
+            # notify frame at any moment — correlate each response by the
+            # echoed request id, relaying push/event frames seen en route.
+            request_id = f"watch-{i}"
+            request = {
+                "op": "subscribe",
+                "v": 1,
+                "id": request_id,
+                "spec": spec.as_dict(),
+            }
             sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
-            response = json.loads(reader.readline())
+            response = None
+            for line in reader:
+                frame = json.loads(line)
+                if frame.get("id") == request_id:
+                    response = frame
+                    break
+                print(json.dumps(frame), flush=True)
+            if response is None:  # server went away mid-handshake
+                print(
+                    f"connection closed before subscribe {request_id} "
+                    "was answered",
+                    file=sys.stderr,
+                )
+                return 1
             print(json.dumps(response), flush=True)
             if not response.get("ok"):
                 return 1

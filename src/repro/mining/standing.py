@@ -178,6 +178,11 @@ class StandingSpec:
                     f"unknown event type(s) {unknown!r}; "
                     f"expected a subset of: {', '.join(EVENT_TYPES)}"
                 )
+            if not self.events:
+                raise MiningError(
+                    "events filter must not be empty (it would suppress "
+                    "every event); omit it to receive all event types"
+                )
         if self.delivery not in DELIVERY_MODES:
             raise MiningError(
                 f"unknown delivery mode {self.delivery!r}; "
@@ -244,6 +249,16 @@ class StandingSpec:
             requested = resolved["events"]
             if isinstance(requested, str):
                 requested = [requested]
+            requested = list(requested)
+            unknown = [e for e in requested if e not in EVENT_TYPES]
+            if unknown:
+                # Validate *before* canonicalizing: the intersection below
+                # would silently drop typos, turning a misspelt filter into
+                # one that suppresses every event.
+                raise MiningError(
+                    f"unknown event type(s) {unknown!r}; "
+                    f"expected a subset of: {', '.join(EVENT_TYPES)}"
+                )
             # Canonical order + dedup so equal filters serialize equally.
             resolved["events"] = tuple(e for e in EVENT_TYPES if e in set(requested))
         return cls(**resolved)

@@ -12,8 +12,11 @@ Each connection carries a :class:`ClientSession`: it owns the
 subscriptions registered over that connection (dropped via the writer
 queue when the client disconnects — no leaked standing queries) and
 serializes all line output through one lock so server-push ``notify``
-frames (written by the service writer thread during dispatch) never
-interleave with request responses.
+frames never interleave with request responses.  The service writer
+thread never touches the socket: dispatch only *enqueues* notify frames,
+and a per-session sender thread drains them — a slow client whose TCP
+buffer fills blocks its own sender, not batch application or any other
+subscription.
 
 On startup each transport emits a ``ready`` event line (JSON, same
 framing as responses) announcing the transport and — for TCP — the
@@ -24,8 +27,10 @@ from __future__ import annotations
 
 import itertools
 import json
+import logging
 import socketserver
 import threading
+from collections import deque
 from typing import IO, Callable, List, Optional
 
 from ..errors import ReproError
@@ -33,7 +38,14 @@ from ..mining.standing import AnswerEvent
 from .protocol import handle_request, notify_line
 from .service import GraphService
 
+logger = logging.getLogger("repro.service.server")
+
 _SESSION_IDS = itertools.count(1)
+
+#: Per-session bound on queued-but-unsent notify frames: a client whose
+#: socket stays full this long starts losing its *oldest* frames (logged,
+#: never silent — the events themselves remain pollable).
+DEFAULT_MAX_QUEUED_NOTIFIES = 1024
 
 
 class ClientSession:
@@ -43,20 +55,36 @@ class ClientSession:
     newline excluded); a session constructed without one cannot serve
     push-delivery subscriptions.  All writes — responses and
     notifications alike — go through :meth:`send` under one lock, so a
-    ``notify`` frame from the service writer thread never interleaves
-    with a response written by the handler thread.
+    ``notify`` frame never interleaves with a response written by the
+    handler thread.
+
+    :meth:`notify` (the push callback the service writer thread invokes
+    during dispatch) never performs socket I/O: it enqueues the frame
+    and a lazily-started per-session sender thread drains the queue.  A
+    slow client whose TCP buffer fills therefore blocks only its own
+    sender; batch application and every other subscription keep moving.
+    The queue is bounded — overflow drops the oldest frames, which stay
+    retrievable via ``poll_events``.
     """
 
     def __init__(
         self,
         service: GraphService,
         write_line: Optional[Callable[[str], None]] = None,
+        max_queued_notifies: int = DEFAULT_MAX_QUEUED_NOTIFIES,
     ) -> None:
         self.service = service
         self.owner_id = f"client-{next(_SESSION_IDS)}"
         self._write_line = write_line
         self._lock = threading.Lock()
         self._subs: set = set()
+        self._max_queued = max_queued_notifies
+        self._queued: deque = deque()
+        self._queue_cond = threading.Condition()
+        self._sender: Optional[threading.Thread] = None
+        self._in_flight = False
+        self._closed = False
+        self.notify_drops = 0
 
     @property
     def can_push(self) -> bool:
@@ -71,8 +99,69 @@ class ClientSession:
             self._write_line(line)
 
     def notify(self, sub, version: int, events: List[AnswerEvent]) -> None:
-        """Push-delivery callback handed to ``subscribe`` (writer thread)."""
-        self.send(notify_line(sub, version, events))
+        """Push-delivery callback handed to ``subscribe`` (writer thread).
+
+        Enqueue-only: must never block on the client's socket.
+        """
+        frame = notify_line(sub, version, events)
+        with self._queue_cond:
+            if self._closed or self._write_line is None:
+                return
+            if self._sender is None:
+                self._sender = threading.Thread(
+                    target=self._drain_notifies,
+                    name=f"notify-{self.owner_id}",
+                    daemon=True,
+                )
+                self._sender.start()
+            if len(self._queued) >= self._max_queued:
+                self._queued.popleft()
+                self.notify_drops += 1
+                logger.warning(
+                    "notify queue for %s overflowed; dropped oldest frame "
+                    "(%d drops so far; events remain pollable)",
+                    self.owner_id,
+                    self.notify_drops,
+                )
+            self._queued.append(frame)
+            self._queue_cond.notify()
+
+    def _drain_notifies(self) -> None:
+        """Sender-thread loop: the only place notify frames hit the wire."""
+        while True:
+            with self._queue_cond:
+                while not self._queued and not self._closed:
+                    self._queue_cond.wait()
+                if self._closed:
+                    return
+                frame = self._queued.popleft()
+                self._in_flight = True
+            try:
+                self.send(frame)
+            except Exception:  # noqa: BLE001 - a vanished client must not
+                # kill the sender while frames from other subs are queued.
+                logger.debug(
+                    "notify delivery for %s failed; events remain pollable",
+                    self.owner_id,
+                    exc_info=True,
+                )
+            finally:
+                with self._queue_cond:
+                    self._in_flight = False
+                    self._queue_cond.notify_all()
+
+    def flush_notifies(self, timeout: Optional[float] = None) -> bool:
+        """Block until every queued notify frame has been written.
+
+        ``True`` when the queue drained (or the session closed) within
+        ``timeout`` seconds; for tests and orderly teardown — the push
+        path itself never waits on this.
+        """
+        with self._queue_cond:
+            return self._queue_cond.wait_for(
+                lambda: self._closed or (not self._queued and not self._in_flight),
+                timeout,
+            )
 
     def track(self, sub_id: str) -> None:
         self._subs.add(sub_id)
@@ -83,6 +172,10 @@ class ClientSession:
     def close(self) -> None:
         """GC this connection's subscriptions (idempotent, swallows a
         stopped service — disconnects race shutdown by design)."""
+        with self._queue_cond:
+            self._closed = True
+            self._queued.clear()
+            self._queue_cond.notify_all()
         self._write_line = None
         if not self._subs:
             return

@@ -447,6 +447,13 @@ class SubscriptionRegistry:
             inserted, removed = touched
             touched_pairs = inserted | removed
         skipped = evaluated = emitted = dropped = 0
+        # Threshold subscriptions sharing a cache key share one evaluator,
+        # and the first evaluate() of a dispatch advances its ``watched``
+        # set to the post-batch frequent patterns.  Routing must test the
+        # *pre-batch* watched set for every sub, so the decision is made
+        # once per evaluator — before any evaluate() mutates it — and
+        # reused by every later sub with the same key.
+        threshold_affected: Dict[str, bool] = {}
         for sub in list(self._subs.values()):
             if sub.spec.kind == "pattern":
                 affected = touched_pairs is None or not touched_pairs.isdisjoint(
@@ -465,9 +472,12 @@ class SubscriptionRegistry:
                     new_answer = evaluate_standing(sub.spec, self._graph, index=index)
             else:
                 evaluator = self._evaluators[sub.cache_key]
-                affected = touched_pairs is None or evaluator.affected_by(
-                    inserted, removed, self._pair_counts
-                )
+                affected = threshold_affected.get(sub.cache_key)
+                if affected is None:
+                    affected = touched_pairs is None or evaluator.affected_by(
+                        inserted, removed, self._pair_counts
+                    )
+                    threshold_affected[sub.cache_key] = affected
                 if not affected:
                     evaluator.adopt(version)
                     sub.version = version

@@ -112,6 +112,20 @@ class TestStandingSpec:
         assert spec.events == ("became_frequent", "support_changed")
         assert [e for e in spec.events if e not in EVENT_TYPES] == []
 
+    def test_events_filter_rejects_unknown_and_empty(self):
+        # from_kwargs is the wire/CLI path: a typo must be a bad_request,
+        # not a filter that silently suppresses every event.
+        with pytest.raises(MiningError, match="unknown event type"):
+            StandingSpec.from_kwargs(events=["became_popular"])
+        with pytest.raises(MiningError, match="unknown event type"):
+            StandingSpec.from_kwargs(events=["became_frequent", "oops"])
+        with pytest.raises(MiningError, match="unknown event type"):
+            StandingSpec.from_kwargs(events="became_popular")
+        with pytest.raises(MiningError, match="must not be empty"):
+            StandingSpec.from_kwargs(events=[])
+        with pytest.raises(MiningError, match="must not be empty"):
+            StandingSpec(events=())
+
     def test_threshold_cache_key_shared_with_mining_spec(self):
         # A threshold subscription asks exactly the mining question — it
         # must hit cache entries that plain mine requests populated.
@@ -324,6 +338,46 @@ class TestFootprintRouting:
             events = sub.poll()
             assert [e.type for e in events] == ["occurrences_gained"]
             assert fresh_registry.snapshot()["repro_subs_evaluations"] == 1
+
+    def test_shared_evaluator_routes_all_subs_on_watched_shrink(
+        self, fresh_registry
+    ):
+        # Two subscriptions to the same threshold spec share one
+        # evaluator.  When a deletion empties the frequent set, the first
+        # sub's evaluate() advances the evaluator's watched set to the
+        # (now empty) post-batch footprint — the second sub must still be
+        # routed against the *pre-batch* watched set, or it silently
+        # keeps the stale answer forever.
+        with GraphService(base_graph()) as service:
+            first = service.subscribe(THRESHOLD)
+            second = service.subscribe(THRESHOLD)
+            assert first.cache_key == second.cache_key  # one shared evaluator
+            assert first.answer_snapshot()  # baseline has frequent patterns
+            service.apply_updates(
+                [("de", 1, 2), ("de", 2, 3), ("de", 3, 4), ("de", 4, 5)]
+            )
+            events_first = first.poll()
+            events_second = second.poll()
+            assert events_first and events_second
+            assert [e.payload() for e in events_first] == [
+                e.payload() for e in events_second
+            ]
+            assert all(e.type == "became_infrequent" for e in events_first)
+            assert first.answer_snapshot() == second.answer_snapshot() == {}
+            # The second evaluation was free (evaluator answer reused),
+            # and nothing was mis-skipped.
+            assert fresh_registry.snapshot()["repro_subs_dispatch_skipped"] == 0
+
+    def test_shared_evaluator_skip_still_skips_every_sub(self, fresh_registry):
+        # The memoized routing decision must preserve the skip counters:
+        # an untouched batch skips *both* subs of a shared evaluator.
+        with GraphService(base_graph()) as service:
+            service.subscribe(THRESHOLD)
+            service.subscribe(THRESHOLD)
+            service.apply_updates([("v", 50, "d"), ("v", 51, "d")])
+            snap = fresh_registry.snapshot()
+            assert snap["repro_subs_dispatch_skipped"] == 2
+            assert snap["repro_subs_evaluations"] == 0
 
     def test_maintained_spec_subscription_adopts_cache(self, fresh_registry):
         maintain = MiningSpec(min_support=2, max_pattern_nodes=3)
@@ -588,6 +642,64 @@ class TestProtocolSurface:
             )
             assert not response["ok"] and response["code"] == "bad_request"
 
+    def test_push_never_blocks_writer_on_slow_client(self):
+        # A client whose socket stays full (write blocks, no exception)
+        # must stall only its own sender thread: batch application keeps
+        # going, and the bounded notify queue drops oldest frames.
+        import threading
+
+        with GraphService(base_graph()) as service:
+            lines = []
+            stalled = threading.Event()
+            gate = threading.Event()
+
+            def slow_write(line):
+                stalled.set()
+                assert gate.wait(10.0)
+                lines.append(line)
+
+            session = ClientSession(service, slow_write, max_queued_notifies=2)
+            subscribed = self.request(
+                service,
+                {
+                    "op": "subscribe",
+                    "spec": {"min_support": 2, "max_nodes": 3, "delivery": "push"},
+                },
+                session,
+            )
+            assert subscribed["ok"]
+            # First batch: the sender picks up its frame and blocks in
+            # the (simulated full) socket write.
+            done = self.request(
+                service,
+                {"op": "update", "updates": [["v", 70, "a"], ["e", 2, 70]]},
+                session,
+            )
+            assert done["ok"]
+            assert stalled.wait(10.0)
+            # Three more batches while the sender is wedged: each must
+            # apply promptly (a blocked writer would hang this loop), and
+            # the two-deep queue drops the oldest overflowing frame.
+            for step in range(1, 4):
+                done = self.request(
+                    service,
+                    {
+                        "op": "update",
+                        "updates": [["v", 70 + step, "a"], ["e", 2, 70 + step]],
+                    },
+                    session,
+                )
+                assert done["ok"]
+            assert session.notify_drops == 1
+            gate.set()
+            assert session.flush_notifies(timeout=10.0)
+            notifies = [json.loads(line) for line in lines]
+            assert all(n["event"] == "notify" for n in notifies)
+            # 4 dispatched frames, 1 dropped: the in-flight one plus the
+            # newest two survive.
+            assert len(notifies) == 3
+            session.close()
+
     def test_session_push_and_disconnect_gc(self):
         with GraphService(base_graph()) as service:
             lines = []
@@ -606,6 +718,9 @@ class TestProtocolSurface:
                 {"op": "update", "updates": [["v", 7, "a"], ["e", 6, 7]]},
                 session,
             )
+            # Push delivery is asynchronous (a per-session sender thread
+            # drains the queue); wait for it before inspecting the wire.
+            assert session.flush_notifies(timeout=10.0)
             notifies = [json.loads(line) for line in lines]
             notifies = [n for n in notifies if n.get("event") == "notify"]
             assert len(notifies) == 1
