@@ -271,8 +271,24 @@ class LabeledGraph:
         return {label: len(vs) for label, vs in self._by_label.items()}
 
     def neighbors_with_label(self, vertex: Vertex, label: Label) -> Set[Vertex]:
-        """Neighbors of ``vertex`` that carry ``label``."""
-        return {w for w in self.neighbors(vertex) if self._labels[w] == label}
+        """Neighbors of ``vertex`` that carry ``label``.
+
+        Intersects from the smaller side: a hub vertex with a rare label
+        filter scans the label class, not the whole adjacency set.
+        Indexed callers should prefer
+        :meth:`repro.index.graph_index.GraphIndex.neighbors_with_label`,
+        whose per-label lists are pre-sorted in canonical order.
+        """
+        adjacency = self._adj.get(vertex)
+        if adjacency is None:
+            raise VertexNotFoundError(vertex)
+        labeled = self._by_label.get(label)
+        if labeled is None:
+            return set()
+        if len(labeled) < len(adjacency):
+            return labeled & adjacency
+        labels = self._labels
+        return {w for w in adjacency if labels[w] == label}
 
     # ------------------------------------------------------------------
     # structure helpers

@@ -35,10 +35,13 @@ paths, which is what makes indexed and unindexed enumeration byte-identical
 
 from __future__ import annotations
 
+import os
+import sys
 from bisect import bisect_left
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from ..graph.labeled_graph import Edge, Label, LabeledGraph, Vertex, normalize_edge
+from ..obs import metrics as _metrics
 from .maintainable import MaintainableIndex
 
 _EMPTY: Tuple[Vertex, ...] = ()
@@ -314,6 +317,44 @@ class GraphIndex(MaintainableIndex):
         """Neighbor-label multiset of ``vertex`` (do not mutate)."""
         return self._signatures[vertex]
 
+    def nbytes(self) -> int:
+        """Approximate resident bytes of the index structures.
+
+        Counts container overhead of the inverted lists, signature maps,
+        and edge lists; excludes the vertex/label objects themselves
+        (shared with the graph).  The compact backend overrides this with
+        its buffer sizes; both feed the ``repro_index_bytes`` gauge and
+        the footprint benchmarks.
+        """
+        total = sys.getsizeof(self._label_list)
+        for members in self._label_list.values():
+            total += sys.getsizeof(members)
+        total += sys.getsizeof(self._histogram)
+        total += sys.getsizeof(self._neighbors_by_label)
+        for buckets in self._neighbors_by_label.values():
+            total += sys.getsizeof(buckets)
+            for members in buckets.values():
+                total += sys.getsizeof(members)
+        total += sys.getsizeof(self._signatures)
+        for signature in self._signatures.values():
+            total += sys.getsizeof(signature)
+            total += 28 * len(signature)  # boxed per-label counts
+        total += sys.getsizeof(self._degrees) + 28 * len(self._degrees)
+        total += sys.getsizeof(self._label_pairs)
+        total += sys.getsizeof(self._edges_by_pair)
+        for members in self._edges_by_pair.values():
+            total += sys.getsizeof(members) + 64 * len(members)  # edge tuples
+        return total
+
+    def intern_entries(self) -> int:
+        """Intern-table size (0: the dict backend stores objects directly).
+
+        The compact backend overrides this with its
+        :class:`~repro.index.compact.LabelTable` entry count (tombstones
+        included); both feed the ``repro_index_intern_entries`` gauge.
+        """
+        return 0
+
     def dominates(self, vertex: Vertex, requirements: Dict[Label, int]) -> bool:
         """True when ``vertex``'s neighbor-label counts cover ``requirements``.
 
@@ -342,14 +383,67 @@ class GraphIndex(MaintainableIndex):
 #: a :class:`GraphIndex` -> use exactly this index.
 IndexArg = Union[None, bool, GraphIndex]
 
+#: Process-wide index backend: ``"compact"`` (interned ids + CSR buffers,
+#: the default) or ``"dict"`` (the per-entry reference implementation).
+#: Both produce byte-identical query answers; the env var seeds the
+#: default so CI smokes and benchmarks can pin a backend per process.
+_INDEX_BACKENDS = ("compact", "dict")
+_index_backend = os.environ.get("REPRO_INDEX_BACKEND", "compact")
+if _index_backend not in _INDEX_BACKENDS:  # pragma: no cover - env guard
+    _index_backend = "compact"
+
+
+def index_backend() -> str:
+    """The active index backend name (``"compact"`` or ``"dict"``)."""
+    return _index_backend
+
+
+def set_index_backend(name: str) -> str:
+    """Select the backend :func:`get_index` builds; returns the previous one.
+
+    Already-cached indexes are not evicted — they remain valid (both
+    backends answer identically) until the graph mutates.
+    """
+    global _index_backend
+    if name not in _INDEX_BACKENDS:
+        raise ValueError(
+            f"unknown index backend {name!r}; expected one of {_INDEX_BACKENDS}"
+        )
+    previous = _index_backend
+    _index_backend = name
+    return previous
+
+
+def _build_index(graph: LabeledGraph) -> GraphIndex:
+    if _index_backend == "compact":
+        from .compact import CompactGraphIndex
+
+        return CompactGraphIndex(graph)
+    return GraphIndex(graph)
+
 
 def get_index(graph: LabeledGraph) -> GraphIndex:
-    """The cached index for ``graph``, (re)building after any mutation."""
+    """The cached index for ``graph``, (re)building after any mutation.
+
+    Builds with the active backend (:func:`index_backend`) on a cache
+    miss and publishes the ``repro_index_bytes`` /
+    ``repro_index_intern_entries`` footprint gauges for the fresh build.
+    """
     cached = graph.cached_index()
     if isinstance(cached, GraphIndex) and cached.is_current():
-        return cached
-    index = GraphIndex(graph)
+        # A backend switch invalidates caches lazily: a cached index of
+        # the wrong flavor is rebuilt on next access, not eagerly.
+        from .compact import CompactGraphIndex
+
+        want_compact = _index_backend == "compact"
+        if isinstance(cached, CompactGraphIndex) == want_compact:
+            return cached
+    index = _build_index(graph)
     graph.cache_index(index)
+    _metrics.gauge("repro_index_bytes").set(index.nbytes())
+    _metrics.gauge("repro_index_intern_entries").set(
+        getattr(index, "intern_entries", lambda: 0)()
+    )
     return index
 
 

@@ -38,6 +38,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set
 
 from ..graph.labeled_graph import Label, LabeledGraph, Vertex
 from ..graph.pattern import Pattern
+from ..index.compact import CompactGraphIndex
 from ..index.graph_index import GraphIndex, IndexArg, resolve_index
 from ..obs import metrics as _metrics
 
@@ -97,6 +98,363 @@ def _node_requirements(pattern: Pattern) -> Dict[Vertex, Dict[Label, int]]:
             counts[label] = counts.get(label, 0) + 1
         requirements[node] = counts
     return requirements
+
+
+class _CompactPlan:
+    """Static search plan over interned ids for one (pattern, data) pair.
+
+    Precomputes, per depth of the matching order: the pattern node's
+    interned label, the depths of its already-mapped pattern neighbors,
+    its degree requirement, and its neighbor-label signature requirement
+    as ``(lint, count)`` pairs.  Shared by the compact collector and
+    generator drivers (and mirrored by the anchored engine) so the
+    engines can never diverge on domain computation.
+
+    ``empty`` is set when some pattern label has no live data vertex —
+    every domain at that depth would be empty, so the search has no
+    results.
+    """
+
+    __slots__ = ("order", "lints", "prior", "min_deg", "reqs", "empty")
+
+    def __init__(
+        self, pattern: Pattern, ci: CompactGraphIndex, order: List[Vertex]
+    ) -> None:
+        pattern_graph = pattern.graph
+        lint_of = ci.table._lint_of
+        inv = ci._inv
+        self.order = order
+        self.empty = False
+        lints: List[int] = []
+        for node in order:
+            li = lint_of.get(pattern_graph.label_of(node))
+            if li is None or li not in inv:
+                self.empty = True
+            lints.append(-1 if li is None else li)
+        self.lints = lints
+        position = {node: depth for depth, node in enumerate(order)}
+        self.prior: List[tuple] = []
+        self.min_deg: List[int] = []
+        self.reqs: List[Optional[tuple]] = []
+        if self.empty:
+            return
+        requirements = _node_requirements(pattern)
+        for depth, node in enumerate(order):
+            neighbors = pattern_graph.neighbors(node)
+            prior = tuple(
+                position[n] for n in neighbors if position[n] < depth
+            )
+            self.prior.append(prior)
+            self.min_deg.append(len(neighbors))
+            if len(prior) < len(neighbors):
+                # Signature requirements only help while some pattern
+                # neighbor is still unmapped (same rule as the dict
+                # collector); requirement labels all label order nodes,
+                # so their lints exist when the plan is non-empty.
+                self.reqs.append(
+                    tuple(
+                        (lint_of[label], count)
+                        for label, count in requirements[node].items()
+                    )
+                )
+            else:
+                self.reqs.append(None)
+
+
+def _compact_domain(ci: CompactGraphIndex, plan: _CompactPlan, depth: int, images):
+    """Candidate domain at ``depth``: ``(row, start, stop, other_sets)``.
+
+    The domain is the smallest label-filtered CSR segment among the
+    mapped pattern neighbors' images (ties resolved to the earliest
+    anchor, as in :func:`_indexed_candidate_domain`), with the other
+    anchors' segments returned as membership sets; with no anchors it is
+    the inverted list.  Iterating ``row[start:stop]`` filtered by
+    ``other_sets`` visits exactly the dict engine's candidates in the
+    same canonical order.  The hot engines below inline this logic; this
+    helper is the readable reference (and serves the anchored engine's
+    generator path).
+    """
+    li = plan.lints[depth]
+    anchors = plan.prior[depth]
+    if not anchors:
+        arr = ci._inv[li]
+        return arr, 0, len(arr), None
+    row, start, stop = ci._segment(images[anchors[0]], li)
+    if len(anchors) == 1:
+        return row, start, stop, None
+    best = anchors[0]
+    best_len = stop - start
+    for anchor in anchors[1:]:
+        other_row, other_start, other_stop = ci._segment(images[anchor], li)
+        if other_stop - other_start < best_len:
+            row, start, stop = other_row, other_start, other_stop
+            best_len = other_stop - other_start
+            best = anchor
+    other_sets = [
+        ci._segment_set(images[anchor], li)
+        for anchor in anchors
+        if anchor != best
+    ]
+    return row, start, stop, other_sets
+
+
+def _collect_items_compact(
+    pattern: Pattern,
+    data: LabeledGraph,
+    ci: CompactGraphIndex,
+    limit: Optional[int],
+):
+    """Compact twin of the collector engine: int-id search, decoded results.
+
+    The recursion inlines the CSR directory scans (segment lookup and
+    signature-requirement counting) rather than calling the index
+    helpers — this loop runs once per candidate expansion and the call
+    overhead dominated the win otherwise.  Two extra prunes are free
+    here and byte-identity-safe (monotone filters only shrink doomed
+    subtrees): when every pattern neighbor is already mapped the degree
+    and requirement checks are implied by segment membership and are
+    skipped, and requirement verdicts are memoized per (depth, vint)
+    since they are branch-independent.
+    """
+    order = _matching_order(pattern, data)
+    plan = _CompactPlan(pattern, ci, order)
+    if plan.empty:
+        return []
+    depth_count = len(order)
+    position = {node: depth for depth, node in enumerate(order)}
+    item_nodes = sorted(order, key=repr)
+    item_pos = [position[node] for node in item_nodes]
+    decode = ci.table.vertex_of
+    deg = ci._deg
+    rows = ci._rows
+    inv = ci._inv
+    seg_set = ci._segment_set
+    lints = plan.lints
+    priors = plan.prior
+    min_degrees = plan.min_deg
+    requirement_items = plan.reqs
+    vertex_count = len(decode)
+    used = bytearray(vertex_count)
+    req_memo = [
+        bytearray(vertex_count) if requirement_items[d] is not None else None
+        for d in range(depth_count)
+    ]
+    images = [0] * depth_count
+    results: List[tuple] = []
+
+    def rec(depth: int) -> bool:
+        if depth == depth_count:
+            results.append(
+                tuple(zip(item_nodes, [decode[images[p]] for p in item_pos]))
+            )
+            return limit is None or len(results) < limit
+        li = lints[depth]
+        anchors = priors[depth]
+        others = None
+        if not anchors:
+            seg = inv[li]
+            start = 0
+            stop = len(seg)
+        else:
+            seg = rows[images[anchors[0]]]
+            body = 1 + 2 * seg[0]
+            cnt = 0
+            j = 1
+            while j < body:
+                gl = seg[j]
+                if gl >= li:
+                    if gl == li:
+                        cnt = seg[j + 1]
+                    break
+                body += seg[j + 1]
+                j += 2
+            start = body
+            stop = body + cnt
+            if len(anchors) > 1:
+                # Smallest segment wins (strict <, earliest anchor on
+                # ties); the rest probe as memoized frozensets.
+                best = 0
+                best_len = cnt
+                sets = [None] * len(anchors)
+                for a in range(1, len(anchors)):
+                    members = seg_set(images[anchors[a]], li)
+                    sets[a] = members
+                    if len(members) < best_len:
+                        best = a
+                        best_len = len(members)
+                if best:
+                    seg = rows[images[anchors[best]]]
+                    body = 1 + 2 * seg[0]
+                    cnt = 0
+                    j = 1
+                    while j < body:
+                        gl = seg[j]
+                        if gl >= li:
+                            if gl == li:
+                                cnt = seg[j + 1]
+                            break
+                        body += seg[j + 1]
+                        j += 2
+                    start = body
+                    stop = body + cnt
+                    sets[best] = None
+                    sets[0] = seg_set(images[anchors[0]], li)
+                others = [s for s in sets if s is not None]
+        requirement = requirement_items[depth]
+        if requirement is None:
+            # All pattern neighbors mapped: adjacency to each mapped
+            # image (segment + set membership) implies the degree bound.
+            for i in range(start, stop):
+                w = seg[i]
+                if used[w]:
+                    continue
+                if others is not None:
+                    ok = True
+                    for members in others:
+                        if w not in members:
+                            ok = False
+                            break
+                    if not ok:
+                        continue
+                images[depth] = w
+                used[w] = 1
+                keep_going = rec(depth + 1)
+                used[w] = 0
+                if not keep_going:
+                    return False
+        else:
+            memo = req_memo[depth]
+            min_degree = min_degrees[depth]
+            for i in range(start, stop):
+                w = seg[i]
+                if used[w] or deg[w] < min_degree:
+                    continue
+                state = memo[w]
+                if state == 2:
+                    continue
+                if state == 0:
+                    wrow = rows[w]
+                    dir_end = 1 + 2 * wrow[0]
+                    ok = True
+                    for req_li, count in requirement:
+                        c = 0
+                        j = 1
+                        while j < dir_end:
+                            gl = wrow[j]
+                            if gl >= req_li:
+                                if gl == req_li:
+                                    c = wrow[j + 1]
+                                break
+                            j += 2
+                        if c < count:
+                            ok = False
+                            break
+                    if not ok:
+                        memo[w] = 2
+                        continue
+                    memo[w] = 1
+                if others is not None:
+                    ok = True
+                    for members in others:
+                        if w not in members:
+                            ok = False
+                            break
+                    if not ok:
+                        continue
+                images[depth] = w
+                used[w] = 1
+                keep_going = rec(depth + 1)
+                used[w] = 0
+                if not keep_going:
+                    return False
+        return True
+
+    rec(0)
+    return results
+
+
+def _iter_mappings_compact(
+    pattern: Pattern,
+    data: LabeledGraph,
+    ci: CompactGraphIndex,
+    limit: Optional[int],
+) -> Iterator[Mapping]:
+    """Compact twin of the generator engine (non-induced matching only).
+
+    Shares the collector's pruning structure: requirement verdicts are
+    memoized per (depth, vint), and the degree/requirement checks are
+    skipped entirely when every pattern neighbor is already mapped
+    (segment membership implies them — monotone filters, so
+    byte-identity-safe).
+    """
+    order = _matching_order(pattern, data)
+    plan = _CompactPlan(pattern, ci, order)
+    if plan.empty:
+        return
+    depth_count = len(order)
+    decode = ci.table.vertex_of
+    deg = ci._deg
+    seg_len = ci._segment_len
+    min_degrees = plan.min_deg
+    requirement_items = plan.reqs
+    vertex_count = len(decode)
+    used = bytearray(vertex_count)
+    req_memo = [
+        bytearray(vertex_count) if requirement_items[d] is not None else None
+        for d in range(depth_count)
+    ]
+    images = [0] * depth_count
+    yielded = 0
+
+    def backtrack(depth: int) -> Iterator[Mapping]:
+        nonlocal yielded
+        if limit is not None and yielded >= limit:
+            return
+        if depth == depth_count:
+            yielded += 1
+            yield {
+                order[d]: decode[images[d]] for d in range(depth_count)
+            }
+            return
+        row, start, stop, other_sets = _compact_domain(ci, plan, depth, images)
+        requirement = requirement_items[depth]
+        min_degree = min_degrees[depth]
+        memo = req_memo[depth]
+        for i in range(start, stop):
+            w = row[i]
+            if used[w]:
+                continue
+            if requirement is not None:
+                if deg[w] < min_degree:
+                    continue
+                state = memo[w]
+                if state == 2:
+                    continue
+                if state == 0:
+                    ok = True
+                    for req_lint, count in requirement:
+                        if seg_len(w, req_lint) < count:
+                            ok = False
+                            break
+                    memo[w] = 1 if ok else 2
+                    if not ok:
+                        continue
+            if other_sets is not None:
+                ok = True
+                for members in other_sets:
+                    if w not in members:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+            images[depth] = w
+            used[w] = 1
+            yield from backtrack(depth + 1)
+            used[w] = 0
+            if limit is not None and yielded >= limit:
+                return
+
+    yield from backtrack(0)
 
 
 def _indexed_candidate_domain(
@@ -226,6 +584,11 @@ def find_subgraph_isomorphisms(
     if pattern.num_nodes > data.num_vertices:
         return
     resolved = resolve_index(data, index)
+    if isinstance(resolved, CompactGraphIndex) and not induced:
+        # Int-id fast path (induced matching stays on the generic path,
+        # which works against the compact index's decoded API).
+        yield from _iter_mappings_compact(pattern, data, resolved, limit)
+        return
     requirements = _node_requirements(pattern) if resolved is not None else None
     order = _matching_order(pattern, data)
     mapping: Mapping = {}
@@ -284,6 +647,8 @@ def collect_subgraph_isomorphism_items(
     if limit is not None and limit <= 0:
         return []  # mirror the generator engine: limit=0 yields nothing
     resolved = resolve_index(data, index)
+    if isinstance(resolved, CompactGraphIndex):
+        return _collect_items_compact(pattern, data, resolved, limit)
     order = _matching_order(pattern, data)
     pattern_graph = pattern.graph
 

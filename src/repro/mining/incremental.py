@@ -28,6 +28,7 @@ from ..graph.canonical import canonical_certificate
 from ..graph.labeled_graph import LabeledGraph, Vertex
 from ..graph.pattern import Pattern
 from ..hypergraph.construction import HypergraphBundle
+from ..index.graph_index import IndexArg, resolve_index
 from ..isomorphism.matcher import Occurrence, find_occurrences
 from ..measures.base import compute_support, measure_info
 from .extension import adjacent_label_pairs, single_edge_patterns
@@ -42,15 +43,27 @@ def extend_occurrences_forward(
     anchor: Vertex,
     new_node: Vertex,
     new_label,
+    index: IndexArg = None,
 ) -> List[Mapping]:
-    """All child occurrences for a forward extension (see module docstring)."""
+    """All child occurrences for a forward extension (see module docstring).
+
+    With an index (the default), candidates come from the per-label
+    pre-sorted adjacency lists — same canonical order as the brute
+    ``sorted(..., key=repr)`` scan, without re-sorting per occurrence.
+    Pass ``index=False`` to force the brute scan.
+    """
+    resolved = resolve_index(data, index)
     extended: List[Mapping] = []
     for mapping in occurrences:
         used = set(mapping.values())
         anchor_image = mapping[anchor]
-        for candidate in sorted(
-            data.neighbors_with_label(anchor_image, new_label), key=repr
-        ):
+        if resolved is not None:
+            candidates = resolved.neighbors_with_label(anchor_image, new_label)
+        else:
+            candidates = sorted(
+                data.neighbors_with_label(anchor_image, new_label), key=repr
+            )
+        for candidate in candidates:
             if candidate in used:
                 continue
             child = dict(mapping)

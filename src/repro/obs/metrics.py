@@ -272,6 +272,9 @@ DOCUMENTED_METRICS: Tuple[str, ...] = (
     "repro_index_patches_applied",
     "repro_index_rebuilds",
     "repro_index_deltas_coalesced",
+    # index footprint (gauges set on every fresh build by get_index)
+    "repro_index_bytes",
+    "repro_index_intern_entries",
     # sharded index maintainer
     "repro_sharded_index_patches_applied",
     "repro_sharded_index_rebuilds",

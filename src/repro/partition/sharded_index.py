@@ -625,19 +625,59 @@ class ShardedIndex(MaintainableIndex):
     def _compute_expansion(
         self, shard_id: int, depth: int, cache: bool = False
     ) -> LabeledGraph:
-        """Compute one halo-expanded view from scratch (no cache lookup)."""
-        frontier = set(self.shards[shard_id].graph.vertices())
-        keep = set(frontier)
-        for _ in range(depth):
-            if not frontier:
-                break
-            frontier = {
-                neighbor
-                for vertex in frontier
-                for neighbor in self.graph.neighbors(vertex)
-                if neighbor not in keep
-            }
-            keep |= frontier
+        """Compute one halo-expanded view from scratch (no cache lookup).
+
+        When the source graph carries a current compact index, the BFS
+        runs over the CSR rows with interned ids (one list index per
+        neighbor instead of a hash probe per visit) and the kept set is
+        decoded once at the end.
+        """
+        from ..index.compact import CompactGraphIndex
+
+        cached_index = self.graph.cached_index()
+        if (
+            depth > 0
+            and isinstance(cached_index, CompactGraphIndex)
+            and cached_index.is_current()
+        ):
+            ci = cached_index
+            vint_of = ci.table._vint_of
+            rows = ci._rows
+            seen = bytearray(len(ci.table.vertex_of))
+            frontier_ints = []
+            for vertex in self.shards[shard_id].graph.vertices():
+                vi = vint_of[vertex]
+                seen[vi] = 1
+                frontier_ints.append(vi)
+            kept_ints = list(frontier_ints)
+            for _ in range(depth):
+                if not frontier_ints:
+                    break
+                next_frontier = []
+                for vi in frontier_ints:
+                    row = rows[vi]
+                    for j in range(1 + 2 * row[0], len(row)):
+                        w = row[j]
+                        if not seen[w]:
+                            seen[w] = 1
+                            next_frontier.append(w)
+                frontier_ints = next_frontier
+                kept_ints.extend(next_frontier)
+            decode = ci.table.vertex_of
+            keep = {decode[vi] for vi in kept_ints}
+        else:
+            frontier = set(self.shards[shard_id].graph.vertices())
+            keep = set(frontier)
+            for _ in range(depth):
+                if not frontier:
+                    break
+                frontier = {
+                    neighbor
+                    for vertex in frontier
+                    for neighbor in self.graph.neighbors(vertex)
+                    if neighbor not in keep
+                }
+                keep |= frontier
         if len(keep) == self.graph.num_vertices:
             expanded = self.graph
         else:

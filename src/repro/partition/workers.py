@@ -58,6 +58,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from ..errors import PartitionError
 from ..graph.labeled_graph import Edge, LabeledGraph, Vertex
 from ..graph.pattern import Pattern
+from ..index.compact import projected_index_nbytes
+from ..index.graph_index import index_backend
 from ..obs import metrics as _metrics
 from .evaluate import (
     anchored_occurrence_items,
@@ -697,8 +699,12 @@ class ShardPager:
     must never page out.
 
     ``resident_weight`` / ``peak_resident_weight`` account resident view
-    sizes (vertices + edges per non-alias view) deterministically, which
-    is what the out-of-core benchmark gates on.
+    footprints deterministically via
+    :func:`repro.index.compact.projected_index_nbytes` — the analytic
+    byte cost of the active backend's index over each non-alias view —
+    so paging decisions track what a view actually costs to keep hot
+    (the compact backend projects a few times lighter than the dict
+    one).  The out-of-core and footprint benchmarks gate on these.
     """
 
     def __init__(
@@ -772,7 +778,12 @@ class ShardPager:
     def _view_weight(self, view: LabeledGraph) -> int:
         if self.sharded is not None and view is self.sharded.graph:
             return 0
-        return view.num_vertices + view.num_edges
+        return projected_index_nbytes(
+            view.num_vertices,
+            view.num_edges,
+            len(view.label_alphabet()),
+            index_backend(),
+        )
 
     @property
     def resident_shards(self) -> Tuple[int, ...]:

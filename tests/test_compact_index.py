@@ -1,0 +1,254 @@
+"""Compact-core tests: LabelTable interning, CSR patching, backend switch.
+
+The compact index must be indistinguishable from the dict index through
+every decoded query, and its O(delta) CSR splices must land exactly
+where a from-scratch rebuild would put them — under randomized mixed
+insert/delete/window churn, not just single-delta unit cases.  The
+intern table may keep tombstones while patching (slots are never
+recycled) but a rebuild must shed them.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.synthetic import random_labeled_graph
+from repro.graph.labeled_graph import LabeledGraph
+from repro.index import (
+    CompactGraphIndex,
+    GraphIndex,
+    IndexMaintainer,
+    LabelTable,
+    get_index,
+    index_backend,
+    projected_index_nbytes,
+    set_index_backend,
+)
+
+
+def decoded_view(index, graph):
+    """Every decoded query the rest of the library can ask an index."""
+    labels = graph.label_alphabet()
+    return {
+        "hist": index.label_histogram(),
+        "adj_pairs": index.adjacent_label_pairs(),
+        "pairs": index.distinct_edge_label_pairs(),
+        "deg": index.degree_map(),
+        "sig": index.signature_map(),
+        "inv": {label: index.vertices_with_label(label) for label in labels},
+        "nwl": {
+            (v, label): index.neighbors_with_label(v, label)
+            for v in graph.vertices()
+            for label in labels
+        },
+        "edges": {
+            pair: index.edges_with_labels(*pair)
+            for pair in index.distinct_edge_label_pairs()
+        },
+    }
+
+
+class TestLabelTable:
+    def test_interns_in_canonical_order(self):
+        table = LabelTable(["b", "a", "c"], ["Y", "X"])
+        assert list(table.vertex_of) == ["b", "a", "c"]
+        assert list(table.label_of) == ["Y", "X"]
+        assert table.vint("a") == 1
+        assert table.lint("X") == 1
+        assert table.lint("Z") is None
+
+    def test_intern_appends_and_revives(self):
+        table = LabelTable(["a"], ["X"])
+        assert table.intern_vertex("b") == 1
+        assert table.intern_vertex("b") == 1  # idempotent
+        assert table.intern_label("Y") == 1
+        assert table.entries == 4
+
+    def test_nbytes_positive(self):
+        table = LabelTable(["a", "b"], ["X"])
+        assert table.nbytes() > 0
+
+
+class TestBackendSwitch:
+    @pytest.fixture(autouse=True)
+    def _restore(self):
+        previous = index_backend()
+        yield
+        set_index_backend(previous)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            set_index_backend("sparse-matrix")
+
+    def test_switch_returns_previous(self):
+        first = set_index_backend("dict")
+        assert first in ("dict", "compact")
+        assert set_index_backend("compact") == "dict"
+
+    def test_get_index_follows_backend(self):
+        graph = random_labeled_graph(12, 0.3, alphabet=("A", "B"), seed=5)
+        set_index_backend("dict")
+        index = get_index(graph)
+        assert type(index) is GraphIndex
+        set_index_backend("compact")
+        index = get_index(graph)
+        assert isinstance(index, CompactGraphIndex)
+        # The compact cache keeps serving while the backend is compact.
+        assert get_index(graph) is index
+
+
+class TestCompactFootprint:
+    def test_compact_smaller_than_dict(self):
+        graph = random_labeled_graph(40, 0.2, alphabet=("A", "B", "C"), seed=11)
+        dict_bytes = GraphIndex.build(graph).nbytes()
+        compact_bytes = CompactGraphIndex(graph).nbytes()
+        assert compact_bytes < dict_bytes / 2
+
+    def test_projected_footprint_tracks_nbytes(self):
+        # The projection is the pager's cost model: it must land within a
+        # small constant factor of the measured footprint for both
+        # backends and preserve the compact-vs-dict ordering.
+        for seed, size, p in ((3, 30, 0.2), (7, 80, 0.12), (19, 150, 0.08)):
+            graph = random_labeled_graph(
+                size, p, alphabet=("A", "B", "C", "D"), seed=seed
+            )
+            num_labels = len(graph.label_alphabet())
+            for backend, index in (
+                ("dict", GraphIndex.build(graph)),
+                ("compact", CompactGraphIndex(graph)),
+            ):
+                projected = projected_index_nbytes(
+                    graph.num_vertices, graph.num_edges, num_labels, backend
+                )
+                measured = index.nbytes()
+                assert measured / 3 <= projected <= measured * 3
+        projected_dict = projected_index_nbytes(100, 300, 4, "dict")
+        projected_compact = projected_index_nbytes(100, 300, 4, "compact")
+        assert projected_compact <= 0.7 * projected_dict
+
+    def test_intern_entries_counts_table(self):
+        graph = random_labeled_graph(15, 0.3, alphabet=("A", "B"), seed=2)
+        index = CompactGraphIndex(graph)
+        assert index.intern_entries() == graph.num_vertices + len(
+            graph.label_alphabet()
+        )
+        assert GraphIndex.build(graph).intern_entries() == 0
+
+
+def _random_mutation(rng: random.Random, graph: LabeledGraph, next_id: list) -> None:
+    vertices = sorted(graph.vertices(), key=repr)
+    roll = rng.random()
+    if roll < 0.30 or graph.num_vertices < 4:
+        vertex = f"n{next_id[0]}"
+        next_id[0] += 1
+        graph.add_vertex(vertex, rng.choice("ABCD"))
+        if vertices and rng.random() < 0.8:
+            graph.add_edge(vertex, rng.choice(vertices))
+    elif roll < 0.60:
+        u, v = rng.sample(vertices, 2)
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    elif roll < 0.85:
+        edges = graph.edges()
+        if edges:
+            graph.remove_edge(*rng.choice(edges))
+    else:
+        vertex = rng.choice(vertices)
+        graph.remove_vertex(vertex)
+
+
+class TestCompactChurn:
+    """CSR-patched == rebuilt under randomized mixed churn streams."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 5, 9, 14, 23, 31, 47])
+    def test_patched_matches_rebuilt(self, seed):
+        rng = random.Random(seed)
+        graph = random_labeled_graph(
+            10, 0.3, alphabet=("A", "B", "C"), seed=seed
+        )
+        patched = CompactGraphIndex(graph)
+        pending = []
+        graph.subscribe(pending.append)
+        next_id = [0]
+        for step in range(120):
+            _random_mutation(rng, graph, next_id)
+            for delta in pending:
+                assert patched.apply_delta(delta)
+            pending.clear()
+            assert patched.is_current()
+            if step % 20 == 19:
+                rebuilt = patched.rebuilt()
+                fresh_dict = GraphIndex.build(graph)
+                expected = decoded_view(fresh_dict, graph)
+                assert decoded_view(patched, graph) == expected
+                assert decoded_view(rebuilt, graph) == expected
+
+    @pytest.mark.parametrize("seed", [6, 18, 27])
+    def test_window_stream_and_intern_compaction(self, seed):
+        """Sliding-window churn: adds followed by expiry of the oldest.
+
+        While patching, retired slots stay tombstoned (never recycled);
+        a rebuild re-interns from scratch, so the fresh table must hold
+        exactly the live vertices and labels — no leaked retirees.
+        """
+        rng = random.Random(seed)
+        graph = LabeledGraph(name="window")
+        index = CompactGraphIndex(graph)
+        pending = []
+        graph.subscribe(pending.append)
+        window = []
+        for step in range(80):
+            vertex = f"w{step}"
+            graph.add_vertex(vertex, rng.choice("AB"))
+            if window and rng.random() < 0.9:
+                graph.add_edge(vertex, rng.choice(window))
+            window.append(vertex)
+            if len(window) > 12:
+                graph.remove_vertex(window.pop(0))
+            for delta in pending:
+                assert index.apply_delta(delta)
+            pending.clear()
+        assert index.is_current()
+        live = graph.num_vertices + len(graph.label_alphabet())
+        assert index.intern_entries() > live  # tombstones accumulated
+        rebuilt = index.rebuilt()
+        assert rebuilt.intern_entries() == live  # rebuild sheds them
+        assert decoded_view(rebuilt, graph) == decoded_view(index, graph)
+
+    def test_maintainer_patches_compact_index(self):
+        previous = set_index_backend("compact")
+        try:
+            graph = random_labeled_graph(12, 0.3, alphabet=("A", "B"), seed=4)
+            maintainer = IndexMaintainer(graph)
+            assert isinstance(maintainer.index(), CompactGraphIndex)
+            anchor = sorted(graph.vertices(), key=repr)[0]
+            graph.add_vertex("fresh", "A")
+            graph.add_edge("fresh", anchor)
+            index = maintainer.index()
+            assert index.is_current()
+            assert "fresh" in index.vertices_with_label("A")
+            assert maintainer.patches_applied >= 1
+        finally:
+            set_index_backend(previous)
+
+
+class TestSegmentSetMemo:
+    def test_memo_invalidated_by_patch(self):
+        graph = random_labeled_graph(10, 0.4, alphabet=("A", "B"), seed=8)
+        index = CompactGraphIndex(graph)
+        vertex = sorted(graph.vertices())[0]
+        vi = index.table.vint(vertex)
+        li = index.table.lint("A")
+        before = index._segment_set(vi, li)
+        assert index._segment_set(vi, li) is before  # memoized
+        pending = []
+        graph.subscribe(pending.append)
+        graph.add_vertex("zz", "A")
+        graph.add_edge("zz", vertex)
+        for delta in pending:
+            index.apply_delta(delta)
+        after = index._segment_set(vi, li)
+        assert index.table.vint("zz") in after
+        assert len(after) == len(before) + 1

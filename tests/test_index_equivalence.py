@@ -25,7 +25,13 @@ from repro.hypergraph.overlap import (
     overlap_statistics,
     overlaps,
 )
-from repro.index import GraphIndex, get_index
+from repro.index import (
+    CompactGraphIndex,
+    GraphIndex,
+    get_index,
+    index_backend,
+    set_index_backend,
+)
 from repro.isomorphism.anchored import valid_images
 from repro.isomorphism.matcher import find_occurrences
 from repro.isomorphism.vf2 import find_subgraph_isomorphisms
@@ -233,6 +239,87 @@ class TestIndexLifecycle:
                 assert set(index.neighbors_with_label(vertex, label)) == (
                     graph.neighbors_with_label(vertex, label)
                 )
+
+
+class TestBackendEquivalence:
+    """compact == dict == brute, byte-identical, on every seeded graph.
+
+    The compact backend's int-id engines (vf2 collector/generator,
+    anchored probes, lazy MNI) must reproduce the dict engines' results
+    exactly — content AND order — which in turn must match brute force.
+    Explicit index instances pin the backend per call, so this axis
+    holds regardless of the process-default backend.
+    """
+
+    def test_occurrence_lists_identical(self, graph):
+        dict_index = GraphIndex.build(graph)
+        compact_index = CompactGraphIndex.build(graph)
+        for pattern in PATTERNS:
+            brute = find_occurrences(pattern, graph, index=False)
+            assert find_occurrences(pattern, graph, index=dict_index) == brute
+            assert find_occurrences(pattern, graph, index=compact_index) == brute
+
+    def test_generator_streams_identical(self, graph):
+        dict_index = GraphIndex.build(graph)
+        compact_index = CompactGraphIndex.build(graph)
+        for pattern in PATTERNS:
+            brute = list(find_subgraph_isomorphisms(pattern, graph, index=False))
+            assert (
+                list(find_subgraph_isomorphisms(pattern, graph, index=dict_index))
+                == brute
+            )
+            assert (
+                list(
+                    find_subgraph_isomorphisms(pattern, graph, index=compact_index)
+                )
+                == brute
+            )
+
+    def test_valid_images_identical(self, graph):
+        dict_index = GraphIndex.build(graph)
+        compact_index = CompactGraphIndex.build(graph)
+        for pattern in PATTERNS[:3]:
+            for node in pattern.nodes():
+                brute = valid_images(pattern, graph, node, index=False)
+                assert (
+                    valid_images(pattern, graph, node, index=dict_index) == brute
+                )
+                assert (
+                    valid_images(pattern, graph, node, index=compact_index)
+                    == brute
+                )
+                for stop_after in (1, 2):
+                    truncated = valid_images(
+                        pattern, graph, node, stop_after=stop_after, index=False
+                    )
+                    assert (
+                        valid_images(
+                            pattern,
+                            graph,
+                            node,
+                            stop_after=stop_after,
+                            index=compact_index,
+                        )
+                        == truncated
+                    )
+
+    def test_mining_identical_across_backends(self, graph):
+        kwargs = dict(
+            measure="mni", min_support=2, max_pattern_nodes=3, max_pattern_edges=3
+        )
+        previous = index_backend()
+        try:
+            set_index_backend("dict")
+            dict_result = mine_frequent_patterns(graph, **kwargs)
+            set_index_backend("compact")
+            compact_result = mine_frequent_patterns(graph, **kwargs)
+        finally:
+            set_index_backend(previous)
+        assert compact_result.certificates() == dict_result.certificates()
+        assert [fp.support for fp in compact_result.frequent] == [
+            fp.support for fp in dict_result.frequent
+        ]
+        assert compact_result.stats.as_dict() == dict_result.stats.as_dict()
 
 
 class TestMinerRobustness:
